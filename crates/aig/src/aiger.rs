@@ -1,0 +1,531 @@
+//! AIGER file format support (ASCII `aag` and binary `aig`).
+//!
+//! Combinational networks only: latch counts other than zero are rejected.
+//! On write, variables are renumbered into the canonical AIGER layout
+//! (inputs first, then AND gates in topological order).
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+use crate::{Aig, Lit, Node};
+
+/// Error reading an AIGER file.
+#[derive(Debug)]
+pub enum ParseAigerError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header line is malformed.
+    BadHeader(String),
+    /// The file contains latches, which are not supported.
+    HasLatches(usize),
+    /// A literal or line is malformed.
+    BadLine {
+        /// 1-based line number (0 for binary section).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The binary delta encoding is invalid or truncated.
+    BadBinary(String),
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseAigerError::BadHeader(h) => write!(f, "malformed AIGER header: {h:?}"),
+            ParseAigerError::HasLatches(n) => {
+                write!(f, "sequential AIGER not supported ({n} latches)")
+            }
+            ParseAigerError::BadLine { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseAigerError::BadBinary(m) => write!(f, "bad binary AND section: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAigerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseAigerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseAigerError {
+    fn from(e: io::Error) -> Self {
+        ParseAigerError::Io(e)
+    }
+}
+
+struct Header {
+    m: u32,
+    i: u32,
+    o: u32,
+    a: u32,
+    binary: bool,
+}
+
+fn parse_header(line: &str) -> Result<Header, ParseAigerError> {
+    let mut it = line.split_whitespace();
+    let tag = it.next().ok_or_else(|| ParseAigerError::BadHeader(line.into()))?;
+    let binary = match tag {
+        "aag" => false,
+        "aig" => true,
+        _ => return Err(ParseAigerError::BadHeader(line.into())),
+    };
+    let mut nums = [0u32; 5];
+    for slot in nums.iter_mut() {
+        *slot = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseAigerError::BadHeader(line.into()))?;
+    }
+    if nums[2] != 0 {
+        return Err(ParseAigerError::HasLatches(nums[2] as usize));
+    }
+    Ok(Header {
+        m: nums[0],
+        i: nums[1],
+        o: nums[3],
+        a: nums[4],
+        binary,
+    })
+}
+
+/// Reads an AIGER network (ASCII or binary, auto-detected from the header).
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on I/O failure or malformed input, including
+/// files with latches.
+pub fn read_aiger<R: Read>(reader: R) -> Result<Aig, ParseAigerError> {
+    let mut reader = io::BufReader::new(reader);
+    let mut header_line = String::new();
+    reader.read_line(&mut header_line)?;
+    let header = parse_header(header_line.trim_end())?;
+    if header.binary {
+        read_binary(reader, &header)
+    } else {
+        read_ascii(reader, &header)
+    }
+}
+
+fn parse_lit_token(tok: &str, line: usize) -> Result<u32, ParseAigerError> {
+    tok.parse().map_err(|_| ParseAigerError::BadLine {
+        line,
+        message: format!("bad literal {tok:?}"),
+    })
+}
+
+#[allow(clippy::needless_range_loop)] // body-line indices double as error line numbers
+fn read_ascii<R: BufRead>(reader: R, h: &Header) -> Result<Aig, ParseAigerError> {
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let need = (h.i + h.o + h.a) as usize;
+    if lines.len() < need {
+        return Err(ParseAigerError::BadLine {
+            line: lines.len() + 2,
+            message: "unexpected end of file".into(),
+        });
+    }
+    // `line_of(k)` is the 1-based file line of body line k (header is 1).
+    let line_of = |k: usize| k + 2;
+
+    // Map from AIGER variable index to our literal.
+    let mut var_map: Vec<Option<Lit>> = vec![None; h.m as usize + 1];
+    var_map[0] = Some(Lit::FALSE);
+    let mut aig = Aig::with_capacity(h.m as usize + 1);
+
+    let mut input_vars = Vec::with_capacity(h.i as usize);
+    for k in 0..h.i as usize {
+        let code = parse_lit_token(lines[k].trim(), line_of(k))?;
+        if code < 2 || code & 1 == 1 {
+            return Err(ParseAigerError::BadLine {
+                line: line_of(k),
+                message: format!("invalid input literal {code}"),
+            });
+        }
+        input_vars.push(code >> 1);
+    }
+    for &v in &input_vars {
+        let lit = aig.add_input();
+        var_map[v as usize] = Some(lit);
+    }
+
+    let mut po_codes = Vec::with_capacity(h.o as usize);
+    for k in h.i as usize..(h.i + h.o) as usize {
+        po_codes.push(parse_lit_token(lines[k].trim(), line_of(k))?);
+    }
+
+    let mut and_defs = Vec::with_capacity(h.a as usize);
+    for k in (h.i + h.o) as usize..need {
+        let mut it = lines[k].split_whitespace();
+        let mut get = || -> Result<u32, ParseAigerError> {
+            let tok = it.next().ok_or(ParseAigerError::BadLine {
+                line: line_of(k),
+                message: "expected three literals".into(),
+            })?;
+            parse_lit_token(tok, line_of(k))
+        };
+        let lhs = get()?;
+        let rhs0 = get()?;
+        let rhs1 = get()?;
+        if lhs < 2 || lhs & 1 == 1 {
+            return Err(ParseAigerError::BadLine {
+                line: line_of(k),
+                message: format!("invalid AND lhs {lhs}"),
+            });
+        }
+        and_defs.push((lhs >> 1, rhs0, rhs1));
+    }
+
+    build_ands(&mut aig, &mut var_map, &and_defs)?;
+    finish_pos(&mut aig, &var_map, &po_codes)?;
+    Ok(aig)
+}
+
+fn read_binary<R: BufRead>(mut reader: R, h: &Header) -> Result<Aig, ParseAigerError> {
+    let mut aig = Aig::with_capacity(h.m as usize + 1);
+    let mut var_map: Vec<Option<Lit>> = vec![None; h.m as usize + 1];
+    var_map[0] = Some(Lit::FALSE);
+    // Binary format: inputs are implicitly variables 1..=I.
+    for v in 1..=h.i {
+        var_map[v as usize] = Some(aig.add_input());
+    }
+    // Output literals, one per line.
+    let mut po_codes = Vec::with_capacity(h.o as usize);
+    let mut line = String::new();
+    for i in 0..h.o {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ParseAigerError::BadLine {
+                line: 1 + i as usize,
+                message: "unexpected end of file in output section".into(),
+            });
+        }
+        po_codes.push(line.trim().parse().map_err(|_| ParseAigerError::BadLine {
+            line: 1 + i as usize,
+            message: format!("bad output literal {:?}", line.trim()),
+        })?);
+    }
+    // Delta-encoded AND section.
+    let read_delta = |reader: &mut R| -> Result<u32, ParseAigerError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            reader
+                .read_exact(&mut byte)
+                .map_err(|_| ParseAigerError::BadBinary("truncated delta".into()))?;
+            result |= u64::from(byte[0] & 0x7f) << shift;
+            if byte[0] & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 35 {
+                return Err(ParseAigerError::BadBinary("delta too large".into()));
+            }
+        }
+        u32::try_from(result).map_err(|_| ParseAigerError::BadBinary("delta overflow".into()))
+    };
+    let mut and_defs = Vec::with_capacity(h.a as usize);
+    for k in 0..h.a {
+        let lhs = 2 * (h.i + 1 + k);
+        let delta0 = read_delta(&mut reader)?;
+        let delta1 = read_delta(&mut reader)?;
+        let rhs0 = lhs
+            .checked_sub(delta0)
+            .ok_or_else(|| ParseAigerError::BadBinary("delta0 exceeds lhs".into()))?;
+        let rhs1 = rhs0
+            .checked_sub(delta1)
+            .ok_or_else(|| ParseAigerError::BadBinary("delta1 exceeds rhs0".into()))?;
+        and_defs.push((lhs >> 1, rhs0, rhs1));
+    }
+    build_ands(&mut aig, &mut var_map, &and_defs)?;
+    finish_pos(&mut aig, &var_map, &po_codes)?;
+    Ok(aig)
+}
+
+fn build_ands(
+    aig: &mut Aig,
+    var_map: &mut [Option<Lit>],
+    and_defs: &[(u32, u32, u32)],
+) -> Result<(), ParseAigerError> {
+    // ASCII AIGER does not require topological order in the file; process
+    // definitions in dependency order with a simple worklist over passes.
+    let mut remaining: Vec<(u32, u32, u32)> = and_defs.to_vec();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&(lhs, rhs0, rhs1)| {
+            let f0 = var_map.get(rhs0 as usize >> 1).copied().flatten();
+            let f1 = var_map.get(rhs1 as usize >> 1).copied().flatten();
+            match (f0, f1) {
+                (Some(a), Some(b)) => {
+                    let la = a.xor(rhs0 & 1 == 1);
+                    let lb = b.xor(rhs1 & 1 == 1);
+                    let lit = aig.and(la, lb);
+                    var_map[lhs as usize] = Some(lit);
+                    false
+                }
+                _ => true,
+            }
+        });
+        if remaining.len() == before {
+            return Err(ParseAigerError::BadBinary(
+                "cyclic or undefined AND definitions".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn finish_pos(
+    aig: &mut Aig,
+    var_map: &[Option<Lit>],
+    po_codes: &[u32],
+) -> Result<(), ParseAigerError> {
+    for &code in po_codes {
+        let base = var_map
+            .get(code as usize >> 1)
+            .copied()
+            .flatten()
+            .ok_or_else(|| ParseAigerError::BadLine {
+                line: 0,
+                message: format!("output references undefined literal {code}"),
+            })?;
+        aig.add_po(base.xor(code & 1 == 1));
+    }
+    Ok(())
+}
+
+/// Computes the canonical AIGER numbering of an [`Aig`]: inputs get
+/// variables `1..=I`, AND gates follow in topological order.
+fn aiger_numbering(aig: &Aig) -> Vec<u32> {
+    let mut number = vec![0u32; aig.num_nodes()];
+    let mut next = 1u32;
+    for pi in aig.pis() {
+        number[pi.index()] = next;
+        next += 1;
+    }
+    for v in aig.and_vars() {
+        number[v.index()] = next;
+        next += 1;
+    }
+    number
+}
+
+fn lit_code(number: &[u32], lit: Lit) -> u32 {
+    (number[lit.var().index()] << 1) | lit.is_complemented() as u32
+}
+
+/// Writes an ASCII AIGER (`aag`) file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_ascii<W: Write>(aig: &Aig, writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(writer);
+    let number = aiger_numbering(aig);
+    let i = aig.num_pis() as u32;
+    let a = aig.num_ands() as u32;
+    writeln!(w, "aag {} {} 0 {} {}", i + a, i, aig.num_pos(), a)?;
+    for pi in aig.pis() {
+        writeln!(w, "{}", number[pi.index()] << 1)?;
+    }
+    for &po in aig.pos() {
+        writeln!(w, "{}", lit_code(&number, po))?;
+    }
+    for v in aig.and_vars() {
+        if let Node::And(f0, f1) = aig.node(v) {
+            let lhs = number[v.index()] << 1;
+            let (c0, c1) = (lit_code(&number, f0), lit_code(&number, f1));
+            // AIGER convention: rhs0 >= rhs1.
+            let (hi, lo) = if c0 >= c1 { (c0, c1) } else { (c1, c0) };
+            writeln!(w, "{lhs} {hi} {lo}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes a binary AIGER (`aig`) file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_binary<W: Write>(aig: &Aig, writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(writer);
+    let number = aiger_numbering(aig);
+    let i = aig.num_pis() as u32;
+    let a = aig.num_ands() as u32;
+    writeln!(w, "aig {} {} 0 {} {}", i + a, i, aig.num_pos(), a)?;
+    for &po in aig.pos() {
+        writeln!(w, "{}", lit_code(&number, po))?;
+    }
+    let write_delta = |w: &mut io::BufWriter<W>, mut d: u32| -> io::Result<()> {
+        loop {
+            let mut byte = (d & 0x7f) as u8;
+            d >>= 7;
+            if d != 0 {
+                byte |= 0x80;
+            }
+            w.write_all(&[byte])?;
+            if d == 0 {
+                return Ok(());
+            }
+        }
+    };
+    for v in aig.and_vars() {
+        if let Node::And(f0, f1) = aig.node(v) {
+            let lhs = number[v.index()] << 1;
+            let (c0, c1) = (lit_code(&number, f0), lit_code(&number, f1));
+            let (hi, lo) = if c0 >= c1 { (c0, c1) } else { (c1, c0) };
+            debug_assert!(lhs > hi, "AIG must be topologically ordered");
+            write_delta(&mut w, lhs - hi)?;
+            write_delta(&mut w, hi - lo)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads an AIGER file from a path (ASCII or binary).
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on I/O failure or malformed input.
+pub fn read_aiger_file<P: AsRef<std::path::Path>>(path: P) -> Result<Aig, ParseAigerError> {
+    read_aiger(std::fs::File::open(path)?)
+}
+
+/// Writes an AIGER file to a path; format chosen by extension (`.aag` is
+/// ASCII, anything else binary).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_aiger_file<P: AsRef<std::path::Path>>(aig: &Aig, path: P) -> io::Result<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path)?;
+    if path.extension().is_some_and(|e| e == "aag") {
+        write_ascii(aig, file)
+    } else {
+        write_binary(aig, file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        let f = aig.xor(xs[0], xs[1]);
+        let g = aig.mux(xs[2], f, !xs[0]);
+        aig.add_po(g);
+        aig.add_po(!f);
+        aig
+    }
+
+    fn equivalent(a: &Aig, b: &Aig) -> bool {
+        assert_eq!(a.num_pis(), b.num_pis());
+        let n = a.num_pis();
+        (0..1u32 << n).all(|v| {
+            let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+            a.eval(&bits) == b.eval(&bits)
+        })
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let aig = sample();
+        let mut buf = Vec::new();
+        write_ascii(&aig, &mut buf).unwrap();
+        let back = read_aiger(&buf[..]).unwrap();
+        assert_eq!(back.num_pis(), aig.num_pis());
+        assert_eq!(back.num_pos(), aig.num_pos());
+        assert!(equivalent(&aig, &back));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let aig = sample();
+        let mut buf = Vec::new();
+        write_binary(&aig, &mut buf).unwrap();
+        let back = read_aiger(&buf[..]).unwrap();
+        assert_eq!(back.num_pis(), aig.num_pis());
+        assert_eq!(back.num_ands(), aig.num_ands());
+        assert!(equivalent(&aig, &back));
+    }
+
+    #[test]
+    fn constant_pos_roundtrip() {
+        let mut aig = Aig::new();
+        aig.add_inputs(1);
+        aig.add_po(Lit::FALSE);
+        aig.add_po(Lit::TRUE);
+        let mut buf = Vec::new();
+        write_ascii(&aig, &mut buf).unwrap();
+        let back = read_aiger(&buf[..]).unwrap();
+        assert_eq!(back.pos(), &[Lit::FALSE, Lit::TRUE]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(
+            read_aiger(text.as_bytes()),
+            Err(ParseAigerError::HasLatches(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert!(matches!(
+            read_aiger("bogus 1 2 3".as_bytes()),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn parses_reference_ascii_example() {
+        // AND of two inputs, from the AIGER spec.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let aig = read_aiger(text.as_bytes()).unwrap();
+        assert_eq!(aig.num_pis(), 2);
+        assert_eq!(aig.num_ands(), 1);
+        assert_eq!(aig.eval(&[true, true]), vec![true]);
+        assert_eq!(aig.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn inverted_output_preserved() {
+        let text = "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n";
+        let aig = read_aiger(text.as_bytes()).unwrap();
+        assert_eq!(aig.eval(&[true, true]), vec![false]);
+        assert_eq!(aig.eval(&[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn large_roundtrip_binary() {
+        // A bigger random-ish structure to exercise delta encoding widths.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(8);
+        let mut acc = xs[0];
+        for (i, &x) in xs.iter().enumerate().skip(1) {
+            acc = if i % 2 == 0 {
+                aig.xor(acc, x)
+            } else {
+                aig.mux(x, acc, !x)
+            };
+        }
+        aig.add_po(acc);
+        let mut buf = Vec::new();
+        write_binary(&aig, &mut buf).unwrap();
+        let back = read_aiger(&buf[..]).unwrap();
+        assert!(equivalent(&aig, &back));
+        let _ = Var::new(0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Graphviz DOT export for visual debugging of small networks.
+
+use std::io::{self, Write};
+
+use crate::{Aig, Node};
+
+/// Writes the network as a Graphviz digraph: AND gates as circles, PIs as
+/// boxes, POs as inverted houses; complemented edges are dashed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_dot<W: Write>(aig: &Aig, writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(writer);
+    writeln!(w, "digraph aig {{")?;
+    writeln!(w, "  rankdir=BT;")?;
+    writeln!(w, "  node [fontname=\"monospace\"];")?;
+    for (i, node) in aig.nodes().iter().enumerate() {
+        match node {
+            Node::Const => {
+                writeln!(w, "  n0 [label=\"0\", shape=doublecircle];")?;
+            }
+            Node::Input(pi) => {
+                writeln!(w, "  n{i} [label=\"i{pi}\", shape=box];")?;
+            }
+            Node::And(a, b) => {
+                writeln!(w, "  n{i} [label=\"{i}\", shape=circle];")?;
+                for f in [a, b] {
+                    let style = if f.is_complemented() {
+                        " [style=dashed]"
+                    } else {
+                        ""
+                    };
+                    writeln!(w, "  n{} -> n{i}{style};", f.var().index())?;
+                }
+            }
+        }
+    }
+    for (k, po) in aig.pos().iter().enumerate() {
+        writeln!(w, "  o{k} [label=\"o{k}\", shape=invhouse];")?;
+        let style = if po.is_complemented() {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        writeln!(w, "  n{} -> o{k}{style};", po.var().index())?;
+    }
+    writeln!(w, "}}")?;
+    w.flush()
+}
+
+/// Renders the network to a DOT string.
+pub fn to_dot_string(aig: &Aig) -> String {
+    let mut buf = Vec::new();
+    write_dot(aig, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("dot output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let f = aig.and(xs[0], !xs[1]);
+        aig.add_po(!f);
+        let dot = to_dot_string(&aig);
+        assert!(dot.starts_with("digraph aig {"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=invhouse"));
+        // Two dashed edges: one complemented fanin, one complemented PO.
+        assert_eq!(dot.matches("style=dashed").count(), 2);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_empty_network() {
+        let aig = Aig::new();
+        let dot = to_dot_string(&aig);
+        assert!(dot.contains("doublecircle"));
+    }
+}

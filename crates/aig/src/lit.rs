@@ -1,0 +1,227 @@
+//! Variables and literals.
+//!
+//! An AIG is addressed by [`Var`] (node index) and [`Lit`] (a variable with
+//! an optional complement bit), following the AIGER convention: a literal is
+//! `2 * var + complement`. Variable 0 is reserved for the constant node, so
+//! literal 0 is constant false and literal 1 is constant true.
+
+use std::fmt;
+
+/// A variable: the index of a node in an [`Aig`](crate::Aig).
+///
+/// Variable 0 always denotes the constant-false node.
+///
+/// ```
+/// use parsweep_aig::{Var, Lit};
+/// let v = Var::new(3);
+/// assert_eq!(v.lit(), Lit::new(3, false));
+/// assert_eq!(v.lit().var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Var(u32);
+
+impl Var {
+    /// The constant-false variable.
+    pub const FALSE: Var = Var(0);
+
+    /// Creates a variable from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the index of this variable.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive (non-complemented) literal of this variable.
+    #[inline]
+    pub const fn lit(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// Returns the literal of this variable with the given complement bit.
+    #[inline]
+    pub const fn lit_with(self, complement: bool) -> Lit {
+        Lit((self.0 << 1) | complement as u32)
+    }
+
+    /// Returns true if this is the constant-false variable.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a [`Var`] plus a complement bit, encoded as `2 * var + c`.
+///
+/// ```
+/// use parsweep_aig::Lit;
+/// let a = Lit::new(5, false);
+/// assert_eq!((!a).var(), a.var());
+/// assert!((!a).is_complemented());
+/// assert_eq!(!!a, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from a variable index and complement flag.
+    #[inline]
+    pub const fn new(var: u32, complement: bool) -> Self {
+        Lit((var << 1) | complement as u32)
+    }
+
+    /// Creates a literal from its AIGER encoding (`2 * var + c`).
+    #[inline]
+    pub const fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the AIGER encoding of this literal.
+    #[inline]
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the variable of this literal.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns true if the literal is complemented.
+    #[inline]
+    pub const fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns this literal with the complement bit cleared.
+    #[inline]
+    pub const fn abs(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+
+    /// Returns this literal complemented iff `c` is true.
+    #[inline]
+    pub const fn xor(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// Returns true if this literal is constant false or true.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// Evaluates the literal given the value of its variable.
+    #[inline]
+    pub const fn eval(self, var_value: bool) -> bool {
+        var_value != self.is_complemented()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(v: Var) -> Lit {
+        v.lit()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!v{}", self.var().0)
+        } else {
+            write!(f, "v{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding_roundtrip() {
+        for code in 0..100u32 {
+            let l = Lit::from_code(code);
+            assert_eq!(l.code(), code);
+            assert_eq!(l.var().index(), (code >> 1) as usize);
+            assert_eq!(l.is_complemented(), code & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        let l = Lit::new(7, true);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Lit::FALSE.var(), Var::FALSE);
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert!(!Lit::new(1, false).is_const());
+    }
+
+    #[test]
+    fn xor_flag() {
+        let l = Lit::new(4, false);
+        assert_eq!(l.xor(true), !l);
+        assert_eq!(l.xor(false), l);
+    }
+
+    #[test]
+    fn eval_respects_complement() {
+        let l = Lit::new(2, true);
+        assert!(l.eval(false));
+        assert!(!l.eval(true));
+        assert!(!(!l).eval(false));
+    }
+
+    #[test]
+    fn ordering_groups_by_var() {
+        let a = Lit::new(1, true);
+        let b = Lit::new(2, false);
+        assert!(a < b);
+        assert!(Lit::new(2, false) < Lit::new(2, true));
+    }
+}

@@ -1,0 +1,65 @@
+//! AIG node representation.
+
+use crate::Lit;
+
+/// A node in an [`Aig`](crate::Aig).
+///
+/// Nodes are stored in a flat vector indexed by [`Var`](crate::Var); the
+/// vector order is always a valid topological order because AND nodes can
+/// only be created after their fanins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant-false node (always variable 0).
+    Const,
+    /// A primary input; the payload is the input's position in the PI list.
+    Input(u32),
+    /// A two-input AND gate over two (possibly complemented) literals.
+    ///
+    /// Invariant maintained by [`Aig`](crate::Aig): `fanins.0 <= fanins.1`.
+    And(Lit, Lit),
+}
+
+impl Node {
+    /// Returns true if this node is an AND gate.
+    #[inline]
+    pub const fn is_and(&self) -> bool {
+        matches!(self, Node::And(_, _))
+    }
+
+    /// Returns true if this node is a primary input.
+    #[inline]
+    pub const fn is_input(&self) -> bool {
+        matches!(self, Node::Input(_))
+    }
+
+    /// Returns true if this node is the constant node.
+    #[inline]
+    pub const fn is_const(&self) -> bool {
+        matches!(self, Node::Const)
+    }
+
+    /// Returns the fanins of an AND node, or `None` otherwise.
+    #[inline]
+    pub const fn fanins(&self) -> Option<(Lit, Lit)> {
+        match self {
+            Node::And(a, b) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_kind_predicates() {
+        let a = Lit::new(1, false);
+        let b = Lit::new(2, true);
+        assert!(Node::Const.is_const());
+        assert!(Node::Input(0).is_input());
+        assert!(Node::And(a, b).is_and());
+        assert_eq!(Node::And(a, b).fanins(), Some((a, b)));
+        assert_eq!(Node::Input(3).fanins(), None);
+    }
+}

@@ -1,0 +1,374 @@
+//! Topological utilities: levels, fanouts, supports, cones.
+//!
+//! Because [`Aig`] nodes are created fanins-first, the variable order is
+//! always a valid topological order; everything here exploits that.
+
+use crate::{Aig, Node, Var};
+
+/// The structural support of a node, possibly truncated at a bound.
+///
+/// The simulation-based engine only ever needs supports up to a threshold
+/// (`k_P`, `k_p`, `k_g` in the paper); computing exact supports for every
+/// node of a large network is quadratic, so supports larger than the bound
+/// saturate to [`Support::Over`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Support {
+    /// The exact support: a sorted list of PI variables.
+    Exact(Vec<Var>),
+    /// The support is larger than the requested bound.
+    Over,
+}
+
+impl Support {
+    /// Returns the support size, or `None` if it exceeded the bound.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            Support::Exact(v) => Some(v.len()),
+            Support::Over => None,
+        }
+    }
+
+    /// Returns the PI list, or `None` if the bound was exceeded.
+    pub fn vars(&self) -> Option<&[Var]> {
+        match self {
+            Support::Exact(v) => Some(v),
+            Support::Over => None,
+        }
+    }
+}
+
+/// Merges two sorted variable lists, giving up when the union exceeds `cap`.
+fn merge_bounded(a: &[Var], b: &[Var], cap: usize) -> Option<Vec<Var>> {
+    let mut out = Vec::with_capacity((a.len() + b.len()).min(cap + 1));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            if j < b.len() && a[i] == b[j] {
+                j += 1;
+            }
+            let v = a[i];
+            i += 1;
+            v
+        } else {
+            let v = b[j];
+            j += 1;
+            v
+        };
+        if out.len() == cap {
+            return None;
+        }
+        out.push(next);
+    }
+    Some(out)
+}
+
+impl Aig {
+    /// Computes the level of every node: PIs and the constant have level 0,
+    /// an AND has the maximum fanin level plus one.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.num_nodes()];
+        for (i, node) in self.nodes().iter().enumerate() {
+            if let Node::And(a, b) = node {
+                levels[i] = 1 + levels[a.var().index()].max(levels[b.var().index()]);
+            }
+        }
+        levels
+    }
+
+    /// Returns the level of the network: the largest PO level.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        self.pos()
+            .iter()
+            .map(|po| levels[po.var().index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Counts, for every node, how many AND gates and POs reference it.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_nodes()];
+        for node in self.nodes() {
+            if let Node::And(a, b) = node {
+                counts[a.var().index()] += 1;
+                counts[b.var().index()] += 1;
+            }
+        }
+        for po in self.pos() {
+            counts[po.var().index()] += 1;
+        }
+        counts
+    }
+
+    /// Groups all variables by level; entry `l` holds the variables with
+    /// level `l` in increasing order. Used for level-wise parallel passes.
+    pub fn level_groups(&self) -> Vec<Vec<Var>> {
+        let levels = self.levels();
+        let max = levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut groups = vec![Vec::new(); max + 1];
+        for (i, &l) in levels.iter().enumerate() {
+            groups[l as usize].push(Var::new(i as u32));
+        }
+        groups
+    }
+
+    /// Computes the structural support of every node, truncated at `cap`.
+    ///
+    /// The result is indexed by variable. PIs have themselves as support;
+    /// the constant node has empty support; an AND node's support is the
+    /// union of its fanins', saturating to [`Support::Over`] beyond `cap`.
+    pub fn bounded_supports(&self, cap: usize) -> Vec<Support> {
+        let mut supports: Vec<Support> = Vec::with_capacity(self.num_nodes());
+        for node in self.nodes() {
+            let s = match node {
+                Node::Const => Support::Exact(Vec::new()),
+                Node::Input(_) => {
+                    Support::Exact(vec![Var::new(supports.len() as u32)])
+                }
+                Node::And(a, b) => {
+                    match (&supports[a.var().index()], &supports[b.var().index()]) {
+                        (Support::Exact(sa), Support::Exact(sb)) => {
+                            match merge_bounded(sa, sb, cap) {
+                                Some(m) => Support::Exact(m),
+                                None => Support::Over,
+                            }
+                        }
+                        _ => Support::Over,
+                    }
+                }
+            };
+            supports.push(s);
+        }
+        supports
+    }
+
+    /// Computes the exact structural support (sorted PI variables) of a set
+    /// of root nodes by a backward traversal.
+    pub fn support(&self, roots: &[Var]) -> Vec<Var> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack: Vec<Var> = roots.to_vec();
+        let mut support = Vec::new();
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            match self.node(v) {
+                Node::Const => {}
+                Node::Input(_) => support.push(v),
+                Node::And(a, b) => {
+                    stack.push(a.var());
+                    stack.push(b.var());
+                }
+            }
+        }
+        support.sort_unstable();
+        support
+    }
+
+    /// Collects the transitive fanin cone of a set of roots (roots
+    /// included), sorted in topological (variable) order.
+    pub fn tfi_cone(&self, roots: &[Var]) -> Vec<Var> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack: Vec<Var> = roots.to_vec();
+        let mut cone = Vec::new();
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            cone.push(v);
+            if let Node::And(a, b) = self.node(v) {
+                stack.push(a.var());
+                stack.push(b.var());
+            }
+        }
+        cone.sort_unstable();
+        cone
+    }
+
+    /// Collects the logic cone between `roots` and a cut `inputs`: the
+    /// intersection of the roots' TFIs with the inputs' TFOs, plus the roots
+    /// themselves (the paper's *simulation window* contents).
+    ///
+    /// The backward traversal stops at the cut nodes. Returns `None` if a
+    /// path from a root escapes the cut (reaches a PI or the constant node
+    /// that is not itself in `inputs`), i.e. `inputs` is not a valid cut of
+    /// the roots.
+    ///
+    /// The returned interior nodes exclude the inputs and are sorted in
+    /// topological order.
+    pub fn cone_between(&self, roots: &[Var], inputs: &[Var]) -> Option<Vec<Var>> {
+        if roots.len() + inputs.len() < 64 && self.num_nodes() > 4096 {
+            // Sparse traversal: avoids O(network) allocations per window,
+            // which dominates when many small windows are extracted from a
+            // large miter.
+            return self.cone_between_sparse(roots, inputs);
+        }
+        self.cone_between_dense(roots, inputs)
+    }
+
+    fn cone_between_sparse(&self, roots: &[Var], inputs: &[Var]) -> Option<Vec<Var>> {
+        use std::collections::HashSet;
+        let is_input: HashSet<Var> = inputs.iter().copied().collect();
+        let mut seen: HashSet<Var> = HashSet::new();
+        let mut stack: Vec<Var> = Vec::new();
+        let mut cone = Vec::new();
+        for &r in roots {
+            if !is_input.contains(&r) {
+                stack.push(r);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            match self.node(v) {
+                Node::Const | Node::Input(_) => return None,
+                Node::And(a, b) => {
+                    cone.push(v);
+                    for f in [a.var(), b.var()] {
+                        if !is_input.contains(&f) {
+                            stack.push(f);
+                        }
+                    }
+                }
+            }
+        }
+        cone.sort_unstable();
+        Some(cone)
+    }
+
+    fn cone_between_dense(&self, roots: &[Var], inputs: &[Var]) -> Option<Vec<Var>> {
+        let mut is_input = vec![false; self.num_nodes()];
+        for v in inputs {
+            is_input[v.index()] = true;
+        }
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack: Vec<Var> = Vec::new();
+        let mut cone = Vec::new();
+        for &r in roots {
+            if !is_input[r.index()] {
+                stack.push(r);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            match self.node(v) {
+                // A non-input PI or constant on the path: the cut is invalid
+                // for these roots.
+                Node::Const | Node::Input(_) => return None,
+                Node::And(a, b) => {
+                    cone.push(v);
+                    for f in [a.var(), b.var()] {
+                        if !is_input[f.index()] {
+                            stack.push(f);
+                        }
+                    }
+                }
+            }
+        }
+        cone.sort_unstable();
+        Some(cone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aig;
+
+    fn chain4() -> (Aig, Vec<crate::Lit>) {
+        // f = ((a & b) & c) & d
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let ab = aig.and(xs[0], xs[1]);
+        let abc = aig.and(ab, xs[2]);
+        let abcd = aig.and(abc, xs[3]);
+        aig.add_po(abcd);
+        (aig, xs)
+    }
+
+    #[test]
+    fn levels_of_chain() {
+        let (aig, _) = chain4();
+        assert_eq!(aig.depth(), 3);
+        let levels = aig.levels();
+        assert_eq!(levels[0], 0); // const
+        assert_eq!(levels[1], 0); // PI
+        assert_eq!(*levels.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn fanout_counts_include_pos() {
+        let (aig, _) = chain4();
+        let counts = aig.fanout_counts();
+        // Last node feeds only the PO.
+        assert_eq!(counts[aig.num_nodes() - 1], 1);
+        // Each PI feeds exactly one AND.
+        for pi in aig.pis() {
+            assert_eq!(counts[pi.index()], 1);
+        }
+    }
+
+    #[test]
+    fn level_groups_partition_all_nodes() {
+        let (aig, _) = chain4();
+        let groups = aig.level_groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, aig.num_nodes());
+        assert_eq!(groups.len() as u32, aig.depth() + 1);
+    }
+
+    #[test]
+    fn bounded_supports_exact_and_over() {
+        let (aig, _) = chain4();
+        let sup = aig.bounded_supports(4);
+        assert_eq!(sup.last().unwrap().size(), Some(4));
+        let sup2 = aig.bounded_supports(3);
+        assert_eq!(*sup2.last().unwrap(), Support::Over);
+    }
+
+    #[test]
+    fn support_matches_bounded() {
+        let (aig, _) = chain4();
+        let root = Var::new(aig.num_nodes() as u32 - 1);
+        let s = aig.support(&[root]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s, aig.pis());
+    }
+
+    #[test]
+    fn tfi_cone_of_root_contains_everything() {
+        let (aig, _) = chain4();
+        let root = Var::new(aig.num_nodes() as u32 - 1);
+        let cone = aig.tfi_cone(&[root]);
+        // Everything except the constant node drives the root.
+        assert_eq!(cone.len(), aig.num_nodes() - 1);
+    }
+
+    #[test]
+    fn cone_between_respects_cut() {
+        let (aig, _) = chain4();
+        let root = Var::new(aig.num_nodes() as u32 - 1);
+        // Cut = {abc, d}: interior should be only the root.
+        let abc = Var::new(aig.num_nodes() as u32 - 2);
+        let d = aig.pis()[3];
+        let cone = aig.cone_between(&[root], &[abc, d]).unwrap();
+        assert_eq!(cone, vec![root]);
+        // Cut that misses input d is invalid.
+        assert!(aig.cone_between(&[root], &[abc]).is_none());
+    }
+
+    #[test]
+    fn cone_between_with_pi_cut_is_whole_cone() {
+        let (aig, _) = chain4();
+        let root = Var::new(aig.num_nodes() as u32 - 1);
+        let pis: Vec<Var> = aig.pis().to_vec();
+        let cone = aig.cone_between(&[root], &pis).unwrap();
+        assert_eq!(cone.len(), 3); // the three AND gates
+    }
+}

@@ -1,0 +1,52 @@
+//! Micro-bench: priority-cut enumeration over a whole network with the
+//! three Table-I selection passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsweep_aig::Node;
+use parsweep_bench::gen::gen_multiplier;
+use parsweep_cut::{enumerate_cuts, select_priority_cuts, Cut, CutParams, CutScorer, Pass};
+
+fn enumerate_network(aig: &parsweep_aig::Aig, pass: Pass, params: CutParams) -> usize {
+    let fanouts = aig.fanout_counts();
+    let levels = aig.levels();
+    let scorer = CutScorer::new(&fanouts, &levels);
+    let mut cut_sets: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    for &pi in aig.pis() {
+        cut_sets[pi.index()] = vec![Cut::trivial(pi)];
+    }
+    let mut total = 0;
+    for v in aig.and_vars() {
+        let Node::And(a, b) = aig.node(v) else {
+            unreachable!()
+        };
+        let cands = enumerate_cuts(
+            a,
+            b,
+            &cut_sets[a.var().index()],
+            &cut_sets[b.var().index()],
+            params,
+        );
+        let sel = select_priority_cuts(cands, &scorer, pass, params, None);
+        total += sel.len();
+        cut_sets[v.index()] = sel;
+    }
+    total
+}
+
+fn bench_cut_enum(c: &mut Criterion) {
+    let aig = gen_multiplier(8);
+    let mut group = c.benchmark_group("cut_enum");
+    group.sample_size(10);
+    for pass in Pass::ALL {
+        group.bench_function(format!("mult8_{pass:?}"), |b| {
+            b.iter(|| enumerate_network(&aig, pass, CutParams { k_l: 8, c: 8 }))
+        });
+    }
+    group.bench_function("mult8_small_cuts_k4", |b| {
+        b.iter(|| enumerate_network(&aig, Pass::Fanout, CutParams { k_l: 4, c: 8 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_enum);
+criterion_main!(benches);

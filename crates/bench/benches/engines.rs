@@ -1,0 +1,39 @@
+//! Head-to-head bench: the simulation-based engine vs SAT sweeping vs the
+//! combined flow on fixed miters (the shape behind Table II).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsweep_aig::{miter, Aig};
+use parsweep_bench::gen::{gen_bus_ctrl, gen_multiplier};
+use parsweep_core::{combined_check, sim_sweep, CombinedConfig, EngineConfig};
+use parsweep_par::Executor;
+use parsweep_sat::{sat_sweep, SweepConfig};
+use parsweep_synth::resyn_light;
+
+fn cases() -> Vec<(&'static str, Aig)> {
+    let mult = gen_multiplier(7);
+    let mult_m = miter(&mult, &resyn_light(&mult)).unwrap();
+    let bus = gen_bus_ctrl(8, 8, 0xac);
+    let bus_m = miter(&bus, &resyn_light(&bus)).unwrap();
+    vec![("multiplier7", mult_m), ("bus_ctrl", bus_m)]
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let exec = Executor::with_threads(1);
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    for (name, m) in cases() {
+        group.bench_function(format!("{name}_sim_engine"), |b| {
+            b.iter(|| sim_sweep(&m, &exec, &EngineConfig::scaled()))
+        });
+        group.bench_function(format!("{name}_sat_sweep"), |b| {
+            b.iter(|| sat_sweep(&m, &exec, &SweepConfig::default()))
+        });
+        group.bench_function(format!("{name}_combined"), |b| {
+            b.iter(|| combined_check(&m, &exec, &CombinedConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

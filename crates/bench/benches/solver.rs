@@ -1,0 +1,87 @@
+//! Micro-bench: the CDCL solver on classic hard instances and on
+//! miter-style equivalence probes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsweep_aig::miter;
+use parsweep_bench::gen::{gen_multiplier, gen_square};
+use parsweep_sat::{CnfEncoder, SatLit, SatVar, Solver};
+use parsweep_synth::resyn_light;
+
+fn php(n: usize) -> Solver {
+    // n pigeons into n-1 holes (UNSAT).
+    let mut s = Solver::new();
+    let mut x = vec![vec![SatVar::new(0); n - 1]; n];
+    for row in x.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = s.new_var();
+        }
+    }
+    for row in &x {
+        let clause: Vec<SatLit> = row.iter().map(|v| v.pos()).collect();
+        s.add_clause(&clause);
+    }
+    #[allow(clippy::needless_range_loop)]
+    for h in 0..n - 1 {
+        for p1 in 0..n {
+            for p2 in p1 + 1..n {
+                s.add_clause(&[x[p1][h].neg(), x[p2][h].neg()]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+
+    group.bench_function("php7_unsat", |b| {
+        b.iter(|| {
+            let mut s = php(7);
+            s.solve(&[])
+        })
+    });
+
+    // Miter PO probe: multiplier vs its optimized self.
+    let a = gen_multiplier(6);
+    let b2 = resyn_light(&a);
+    let m = miter(&a, &b2).unwrap();
+    group.bench_function("mult6_po_proofs", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let mut enc = CnfEncoder::new();
+            let mut unsat = 0;
+            for &po in m.pos() {
+                if po == parsweep_aig::Lit::FALSE {
+                    continue;
+                }
+                let sp = enc.encode(&m, po, &mut solver);
+                if solver.solve(&[sp]) == parsweep_sat::SolveResult::Unsat {
+                    unsat += 1;
+                }
+            }
+            unsat
+        })
+    });
+
+    let sq = gen_square(8);
+    let sq_opt = resyn_light(&sq);
+    let msq = miter(&sq, &sq_opt).unwrap();
+    group.bench_function("square8_po_proofs", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let mut enc = CnfEncoder::new();
+            for &po in msq.pos() {
+                if po == parsweep_aig::Lit::FALSE {
+                    continue;
+                }
+                let sp = enc.encode(&msq, po, &mut solver);
+                let _ = solver.solve(&[sp]);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! Arithmetic circuit building blocks used by the benchmark generators:
+//! adders, multipliers, squarers, restoring square root, comparators and
+//! population counts.
+
+use parsweep_aig::{Aig, Lit};
+
+/// Adds two equal-width bit vectors with a ripple-carry adder; returns the
+/// sum bits plus the final carry.
+pub fn ripple_add(aig: &mut Aig, a: &[Lit], b: &[Lit], carry_in: Lit) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = carry_in;
+    for i in 0..a.len() {
+        let axb = aig.xor(a[i], b[i]);
+        out.push(aig.xor(axb, carry));
+        carry = aig.maj3(a[i], b[i], carry);
+    }
+    out.push(carry);
+    out
+}
+
+/// Adds with a carry-lookahead-flavoured structure (different shape from
+/// [`ripple_add`], same function) — useful for equivalence benchmarks.
+pub fn cla_add(aig: &mut Aig, a: &[Lit], b: &[Lit], carry_in: Lit) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let n = a.len();
+    let mut generate = Vec::with_capacity(n);
+    let mut propagate = Vec::with_capacity(n);
+    for i in 0..n {
+        generate.push(aig.and(a[i], b[i]));
+        propagate.push(aig.xor(a[i], b[i]));
+    }
+    // Carries expanded explicitly: c[i+1] = g[i] | p[i] & c[i].
+    let mut carries = Vec::with_capacity(n + 1);
+    carries.push(carry_in);
+    for i in 0..n {
+        let pc = aig.and(propagate[i], carries[i]);
+        carries.push(aig.or(generate[i], pc));
+    }
+    let mut out = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        out.push(aig.xor(propagate[i], carries[i]));
+    }
+    out.push(carries[n]);
+    out
+}
+
+/// Subtracts `b` from `a` (two's complement); returns difference bits and
+/// the *borrow-free* flag (1 when `a >= b`).
+pub fn subtract(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+    let mut sum = ripple_add(aig, a, &nb, Lit::TRUE);
+    let carry = sum.pop().expect("carry");
+    (sum, carry)
+}
+
+/// An array multiplier over two equal-width operands; returns the
+/// `2 * width` product bits.
+pub fn multiplier(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let w = a.len();
+    let mut acc: Vec<Lit> = vec![Lit::FALSE; 2 * w];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry = Lit::FALSE;
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = aig.and(ai, bj);
+            let s1 = aig.xor(acc[i + j], pp);
+            let sum = aig.xor(s1, carry);
+            carry = aig.maj3(acc[i + j], pp, carry);
+            acc[i + j] = sum;
+        }
+        // Propagate the final carry up the accumulator.
+        let mut k = i + w;
+        while carry != Lit::FALSE && k < 2 * w {
+            let s = aig.xor(acc[k], carry);
+            carry = aig.and(acc[k], carry);
+            acc[k] = s;
+            k += 1;
+        }
+    }
+    acc
+}
+
+/// A squarer: `x * x` with the symmetric partial products shared.
+pub fn squarer(aig: &mut Aig, x: &[Lit]) -> Vec<Lit> {
+    let w = x.len();
+    let mut acc: Vec<Lit> = vec![Lit::FALSE; 2 * w];
+    // x^2 = sum_i x_i 2^{2i} + sum_{i<j} x_i x_j 2^{i+j+1}.
+    let add_bit = |aig: &mut Aig, acc: &mut Vec<Lit>, mut bit: Lit, mut pos: usize| {
+        while bit != Lit::FALSE && pos < 2 * w {
+            let s = aig.xor(acc[pos], bit);
+            bit = aig.and(acc[pos], bit);
+            acc[pos] = s;
+            pos += 1;
+        }
+    };
+    for i in 0..w {
+        add_bit(aig, &mut acc, x[i], 2 * i);
+        for j in i + 1..w {
+            let pp = aig.and(x[i], x[j]);
+            add_bit(aig, &mut acc, pp, i + j + 1);
+        }
+    }
+    acc
+}
+
+/// Restoring integer square root of a `2 * w`-bit radicand; returns the
+/// `w`-bit root. Deep and strongly reconvergent, like the EPFL `sqrt`.
+pub fn isqrt(aig: &mut Aig, x: &[Lit]) -> Vec<Lit> {
+    assert!(x.len().is_multiple_of(2), "radicand width must be even");
+    let w = x.len() / 2;
+    // Digit-by-digit (restoring) method over a widened remainder.
+    let rw = w + 2;
+    let mut remainder: Vec<Lit> = vec![Lit::FALSE; rw];
+    let mut root: Vec<Lit> = Vec::new(); // most-significant first
+    for step in 0..w {
+        // Shift two next radicand bits into the remainder.
+        let hi = x[2 * (w - 1 - step) + 1];
+        let lo = x[2 * (w - 1 - step)];
+        let mut shifted = vec![lo, hi];
+        shifted.extend(remainder.iter().take(rw - 2).copied());
+        // Trial subtrahend: (root << 2) | 01.
+        let mut trial = vec![Lit::TRUE, Lit::FALSE];
+        trial.extend(root.iter().rev().take(rw - 2).copied());
+        trial.resize(rw, Lit::FALSE);
+        let (diff, fits) = subtract(aig, &shifted, &trial);
+        // Keep the difference when it fits, else restore.
+        let mut next = Vec::with_capacity(rw);
+        for k in 0..rw {
+            next.push(aig.mux(fits, diff[k], shifted[k]));
+        }
+        remainder = next;
+        root.push(fits);
+    }
+    root.reverse();
+    root
+}
+
+/// Population count of the inputs as a binary number (adder tree).
+pub fn popcount(aig: &mut Aig, xs: &[Lit]) -> Vec<Lit> {
+    if xs.is_empty() {
+        return vec![Lit::FALSE];
+    }
+    if xs.len() == 1 {
+        return vec![xs[0]];
+    }
+    let mid = xs.len() / 2;
+    let mut left = popcount(aig, &xs[..mid]);
+    let mut right = popcount(aig, &xs[mid..]);
+    let width = left.len().max(right.len());
+    left.resize(width, Lit::FALSE);
+    right.resize(width, Lit::FALSE);
+    ripple_add(aig, &left, &right, Lit::FALSE)
+}
+
+/// `a > b` comparator over equal-width unsigned vectors.
+pub fn greater_than(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let mut result = Lit::FALSE;
+    for i in 0..a.len() {
+        // From LSB to MSB: result = (a_i & !b_i) | (a_i == b_i) & result.
+        let win = aig.and(a[i], !b[i]);
+        let eq = aig.xnor(a[i], b[i]);
+        let keep = aig.and(eq, result);
+        result = aig.or(win, keep);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn ripple_and_cla_add_match_arithmetic() {
+        let w = 5;
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(w);
+        let b = aig.add_inputs(w);
+        let r = ripple_add(&mut aig, &a, &b, Lit::FALSE);
+        let c = cla_add(&mut aig, &a, &b, Lit::FALSE);
+        for lit in r.iter().chain(&c) {
+            aig.add_po(*lit);
+        }
+        for av in 0..1u64 << w {
+            for bv in (0..1u64 << w).step_by(3) {
+                let mut inputs = to_bits(av, w);
+                inputs.extend(to_bits(bv, w));
+                let out = aig.eval(&inputs);
+                let rv = from_bits(&out[..w + 1]);
+                let cv = from_bits(&out[w + 1..]);
+                assert_eq!(rv, av + bv);
+                assert_eq!(cv, av + bv);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_arithmetic() {
+        let w = 4;
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(w);
+        let b = aig.add_inputs(w);
+        let p = multiplier(&mut aig, &a, &b);
+        for lit in p {
+            aig.add_po(lit);
+        }
+        for av in 0..1u64 << w {
+            for bv in 0..1u64 << w {
+                let mut inputs = to_bits(av, w);
+                inputs.extend(to_bits(bv, w));
+                assert_eq!(from_bits(&aig.eval(&inputs)), av * bv, "{av}*{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn squarer_matches_multiplier() {
+        let w = 5;
+        let mut aig = Aig::new();
+        let x = aig.add_inputs(w);
+        let sq = squarer(&mut aig, &x);
+        for lit in sq {
+            aig.add_po(lit);
+        }
+        for v in 0..1u64 << w {
+            assert_eq!(from_bits(&aig.eval(&to_bits(v, w))), v * v, "{v}^2");
+        }
+    }
+
+    #[test]
+    fn isqrt_matches_integer_sqrt() {
+        let w = 4; // 8-bit radicand
+        let mut aig = Aig::new();
+        let x = aig.add_inputs(2 * w);
+        let root = isqrt(&mut aig, &x);
+        assert_eq!(root.len(), w);
+        for lit in root {
+            aig.add_po(lit);
+        }
+        for v in 0..1u64 << (2 * w) {
+            let expect = (v as f64).sqrt().floor() as u64;
+            assert_eq!(from_bits(&aig.eval(&to_bits(v, 2 * w))), expect, "sqrt({v})");
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let n = 9;
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(n);
+        let cnt = popcount(&mut aig, &xs);
+        for lit in cnt {
+            aig.add_po(lit);
+        }
+        for v in 0..1u64 << n {
+            let bits = to_bits(v, n);
+            assert_eq!(
+                from_bits(&aig.eval(&bits)),
+                v.count_ones() as u64,
+                "popcount({v:b})"
+            );
+        }
+    }
+
+    #[test]
+    fn comparator_matches() {
+        let w = 5;
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(w);
+        let b = aig.add_inputs(w);
+        let gt = greater_than(&mut aig, &a, &b);
+        aig.add_po(gt);
+        for av in 0..1u64 << w {
+            for bv in (0..1u64 << w).step_by(5) {
+                let mut inputs = to_bits(av, w);
+                inputs.extend(to_bits(bv, w));
+                assert_eq!(aig.eval(&inputs), vec![av > bv], "{av} > {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_detects_order() {
+        let w = 4;
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(w);
+        let b = aig.add_inputs(w);
+        let (diff, fits) = subtract(&mut aig, &a, &b);
+        for lit in diff {
+            aig.add_po(lit);
+        }
+        aig.add_po(fits);
+        for av in 0..1u64 << w {
+            for bv in 0..1u64 << w {
+                let mut inputs = to_bits(av, w);
+                inputs.extend(to_bits(bv, w));
+                let out = aig.eval(&inputs);
+                let fits_v = out[w];
+                assert_eq!(fits_v, av >= bv, "{av} - {bv}");
+                if fits_v {
+                    assert_eq!(from_bits(&out[..w]), av - bv);
+                }
+            }
+        }
+    }
+}

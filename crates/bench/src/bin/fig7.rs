@@ -1,0 +1,70 @@
+//! Reproduces the paper's **Figure 7**: for each case, the time for the
+//! SAT-sweeping baseline to prove the miter as reduced by successive
+//! engine phase prefixes (P, P+G, P+G+L), normalized by the time of the
+//! standalone baseline on the unreduced miter.
+//!
+//! Usage: `fig7 [tiny|small|medium] [--budget <seconds>]`
+
+use std::time::{Duration, Instant};
+
+use parsweep_bench::harness::{baseline_sat_config, suite, Scale};
+use parsweep_core::{sim_sweep_traced, EngineConfig};
+use parsweep_par::Executor;
+use parsweep_sat::{sat_sweep, Verdict};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut budget = Duration::from_secs(60);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                budget = Duration::from_secs(
+                    it.next().and_then(|s| s.parse().ok()).expect("--budget <s>"),
+                );
+            }
+            s => scale = Scale::parse(s).unwrap_or_else(|| panic!("unknown scale {s:?}")),
+        }
+    }
+    let exec = Executor::new();
+    let cfg = baseline_sat_config(budget);
+
+    println!("# Figure 7 reproduction — SAT time on engine-reduced miters,");
+    println!("# normalized to standalone SAT time (1.0 = no help from the engine)");
+    println!();
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "Benchmark", "none", "P", "PG", "PGL"
+    );
+    for case in suite(scale) {
+        // Standalone baseline time (timeouts count as the budget).
+        let t = Instant::now();
+        let base = sat_sweep(&case.miter, &exec, &cfg);
+        let base_secs = if base.verdict == Verdict::Undecided {
+            budget.as_secs_f64()
+        } else {
+            t.elapsed().as_secs_f64()
+        };
+
+        let (_, snapshots) = sim_sweep_traced(&case.miter, &exec, &EngineConfig::scaled());
+        let mut row = format!("{:<16} {:>10.2}", case.name, 1.0);
+        for (_, snap) in &snapshots {
+            let t = Instant::now();
+            let r = sat_sweep(snap, &exec, &cfg);
+            let secs = if r.verdict == Verdict::Undecided {
+                budget.as_secs_f64()
+            } else {
+                t.elapsed().as_secs_f64()
+            };
+            row.push_str(&format!(" {:>10.3}", secs / base_secs.max(1e-9)));
+        }
+        // Pad missing snapshots (phases skipped when already proved).
+        for _ in snapshots.len()..3 {
+            row.push_str(&format!(" {:>10}", "0*"));
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("# 0* = the engine had already proved the miter before that phase.");
+}

@@ -1,0 +1,80 @@
+//! Scaling sweep: how the engine and the SAT baseline scale as a
+//! benchmark is enlarged by repeated `double` (the paper's motivation for
+//! parallel CEC — exhaustive-simulation work grows linearly with copies,
+//! while SAT effort can grow much faster).
+//!
+//! Usage: `scaling [--family multiplier|square|bus] [--max-doublings N] [--budget <s>]`
+
+use std::time::{Duration, Instant};
+
+use parsweep_bench::gen::{gen_bus_ctrl, gen_multiplier, gen_square};
+use parsweep_bench::harness::baseline_sat_config;
+use parsweep_core::{sim_sweep, EngineConfig};
+use parsweep_par::Executor;
+use parsweep_sat::{sat_sweep, Verdict};
+use parsweep_synth::resyn2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut family = "multiplier".to_string();
+    let mut max_doublings = 4usize;
+    let mut budget = Duration::from_secs(30);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--family" => family = it.next().expect("--family <name>").clone(),
+            "--max-doublings" => {
+                max_doublings = it.next().and_then(|s| s.parse().ok()).expect("--max-doublings N")
+            }
+            "--budget" => {
+                budget = Duration::from_secs(
+                    it.next().and_then(|s| s.parse().ok()).expect("--budget <s>"),
+                )
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let base = match family.as_str() {
+        "multiplier" => gen_multiplier(8),
+        "square" => gen_square(10),
+        "bus" => gen_bus_ctrl(8, 8, 0xac97),
+        other => panic!("unknown family {other:?}"),
+    };
+    let optimized = resyn2(&base);
+    let exec = Executor::new();
+
+    println!("# Scaling sweep — {family}, doublings 0..={max_doublings}, SAT budget {budget:?}");
+    println!(
+        "{:<6} {:>10} {:>12} {:>8} {:>12} {:>10}",
+        "nxd", "miter ANDs", "engine(s)", "red(%)", "sat(s)", "sat verdict"
+    );
+    for d in 0..=max_doublings {
+        let left = base.double_times(d);
+        let right = optimized.double_times(d);
+        let m = parsweep_aig::miter(&left, &right).expect("same interface");
+        let r = sim_sweep(&m, &exec, &EngineConfig::scaled());
+
+        let t = Instant::now();
+        let s = sat_sweep(&m, &exec, &baseline_sat_config(budget));
+        let sat_secs = if s.verdict == Verdict::Undecided {
+            budget.as_secs_f64()
+        } else {
+            t.elapsed().as_secs_f64()
+        };
+        let tag = match s.verdict {
+            Verdict::Equivalent => "eq",
+            Verdict::NotEquivalent(_) => "NEQ!",
+            Verdict::Undecided => "t/o",
+        };
+        println!(
+            "{:<6} {:>10} {:>12.3} {:>8.1} {:>12.3} {:>10}",
+            format!("{d}xd"),
+            m.num_ands(),
+            r.stats.seconds,
+            r.stats.reduction_pct(),
+            sat_secs,
+            tag
+        );
+    }
+}

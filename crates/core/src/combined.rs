@@ -1,0 +1,188 @@
+//! The combined flow: simulation-based engine + SAT sweeping fallback
+//! (the paper's "Ours (GPU+ABC)" column).
+
+use parsweep_aig::Aig;
+use parsweep_par::Executor;
+use parsweep_sat::{sat_sweep_seeded, SweepConfig, SweepResult, Verdict};
+
+use crate::config::EngineConfig;
+use crate::engine::{sim_sweep, EngineResult};
+
+/// Configuration of the combined flow.
+#[derive(Clone, Debug, Default)]
+pub struct CombinedConfig {
+    /// Simulation-based engine parameters.
+    pub engine: EngineConfig,
+    /// SAT sweeping parameters for the fallback checker.
+    pub sat: SweepConfig,
+    /// Seed the SAT fallback with the engine's disproof counter-examples,
+    /// so pairs already disproved by exhaustive simulation are never
+    /// re-checked by SAT — the paper's proposed *EC transfer* (§V). Off by
+    /// default to match the paper's evaluated configuration.
+    pub ec_transfer: bool,
+}
+
+/// The outcome of the combined flow.
+#[derive(Clone, Debug)]
+pub struct CombinedResult {
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// The simulation-based engine's result (always runs first).
+    pub engine: EngineResult,
+    /// The SAT fallback's result, if the engine left the miter undecided.
+    pub sat: Option<SweepResult>,
+    /// Engine wall-clock seconds (the paper's "GPU (s)").
+    pub engine_seconds: f64,
+    /// Fallback wall-clock seconds (the paper's "ABC (s)").
+    pub sat_seconds: f64,
+}
+
+impl CombinedResult {
+    /// Total wall-clock seconds of the combined flow.
+    pub fn total_seconds(&self) -> f64 {
+        self.engine_seconds + self.sat_seconds
+    }
+}
+
+/// Runs the simulation-based engine and, if the miter remains undecided,
+/// hands the reduced miter to the SAT sweeping checker.
+pub fn combined_check(miter: &Aig, exec: &Executor, cfg: &CombinedConfig) -> CombinedResult {
+    let engine = sim_sweep(miter, exec, &cfg.engine);
+    let engine_seconds = engine.stats.seconds;
+    match engine.verdict {
+        Verdict::Undecided => {
+            let seeds: &[parsweep_sim::Cex] = if cfg.ec_transfer {
+                &engine.disproof_cexs
+            } else {
+                &[]
+            };
+            let sat = sat_sweep_seeded(&engine.reduced, exec, &cfg.sat, seeds);
+            let verdict = sat.verdict.clone();
+            let sat_seconds = sat.stats.seconds;
+            CombinedResult {
+                verdict,
+                engine,
+                sat: Some(sat),
+                engine_seconds,
+                sat_seconds,
+            }
+        }
+        ref v => {
+            let verdict = v.clone();
+            CombinedResult {
+                verdict,
+                engine,
+                sat: None,
+                engine_seconds,
+                sat_seconds: 0.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsweep_aig::{miter, Lit};
+
+    fn exec() -> Executor {
+        Executor::with_threads(1)
+    }
+
+    fn wide_multiplier_ish(width: usize, variant: bool) -> Aig {
+        // A deep arithmetic-flavoured network: sum of partial products
+        // folded with carries; two structural variants.
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(width);
+        let b = aig.add_inputs(width);
+        let mut acc: Vec<Lit> = vec![Lit::FALSE; width];
+        for (i, &ai) in a.iter().enumerate() {
+            let mut carry = Lit::FALSE;
+            for j in 0..width - i {
+                let pp = aig.and(ai, b[j]);
+                let s1 = aig.xor(acc[i + j], pp);
+                let sum = aig.xor(s1, carry);
+                let c = if variant {
+                    let t0 = aig.and(acc[i + j], pp);
+                    let t1 = aig.and(s1, carry);
+                    aig.or(t0, t1)
+                } else {
+                    aig.maj3(acc[i + j], pp, carry)
+                };
+                acc[i + j] = sum;
+                carry = c;
+            }
+        }
+        for s in acc {
+            aig.add_po(s);
+        }
+        aig
+    }
+
+    #[test]
+    fn combined_flow_finishes_what_engine_starts() {
+        let m = miter(
+            &wide_multiplier_ish(5, false),
+            &wide_multiplier_ish(5, true),
+        )
+        .unwrap();
+        // Cripple the engine so SAT must finish the job.
+        let mut cfg = CombinedConfig::default();
+        cfg.engine.k_po_all = 4;
+        cfg.engine.k_po = 4;
+        cfg.engine.k_g = 4;
+        cfg.engine.max_local_phases = 1;
+        cfg.engine.cut = parsweep_cut::CutParams { k_l: 3, c: 2 };
+        let r = combined_check(&m, &exec(), &cfg);
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert!(r.total_seconds() >= r.engine_seconds);
+    }
+
+    #[test]
+    fn combined_flow_skips_sat_when_engine_proves() {
+        let m = miter(
+            &wide_multiplier_ish(4, false),
+            &wide_multiplier_ish(4, true),
+        )
+        .unwrap();
+        let r = combined_check(&m, &exec(), &CombinedConfig::default());
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        if r.engine.verdict.is_equivalent() {
+            assert!(r.sat.is_none());
+            assert_eq!(r.sat_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn ec_transfer_still_sound() {
+        let m = miter(
+            &wide_multiplier_ish(5, false),
+            &wide_multiplier_ish(5, true),
+        )
+        .unwrap();
+        let mut cfg = CombinedConfig {
+            ec_transfer: true,
+            ..CombinedConfig::default()
+        };
+        cfg.engine.k_po_all = 4;
+        cfg.engine.k_po = 4;
+        cfg.engine.k_g = 6;
+        cfg.engine.max_local_phases = 1;
+        let r = combined_check(&m, &exec(), &cfg);
+        assert_eq!(r.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn combined_flow_propagates_disproof() {
+        let a = wide_multiplier_ish(4, false);
+        let mut b = wide_multiplier_ish(4, false);
+        let po = b.po(1);
+        b.set_po(1, !po);
+        let m = miter(&a, &b).unwrap();
+        let r = combined_check(&m, &exec(), &CombinedConfig::default());
+        match r.verdict {
+            Verdict::NotEquivalent(cex) => assert!(cex.fires(&m)),
+            other => panic!("expected disproof, got {other:?}"),
+        }
+    }
+}

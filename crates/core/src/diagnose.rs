@@ -1,0 +1,133 @@
+//! Counter-example diagnosis: once a miter is disproved, localize *which*
+//! output pairs disagree and which primary inputs actually matter — the
+//! debugging step that follows a failed equivalence check in practice.
+
+use parsweep_aig::Aig;
+use parsweep_sim::Cex;
+
+/// The result of diagnosing a counter-example against a miter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnosis {
+    /// Indices of miter POs that evaluate to 1 under the counter-example.
+    pub firing_pos: Vec<usize>,
+    /// A minimized counter-example: PIs reset to 0 wherever doing so
+    /// keeps at least one PO firing (greedy, deterministic).
+    pub minimized: Cex,
+    /// PIs (positions) whose value is essential: flipping them alone
+    /// stops every firing PO of the minimized counter-example.
+    pub essential_pis: Vec<usize>,
+}
+
+/// Diagnoses a counter-example against a miter.
+///
+/// # Panics
+///
+/// Panics if the counter-example does not fire any PO (it is not a
+/// counter-example for this miter).
+pub fn diagnose(miter: &Aig, cex: &Cex) -> Diagnosis {
+    let dense = cex.to_dense(miter);
+    let fires = |bits: &[bool]| -> Vec<usize> {
+        miter
+            .eval(bits)
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let firing_pos = fires(&dense);
+    assert!(
+        !firing_pos.is_empty(),
+        "diagnose called with a non-firing pattern"
+    );
+
+    // Greedy minimization: try clearing each set PI; keep the clear if
+    // some PO still fires.
+    let mut min = dense.clone();
+    for i in 0..min.len() {
+        if !min[i] {
+            continue;
+        }
+        min[i] = false;
+        if fires(&min).is_empty() {
+            min[i] = true;
+        }
+    }
+
+    // Essential PIs: flipping the bit kills every firing PO.
+    let mut essential = Vec::new();
+    for i in 0..min.len() {
+        let mut flipped = min.clone();
+        flipped[i] = !flipped[i];
+        if fires(&flipped).is_empty() {
+            essential.push(i);
+        }
+    }
+
+    Diagnosis {
+        firing_pos,
+        minimized: Cex::new(min),
+        essential_pis: essential,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsweep_aig::{miter, Aig};
+
+    #[test]
+    fn diagnosis_localizes_the_broken_output() {
+        // Two 3-output circuits differing only in output 1.
+        let build = |bug: bool| {
+            let mut aig = Aig::new();
+            let xs = aig.add_inputs(4);
+            let f0 = aig.and(xs[0], xs[1]);
+            let f1 = aig.xor(xs[1], xs[2]);
+            let f2 = aig.or(xs[2], xs[3]);
+            aig.add_po(f0);
+            aig.add_po(if bug { !f1 } else { f1 });
+            aig.add_po(f2);
+            aig
+        };
+        let m = miter(&build(false), &build(true)).unwrap();
+        // The complemented XOR differs everywhere: all-zero works.
+        let cex = Cex::new(vec![false; 4]);
+        let d = diagnose(&m, &cex);
+        assert_eq!(d.firing_pos, vec![1]);
+        assert!(d.minimized.fires(&m));
+        // The minimized pattern for a PO that differs everywhere is all
+        // zeros, and no single flip can stop it (it differs everywhere).
+        assert!(d.minimized.inputs().iter().all(|&b| !b));
+        assert!(d.essential_pis.is_empty());
+    }
+
+    #[test]
+    fn minimization_strips_irrelevant_ones() {
+        // Miter fires iff x0 & x1 (left AND vs right const-0).
+        let mut a = Aig::new();
+        let xs = a.add_inputs(4);
+        let f = a.and(xs[0], xs[1]);
+        a.add_po(f);
+        let mut b = Aig::new();
+        b.add_inputs(4);
+        b.add_po(parsweep_aig::Lit::FALSE);
+        let m = miter(&a, &b).unwrap();
+        let cex = Cex::new(vec![true, true, true, true]);
+        let d = diagnose(&m, &cex);
+        assert_eq!(d.minimized.inputs(), &[true, true, false, false]);
+        // Both remaining ones are essential: clearing either stops the PO.
+        assert_eq!(d.essential_pis, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-firing")]
+    fn non_firing_pattern_panics() {
+        let mut a = Aig::new();
+        let xs = a.add_inputs(2);
+        let f = a.and(xs[0], xs[1]);
+        a.add_po(f);
+        let m = miter(&a, &a.clone()).unwrap();
+        diagnose(&m, &Cex::new(vec![false, false]));
+    }
+}

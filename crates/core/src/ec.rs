@@ -1,0 +1,124 @@
+//! Equivalence-class management for the engine.
+
+use parsweep_aig::{Aig, Var};
+use parsweep_par::Executor;
+use parsweep_sim::{signature_classes, simulate, PairCheck, Patterns, Signatures};
+
+/// The engine's EC manager: wraps partial-simulation signatures and the
+/// derived equivalence classes, and produces candidate pairs.
+#[derive(Debug)]
+pub struct EcManager {
+    classes: Vec<Vec<Var>>,
+    sigs: Signatures,
+}
+
+impl EcManager {
+    /// Builds classes by simulating `patterns` on the miter.
+    pub fn from_patterns(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Self {
+        let sigs = simulate(aig, exec, patterns);
+        let classes = signature_classes(aig, &sigs);
+        EcManager { classes, sigs }
+    }
+
+    /// The underlying signatures.
+    pub fn signatures(&self) -> &Signatures {
+        &self.sigs
+    }
+
+    /// The equivalence classes (each sorted, representative first).
+    pub fn classes(&self) -> &[Vec<Var>] {
+        &self.classes
+    }
+
+    /// Total number of candidate pairs implied by the classes.
+    pub fn num_pairs(&self) -> usize {
+        self.classes.iter().map(|c| c.len() - 1).sum()
+    }
+
+    /// Candidate pairs `(representative, member)` with their relative
+    /// complement, skipping members that cannot be merged (non-AND nodes).
+    pub fn pairs(&self, aig: &Aig) -> Vec<PairCheck> {
+        let mut out = Vec::with_capacity(self.num_pairs());
+        for class in &self.classes {
+            let repr = class[0];
+            for &member in &class[1..] {
+                if !aig.node(member).is_and() {
+                    continue;
+                }
+                out.push(PairCheck {
+                    a: repr,
+                    b: member,
+                    complement: self.sigs.phase(repr) != self.sigs.phase(member),
+                });
+            }
+        }
+        out
+    }
+
+    /// The representative of each non-representative node, for the
+    /// enumeration levels of Eq. (2).
+    pub fn repr_map(&self, num_nodes: usize) -> Vec<Option<Var>> {
+        let mut map = vec![None; num_nodes];
+        for class in &self.classes {
+            let repr = class[0];
+            for &member in &class[1..] {
+                map[member.index()] = Some(repr);
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsweep_aig::Aig;
+
+    fn setup() -> (Aig, EcManager) {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        let f = aig.and(xs[0], xs[1]);
+        let t = aig.or(xs[0], xs[1]);
+        let g = aig.and(t, f); // == f
+        aig.add_po(g);
+        aig.add_po(f);
+        let exec = Executor::with_threads(1);
+        let patterns = Patterns::random(3, 4, 7);
+        let ec = EcManager::from_patterns(&aig, &exec, &patterns);
+        (aig, ec)
+    }
+
+    #[test]
+    fn pairs_have_min_id_representative() {
+        let (aig, ec) = setup();
+        for p in ec.pairs(&aig) {
+            assert!(p.a < p.b);
+        }
+    }
+
+    #[test]
+    fn repr_map_marks_non_representatives() {
+        let (aig, ec) = setup();
+        let map = ec.repr_map(aig.num_nodes());
+        let marked = map.iter().filter(|m| m.is_some()).count();
+        assert_eq!(marked, ec.num_pairs());
+    }
+
+    #[test]
+    fn equal_nodes_form_a_pair() {
+        let (aig, ec) = setup();
+        let pairs = ec.pairs(&aig);
+        assert!(!pairs.is_empty());
+        // All pairs relate semantically equal (or complementary) nodes
+        // under exhaustive evaluation.
+        for p in pairs {
+            for v in 0..8u32 {
+                let bits = [(v & 1) != 0, (v & 2) != 0, (v & 4) != 0];
+                let values = aig.eval_nodes(&bits);
+                let va = values[p.a.index()];
+                let vb = values[p.b.index()];
+                assert_eq!(va, vb != p.complement, "pair {p:?}");
+            }
+        }
+    }
+}

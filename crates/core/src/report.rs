@@ -1,0 +1,108 @@
+//! Human-readable reports of engine runs.
+
+use std::fmt;
+
+use parsweep_sat::Verdict;
+
+use crate::engine::EngineResult;
+
+/// A formatted, line-oriented report of one engine run — what `fig6`-style
+/// tools print, available to library users as a `Display` value.
+///
+/// ```
+/// use parsweep_aig::{Aig, miter};
+/// use parsweep_core::{sim_sweep, EngineConfig, Report};
+/// use parsweep_par::Executor;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Aig::new();
+/// let xs = a.add_inputs(2);
+/// let f = a.xor(xs[0], xs[1]);
+/// a.add_po(f);
+/// let m = miter(&a, &a.clone())?;
+/// let exec = Executor::with_threads(1);
+/// let result = sim_sweep(&m, &exec, &EngineConfig::default());
+/// let text = Report::new(&result).to_string();
+/// assert!(text.contains("verdict"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Report<'a> {
+    result: &'a EngineResult,
+}
+
+impl<'a> Report<'a> {
+    /// Wraps an engine result for display.
+    pub fn new(result: &'a EngineResult) -> Self {
+        Report { result }
+    }
+
+    /// One-word verdict tag.
+    pub fn verdict_tag(&self) -> &'static str {
+        match self.result.verdict {
+            Verdict::Equivalent => "equivalent",
+            Verdict::NotEquivalent(_) => "not-equivalent",
+            Verdict::Undecided => "undecided",
+        }
+    }
+}
+
+impl fmt::Display for Report<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.result.stats;
+        let (p, g, l, o) = s.phase_times.percentages();
+        writeln!(f, "verdict: {}", self.verdict_tag())?;
+        writeln!(
+            f,
+            "miter:   {} -> {} ANDs ({:.1}% reduced)",
+            s.initial_ands,
+            s.final_ands,
+            s.reduction_pct()
+        )?;
+        writeln!(
+            f,
+            "phases:  P {:.1}% | G {:.1}% | L {:.1}% | other {:.1}%  ({} local phases)",
+            p, g, l, o, s.local_phases
+        )?;
+        writeln!(
+            f,
+            "proofs:  {} POs, {} pairs; {} pairs disproved; {} local checks inconclusive",
+            s.pos_proved, s.proved_pairs, s.disproved_pairs, s.inconclusive_checks
+        )?;
+        write!(
+            f,
+            "effort:  {} simulated node-words, {} common cuts, {:.3}s",
+            s.sim_words, s.common_cuts, s.seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sim_sweep, EngineConfig};
+    use parsweep_aig::{miter, Aig};
+    use parsweep_par::Executor;
+
+    #[test]
+    fn report_mentions_key_numbers() {
+        let mut a = Aig::new();
+        let xs = a.add_inputs(3);
+        let f = a.maj3(xs[0], xs[1], xs[2]);
+        a.add_po(f);
+        let mut b = Aig::new();
+        let ys = b.add_inputs(3);
+        let or = b.or(ys[1], ys[2]);
+        let and = b.and(ys[1], ys[2]);
+        let g = b.mux(ys[0], or, and);
+        b.add_po(g);
+        let m = miter(&a, &b).unwrap();
+        let r = sim_sweep(&m, &Executor::with_threads(1), &EngineConfig::default());
+        let report = Report::new(&r);
+        let text = report.to_string();
+        assert_eq!(report.verdict_tag(), "equivalent");
+        assert!(text.contains("100.0% reduced"));
+        assert!(text.contains("phases:"));
+        assert!(text.contains("effort:"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Engine statistics and phase timing (feeds the Fig. 6 breakdown).
+
+/// Wall-clock seconds spent in each phase type of the engine flow.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// PO checking phase (P).
+    pub po: f64,
+    /// Global function checking phase (G), including EC initialization.
+    pub global: f64,
+    /// Local function checking phases (L): cut generation + checking.
+    pub local: f64,
+    /// Everything else (simulation for refinement, reduction, bookkeeping).
+    pub other: f64,
+}
+
+impl PhaseTimes {
+    /// Total time across phases.
+    pub fn total(&self) -> f64 {
+        self.po + self.global + self.local + self.other
+    }
+
+    /// Percentages `(po, global, local, other)` of the total.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.po / t,
+            100.0 * self.global / t,
+            100.0 * self.local / t,
+            100.0 * self.other / t,
+        )
+    }
+}
+
+/// Counters and timings of one engine run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// AND gates in the input miter.
+    pub initial_ands: usize,
+    /// AND gates in the reduced miter.
+    pub final_ands: usize,
+    /// POs proved constant zero by the P phase.
+    pub pos_proved: usize,
+    /// Candidate pairs proved equivalent (global + local).
+    pub proved_pairs: u64,
+    /// Candidate pairs disproved with counter-examples (global checking).
+    pub disproved_pairs: u64,
+    /// (pair, cut) checks that were inconclusive in local checking.
+    pub inconclusive_checks: u64,
+    /// Local checking phases executed.
+    pub local_phases: u32,
+    /// Total node-words simulated by the exhaustive simulator.
+    pub sim_words: u64,
+    /// Common cuts generated for local checking.
+    pub common_cuts: u64,
+    /// Per-phase wall-clock breakdown.
+    pub phase_times: PhaseTimes,
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl EngineStats {
+    /// Percentage reduction in miter size (the paper's "Reduced (%)").
+    pub fn reduction_pct(&self) -> f64 {
+        if self.initial_ands == 0 {
+            100.0
+        } else {
+            100.0 * (self.initial_ands - self.final_ands) as f64 / self.initial_ands as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_percentage() {
+        let s = EngineStats {
+            initial_ands: 200,
+            final_ands: 50,
+            ..Default::default()
+        };
+        assert!((s.reduction_pct() - 75.0).abs() < 1e-9);
+        let full = EngineStats {
+            initial_ands: 10,
+            final_ands: 0,
+            ..Default::default()
+        };
+        assert_eq!(full.reduction_pct(), 100.0);
+    }
+
+    #[test]
+    fn phase_percentages_sum_to_100() {
+        let t = PhaseTimes {
+            po: 1.0,
+            global: 2.0,
+            local: 5.0,
+            other: 2.0,
+        };
+        let (a, b, c, d) = t.percentages();
+        assert!((a + b + c + d - 100.0).abs() < 1e-9);
+        assert_eq!(PhaseTimes::default().percentages(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

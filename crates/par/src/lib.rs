@@ -1,0 +1,419 @@
+//! # parsweep-par — data-parallel kernel-launch executor
+//!
+//! The paper implements its CEC engine as CUDA kernels on an NVIDIA GPU.
+//! This crate is the substitution substrate: it exposes the same
+//! *kernel-launch* programming model — "run this closure for thread ids
+//! `0..n`" — backed by an OS thread pool (crossbeam scoped threads), so all
+//! engine algorithms are written exactly as their GPU formulation
+//! prescribes (word-parallel truth-table computation, level-wise node
+//! batches, window batches).
+//!
+//! Every launch is recorded, so the *parallel work profile* of a run — how
+//! many kernels were launched, how wide they were, and the critical-path
+//! depth — can be inspected and used to model speedups on wider machines
+//! than the host (see [`LaunchStats::modeled_time`]).
+//!
+//! ```
+//! use parsweep_par::Executor;
+//! let exec = Executor::with_threads(2);
+//! let squares = exec.map(8, |i| i * i);
+//! assert_eq!(squares[3], 9);
+//! let stats = exec.stats();
+//! assert_eq!(stats.launches, 1);
+//! assert_eq!(stats.total_threads, 8);
+//! ```
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+
+/// Aggregate statistics over all kernel launches of an [`Executor`].
+///
+/// `launches` is the critical-path length in kernels (each launch is a
+/// global synchronization point, as on a GPU stream); `total_threads` is
+/// the total data-parallel work; `widest` is the largest single launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Number of kernel launches (sequential dependency chain length).
+    pub launches: u64,
+    /// Sum of the widths of all launches (total parallel work items).
+    pub total_threads: u64,
+    /// Width of the widest launch.
+    pub widest: u64,
+}
+
+impl LaunchStats {
+    /// Models the execution time, in abstract work units, of this launch
+    /// profile on a machine with `cores` parallel lanes: each launch of
+    /// width `w` costs `ceil(w / cores)` units (plus one unit of launch
+    /// overhead), mirroring how a GPU schedules thread blocks over SMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn modeled_time(&self, cores: u64) -> u64 {
+        assert!(cores > 0, "modeled machine needs at least one core");
+        // All launches of average width; exact per-launch widths are not
+        // retained, so model with total work spread over the launches.
+        // A lower bound that is exact for uniform launches:
+        //   sum_i ceil(w_i/cores) >= ceil(total/cores)  and >= launches.
+        (self.total_threads.div_ceil(cores)).max(self.launches)
+    }
+
+    /// The maximum speedup this profile admits (Amdahl-style): total work
+    /// divided by the launch-count critical path.
+    pub fn max_speedup(&self) -> f64 {
+        if self.launches == 0 {
+            1.0
+        } else {
+            self.total_threads as f64 / self.launches as f64
+        }
+    }
+}
+
+/// A data-parallel executor with the GPU kernel-launch programming model.
+///
+/// `launch(n, kernel)` runs `kernel(tid)` for every `tid in 0..n`, in
+/// parallel over a pool of OS threads, and returns when all work items
+/// finished (a launch is a synchronization barrier, like a CUDA kernel on
+/// one stream).
+#[derive(Debug)]
+pub struct Executor {
+    num_threads: usize,
+    stats: Mutex<LaunchStats>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// Creates an executor sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(n)
+    }
+
+    /// Creates an executor with an explicit number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn with_threads(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "executor needs at least one thread");
+        Executor {
+            num_threads,
+            stats: Mutex::new(LaunchStats::default()),
+        }
+    }
+
+    /// Returns the number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Returns the accumulated launch statistics.
+    pub fn stats(&self) -> LaunchStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the accumulated launch statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = LaunchStats::default();
+    }
+
+    fn record(&self, n: usize) {
+        let mut s = self.stats.lock();
+        s.launches += 1;
+        s.total_threads += n as u64;
+        s.widest = s.widest.max(n as u64);
+    }
+
+    /// Launches a kernel over thread ids `0..n` and waits for completion.
+    ///
+    /// The kernel must be safe to run concurrently for distinct ids;
+    /// synchronize shared mutable state yourself (as on a real GPU).
+    pub fn launch<F>(&self, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        self.record(n);
+        let workers = self.num_threads.min(n);
+        if workers == 1 {
+            for tid in 0..n {
+                kernel(tid);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        crossbeam::scope(|scope| {
+            for w in 0..workers {
+                let kernel = &kernel;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    for tid in lo..hi {
+                        kernel(tid);
+                    }
+                });
+            }
+        })
+        .expect("executor worker panicked");
+    }
+
+    /// Launches a kernel producing one value per thread id and collects the
+    /// results in id order.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        {
+            let slots = SliceCells::new(&mut out);
+            self.launch(n, |tid| {
+                // SAFETY: each tid writes a distinct slot.
+                unsafe { slots.write(tid, f(tid)) };
+            });
+        }
+        out
+    }
+
+    /// Fills `out[tid] = f(tid)` for `tid in 0..out.len()` in parallel.
+    pub fn fill<T, F>(&self, out: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = out.len();
+        let slots = SliceCells::new(out);
+        self.launch(n, |tid| {
+            // SAFETY: each tid writes a distinct slot.
+            unsafe { slots.write(tid, f(tid)) };
+        });
+    }
+
+    /// Parallel reduction: maps every id through `f` and folds the results
+    /// with the associative operation `op` (identity `init`).
+    pub fn reduce<T, F, O>(&self, n: usize, init: T, f: F, op: O) -> T
+    where
+        T: Send + Clone,
+        F: Fn(usize) -> T + Sync,
+        O: Fn(T, T) -> T + Sync + Send,
+    {
+        if n == 0 {
+            return init;
+        }
+        let workers = self.num_threads.min(n);
+        self.record(n);
+        if workers == 1 {
+            let mut acc = init;
+            for tid in 0..n {
+                acc = op(acc, f(tid));
+            }
+            return acc;
+        }
+        let chunk = n.div_ceil(workers);
+        let partials = Mutex::new(Vec::with_capacity(workers));
+        crossbeam::scope(|scope| {
+            for w in 0..workers {
+                let f = &f;
+                let op = &op;
+                let init = init.clone();
+                let partials = &partials;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    let mut acc = init;
+                    for tid in lo..hi {
+                        acc = op(acc, f(tid));
+                    }
+                    partials.lock().push(acc);
+                });
+            }
+        })
+        .expect("executor worker panicked");
+        partials
+            .into_inner()
+            .into_iter()
+            .fold(init, op)
+    }
+}
+
+/// A shared view of a mutable slice allowing disjoint per-index access from
+/// parallel kernels — the moral equivalent of a device buffer handed to a
+/// GPU kernel.
+///
+/// ```
+/// use parsweep_par::{Executor, SharedSlice};
+/// let exec = Executor::with_threads(2);
+/// let mut buf = vec![0u64; 16];
+/// {
+///     let cells = SharedSlice::new(&mut buf);
+///     exec.launch(16, |tid| unsafe { cells.write(tid, tid as u64 * 3) });
+/// }
+/// assert_eq!(buf[5], 15);
+/// ```
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline is enforced by callers (each thread id touches
+// a distinct index when writing), matching how GPU kernels use buffers.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for shared use inside kernels.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`, dropping the old value.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds, no other access to `index` may happen
+    /// concurrently.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        *self.ptr.add(index) = value;
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and no concurrent write to `index` may
+    /// happen. Reading a value written earlier in the *same* launch is only
+    /// safe if the writer ordered before this read (e.g. same thread), as
+    /// on a GPU.
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        *self.ptr.add(index)
+    }
+
+    /// Returns a raw pointer to the element at `index`, for non-`Copy`
+    /// element access. Dereferencing is subject to the same discipline as
+    /// [`SharedSlice::read`]/[`SharedSlice::write`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn as_ptr_at(&self, index: usize) -> *mut T {
+        assert!(index < self.len, "index out of bounds");
+        // SAFETY: index is in bounds of the borrowed slice.
+        unsafe { self.ptr.add(index) }
+    }
+}
+
+use SharedSlice as SliceCells;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn launch_covers_all_ids_once() {
+        let exec = Executor::with_threads(4);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        exec.launch(100, |tid| {
+            hits[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn launch_zero_is_noop() {
+        let exec = Executor::with_threads(2);
+        exec.launch(0, |_| panic!("must not run"));
+        assert_eq!(exec.stats().launches, 0);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let exec = Executor::with_threads(3);
+        let v = exec.map(17, |i| i * 2);
+        assert_eq!(v, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let exec = Executor::with_threads(2);
+        let mut buf = vec![0usize; 31];
+        exec.fill(&mut buf, |i| i + 1);
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let exec = Executor::with_threads(4);
+        let total = exec.reduce(1000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        let exec = Executor::with_threads(4);
+        assert_eq!(exec.reduce(0, 7u64, |_| 1, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let exec = Executor::with_threads(2);
+        exec.launch(10, |_| {});
+        exec.launch(5, |_| {});
+        let s = exec.stats();
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.total_threads, 15);
+        assert_eq!(s.widest, 10);
+        exec.reset_stats();
+        assert_eq!(exec.stats(), LaunchStats::default());
+    }
+
+    #[test]
+    fn modeled_time_bounds() {
+        let s = LaunchStats {
+            launches: 4,
+            total_threads: 4000,
+            widest: 1000,
+        };
+        assert_eq!(s.modeled_time(1), 4000);
+        assert_eq!(s.modeled_time(1000), 4);
+        assert!(s.max_speedup() > 999.0);
+    }
+
+    #[test]
+    fn single_thread_executor_is_sequential_and_correct() {
+        let exec = Executor::with_threads(1);
+        let v = exec.map(8, |i| i);
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests: the parallel executor must be indistinguishable from
+//! sequential execution for deterministic kernels.
+
+use proptest::prelude::*;
+
+use parsweep_par::{Executor, SharedSlice};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn map_equals_sequential(n in 0usize..500, threads in 1usize..6, salt in any::<u64>()) {
+        let exec = Executor::with_threads(threads);
+        let f = |i: usize| (i as u64).wrapping_mul(salt).rotate_left(7);
+        let par: Vec<u64> = exec.map(n, f);
+        let seq: Vec<u64> = (0..n).map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_equals_sequential_sum(n in 0usize..1000, threads in 1usize..6) {
+        let exec = Executor::with_threads(threads);
+        let got = exec.reduce(n, 0u64, |i| i as u64 + 1, |a, b| a + b);
+        let want: u64 = (1..=n as u64).sum();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shared_slice_disjoint_writes_are_exact(n in 1usize..400, threads in 1usize..6) {
+        let exec = Executor::with_threads(threads);
+        let mut buf = vec![0u32; n];
+        {
+            let cells = SharedSlice::new(&mut buf);
+            exec.launch(n, |i| unsafe { cells.write(i, (i * i) as u32) });
+        }
+        prop_assert!(buf.iter().enumerate().all(|(i, &v)| v as usize == i * i));
+    }
+
+    #[test]
+    fn stats_track_work(widths in proptest::collection::vec(0usize..100, 0..10)) {
+        let exec = Executor::with_threads(2);
+        for &w in &widths {
+            exec.launch(w, |_| {});
+        }
+        let s = exec.stats();
+        let nonzero: Vec<usize> = widths.iter().copied().filter(|&w| w > 0).collect();
+        prop_assert_eq!(s.launches, nonzero.len() as u64);
+        prop_assert_eq!(s.total_threads, nonzero.iter().sum::<usize>() as u64);
+        prop_assert_eq!(s.widest, nonzero.iter().max().copied().unwrap_or(0) as u64);
+    }
+}

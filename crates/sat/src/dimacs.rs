@@ -1,0 +1,207 @@
+//! DIMACS CNF interchange: read and write the standard SAT input format,
+//! so the embedded solver can be exercised against external instances and
+//! encoded miters can be exported to external solvers.
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+use crate::slit::{SatLit, SatVar};
+use crate::solver::Solver;
+
+/// A parsed CNF formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<SatLit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh solver.
+    pub fn into_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// Error reading a DIMACS file.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseDimacsError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// Reads a DIMACS CNF file (`c` comments, `p cnf V C` header,
+/// zero-terminated clauses possibly spanning lines).
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input; literals outside the
+/// declared variable range are rejected.
+pub fn read_dimacs<R: Read>(reader: R) -> Result<Cnf, ParseDimacsError> {
+    let reader = io::BufReader::new(reader);
+    let mut num_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<SatLit>> = Vec::new();
+    let mut current: Vec<SatLit> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let mut it = trimmed.split_whitespace();
+            let (_p, kind) = (it.next(), it.next());
+            if kind != Some("cnf") {
+                return Err(ParseDimacsError::Malformed {
+                    line: line_no,
+                    message: format!("expected 'p cnf', got {trimmed:?}"),
+                });
+            }
+            let v: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(ParseDimacsError::Malformed {
+                    line: line_no,
+                    message: "bad variable count".into(),
+                })?;
+            num_vars = Some(v);
+            continue;
+        }
+        let nv = num_vars.ok_or(ParseDimacsError::Malformed {
+            line: line_no,
+            message: "clause before 'p cnf' header".into(),
+        })?;
+        for tok in trimmed.split_whitespace() {
+            let val: i64 = tok.parse().map_err(|_| ParseDimacsError::Malformed {
+                line: line_no,
+                message: format!("bad literal {tok:?}"),
+            })?;
+            if val == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var = val.unsigned_abs() as usize - 1;
+                if var >= nv {
+                    return Err(ParseDimacsError::Malformed {
+                        line: line_no,
+                        message: format!("literal {val} outside 1..={nv}"),
+                    });
+                }
+                current.push(SatVar::new(var as u32).lit(val < 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Cnf {
+        num_vars: num_vars.unwrap_or(0),
+        clauses,
+    })
+}
+
+/// Writes a formula in DIMACS CNF format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_dimacs<W: Write>(cnf: &Cnf, writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(writer);
+    writeln!(w, "p cnf {} {}", cnf.num_vars, cnf.clauses.len())?;
+    for clause in &cnf.clauses {
+        for l in clause {
+            let v = l.var().index() as i64 + 1;
+            write!(w, "{} ", if l.is_neg() { -v } else { v })?;
+        }
+        writeln!(w, "0")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parses_standard_instance() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn clause_may_span_lines() {
+        let text = "p cnf 2 1\n1\n2 0\n";
+        let cnf = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.clauses, vec![vec![
+            SatVar::new(0).pos(),
+            SatVar::new(1).pos(),
+        ]]);
+    }
+
+    #[test]
+    fn unsat_instance_roundtrip() {
+        let cnf = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![SatVar::new(0).pos()], vec![SatVar::new(0).neg()]],
+        };
+        let mut buf = Vec::new();
+        write_dimacs(&cnf, &mut buf).unwrap();
+        let back = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(back, cnf);
+        let mut s = back.into_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_dimacs("1 2 0\n".as_bytes()).is_err()); // no header
+        assert!(read_dimacs("p cnf 1 1\n5 0\n".as_bytes()).is_err()); // range
+        assert!(read_dimacs("p dnf 1 1\n".as_bytes()).is_err()); // kind
+        assert!(read_dimacs("p cnf 1 1\nx 0\n".as_bytes()).is_err()); // token
+    }
+
+    #[test]
+    fn trailing_unterminated_clause_is_kept() {
+        let cnf = read_dimacs("p cnf 2 1\n1 -2\n".as_bytes()).unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+    }
+}

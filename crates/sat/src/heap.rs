@@ -1,0 +1,150 @@
+//! Indexed max-heap over variable activities (the VSIDS order).
+
+/// A binary max-heap of variable indices keyed by an external activity
+/// array, with position tracking for `O(log n)` key increases.
+#[derive(Clone, Debug, Default)]
+pub struct VarOrder {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `-1` if absent.
+    pos: Vec<i32>,
+}
+
+impl VarOrder {
+    /// Creates an empty order.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn new() -> Self {
+        VarOrder::default()
+    }
+
+    /// Ensures capacity for variable indices `< n`.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, -1);
+        }
+    }
+
+    /// True if the variable is currently in the heap.
+    pub fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] >= 0
+    }
+
+    /// True if the heap is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts a variable (no-op if present).
+    pub fn insert(&mut self, v: u32, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after the activity of `v` increased.
+    pub fn increased(&mut self, v: u32, activity: &[f64]) {
+        let p = self.pos[v as usize];
+        if p >= 0 {
+            self.sift_up(p as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as i32;
+        self.pos[self.heap[j] as usize] = j as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = [1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarOrder::new();
+        h.grow(5);
+        for v in 0..5 {
+            h.insert(v, &act);
+        }
+        let mut order = Vec::new();
+        while let Some(v) = h.pop_max(&act) {
+            order.push(v);
+        }
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = [1.0, 2.0];
+        let mut h = VarOrder::new();
+        h.grow(2);
+        h.insert(0, &act);
+        h.insert(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn increased_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarOrder::new();
+        h.grow(3);
+        for v in 0..3 {
+            h.insert(v, &act);
+        }
+        act[0] = 10.0;
+        h.increased(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+    }
+}

@@ -1,0 +1,246 @@
+//! A multi-engine portfolio checker — the stand-in for the commercial
+//! tool (Cadence Conformal LEC) in the paper's evaluation.
+//!
+//! The paper notes that commercial checkers are believed to combine
+//! several engines and stop as soon as one finishes. This portfolio runs,
+//! in order: structural check, random-simulation disproof, exhaustive
+//! truth-table PO proving (effective on small-support control logic), and
+//! finally SAT sweeping.
+
+use std::time::Instant;
+
+use parsweep_aig::{is_proved, Aig, Var};
+use parsweep_par::Executor;
+use parsweep_sim::{check_windows, simulate, PairCheck, PairOutcome, Patterns, Window};
+
+use crate::sweep::{sat_sweep, SweepConfig, SweepResult, SweepStats, Verdict};
+
+/// Which portfolio engine produced the verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Structural hashing alone proved the miter.
+    Structural,
+    /// Random simulation found a counter-example.
+    RandomSim,
+    /// Exhaustive truth-table computation proved all POs zero.
+    ExhaustivePo,
+    /// SAT sweeping decided (or gave up on) the miter.
+    SatSweep,
+}
+
+/// Portfolio configuration.
+#[derive(Clone, Debug)]
+pub struct PortfolioConfig {
+    /// PO support-size cap for the exhaustive engine.
+    pub po_support_cap: usize,
+    /// PO cone-size cap (AND gates) for the exhaustive engine — a proxy
+    /// for the BDD blow-up that limits commercial global engines on
+    /// multiplier-like structure.
+    pub po_cone_cap: usize,
+    /// Memory (words) for the exhaustive engine's simulation table.
+    pub memory_words: usize,
+    /// Random-simulation words for the disproof engine.
+    pub sim_words: usize,
+    /// SAT sweeping configuration for the fallback engine.
+    pub sweep: SweepConfig,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            po_support_cap: 20,
+            po_cone_cap: 3000,
+            memory_words: parsweep_sim::DEFAULT_MEMORY_WORDS,
+            sim_words: 8,
+            sweep: SweepConfig::default(),
+        }
+    }
+}
+
+/// Portfolio outcome: verdict, deciding engine and sweep-style statistics.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// The engine that produced the verdict.
+    pub engine: Engine,
+    /// Statistics (SAT stats only populated when SAT ran).
+    pub stats: SweepStats,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs the engine portfolio on a miter.
+pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> PortfolioResult {
+    let start = Instant::now();
+
+    // Engine 1: structural.
+    if is_proved(miter) {
+        return PortfolioResult {
+            verdict: Verdict::Equivalent,
+            engine: Engine::Structural,
+            stats: SweepStats::default(),
+            seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+
+    // Engine 2: random-simulation disproof.
+    let patterns = Patterns::random(miter.num_pis(), cfg.sim_words, 0xc0ffee);
+    let sigs = simulate(miter, exec, &patterns);
+    if let Some(cex) = parsweep_sim::find_po_counterexample(miter, &sigs, &patterns) {
+        return PortfolioResult {
+            verdict: Verdict::NotEquivalent(cex),
+            engine: Engine::RandomSim,
+            stats: SweepStats::default(),
+            seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+
+    // Engine 3: exhaustive PO truth tables when supports are small and
+    // cones stay below the BDD-style blow-up proxy.
+    let supports = miter.bounded_supports(cfg.po_support_cap);
+    let simulatable = miter.pos().iter().all(|po| {
+        po.var().is_const() || supports[po.var().index()].size().is_some()
+    });
+    let cones_ok = simulatable
+        && miter.pos().iter().all(|po| {
+            po.var().is_const()
+                || miter.tfi_cone(&[po.var()]).len() <= cfg.po_cone_cap
+        });
+    if simulatable && cones_ok {
+        let windows: Vec<Window> = miter
+            .pos()
+            .iter()
+            .filter(|po| !po.var().is_const())
+            .map(|po| {
+                let pair = PairCheck {
+                    a: Var::FALSE,
+                    b: po.var(),
+                    complement: po.is_complemented(),
+                };
+                Window::global(miter, pair)
+            })
+            .collect();
+        let (outcomes, _) = check_windows(miter, exec, &windows, cfg.memory_words);
+        let mut verdict = Verdict::Equivalent;
+        'outer: for (w, win) in windows.iter().enumerate() {
+            for outcome in &outcomes[w] {
+                if let PairOutcome::Mismatch { assignment, .. } = outcome {
+                    let sparse: Vec<_> = win
+                        .inputs
+                        .iter()
+                        .copied()
+                        .zip(assignment.iter().copied())
+                        .collect();
+                    let cex = parsweep_sim::Cex::from_sparse(miter, &sparse);
+                    verdict = Verdict::NotEquivalent(cex);
+                    break 'outer;
+                }
+            }
+        }
+        return PortfolioResult {
+            verdict,
+            engine: Engine::ExhaustivePo,
+            stats: SweepStats::default(),
+            seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+
+    // Engine 4: SAT sweeping.
+    let SweepResult { verdict, stats, .. } = sat_sweep(miter, exec, &cfg.sweep);
+    PortfolioResult {
+        verdict,
+        engine: Engine::SatSweep,
+        stats,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsweep_aig::{miter, Aig};
+
+    fn exec() -> Executor {
+        Executor::with_threads(1)
+    }
+
+    #[test]
+    fn structural_engine_wins_on_identical() {
+        let a = parsweep_aig::random::random_aig(6, 40, 2, 5);
+        let m = miter(&a, &a).unwrap();
+        let r = portfolio_check(&m, &exec(), &PortfolioConfig::default());
+        assert_eq!(r.engine, Engine::Structural);
+        assert!(r.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn random_sim_disproves_quickly() {
+        let mut a = Aig::new();
+        let xs = a.add_inputs(4);
+        let f = a.and_all(xs.iter().copied());
+        a.add_po(f);
+        let mut b = Aig::new();
+        let ys = b.add_inputs(4);
+        let g = b.or_all(ys.iter().copied());
+        b.add_po(g);
+        let m = miter(&a, &b).unwrap();
+        let r = portfolio_check(&m, &exec(), &PortfolioConfig::default());
+        assert_eq!(r.engine, Engine::RandomSim);
+        match r.verdict {
+            Verdict::NotEquivalent(cex) => {
+                let out = m.eval(&cex.to_dense(&m));
+                assert!(out.iter().any(|&x| x));
+            }
+            other => panic!("expected disproof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_engine_proves_small_supports() {
+        // Majority tree, two builds; supports are small per PO.
+        let mut a = Aig::new();
+        let xs = a.add_inputs(3);
+        let f = a.maj3(xs[0], xs[1], xs[2]);
+        a.add_po(f);
+        let mut b = Aig::new();
+        let ys = b.add_inputs(3);
+        // Majority via mux: if a then (b|c) else (b&c).
+        let or = b.or(ys[1], ys[2]);
+        let and = b.and(ys[1], ys[2]);
+        let g = b.mux(ys[0], or, and);
+        b.add_po(g);
+        let m = miter(&a, &b).unwrap();
+        let r = portfolio_check(&m, &exec(), &PortfolioConfig::default());
+        assert_eq!(r.engine, Engine::ExhaustivePo);
+        assert!(r.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn sat_fallback_on_large_supports() {
+        // 30-input cones exceed the default cap but random sim cannot
+        // disprove (they are equivalent), so SAT sweeping must decide.
+        let n = 30;
+        let mut a = Aig::new();
+        let xs = a.add_inputs(n);
+        let f = a.and_all(xs.iter().copied());
+        a.add_po(f);
+        let mut b = Aig::new();
+        let ys = b.add_inputs(n);
+        // Right-associated chain: structurally different from the
+        // balanced tree, so strash cannot collapse the miter.
+        let mut g = ys[n - 1];
+        for &y in ys[..n - 1].iter().rev() {
+            g = b.and(y, g);
+        }
+        b.add_po(g);
+        let m = miter(&a, &b).unwrap();
+        let cfg = PortfolioConfig {
+            po_support_cap: 16,
+            ..PortfolioConfig::default()
+        };
+        let r = portfolio_check(&m, &exec(), &cfg);
+        assert_eq!(r.engine, Engine::SatSweep);
+        assert!(r.verdict.is_equivalent());
+    }
+}

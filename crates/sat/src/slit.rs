@@ -1,0 +1,146 @@
+//! SAT solver variables and literals (distinct from AIG literals).
+
+use std::fmt;
+
+/// A SAT variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SatVar(pub(crate) u32);
+
+impl SatVar {
+    /// Creates a variable from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        SatVar(index)
+    }
+
+    /// The variable's index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub const fn pos(self) -> SatLit {
+        SatLit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub const fn neg(self) -> SatLit {
+        SatLit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given sign (`true` = negated).
+    #[inline]
+    pub const fn lit(self, negated: bool) -> SatLit {
+        SatLit(self.0 << 1 | negated as u32)
+    }
+}
+
+impl fmt::Debug for SatVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A SAT literal: variable plus sign, encoded `2 * var + sign`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SatLit(pub(crate) u32);
+
+impl SatLit {
+    /// The literal's variable.
+    #[inline]
+    pub const fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+
+    /// True if the literal is negated.
+    #[inline]
+    pub const fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index for watch lists.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The literal negated iff `c`.
+    #[inline]
+    pub const fn xor(self, c: bool) -> SatLit {
+        SatLit(self.0 ^ c as u32)
+    }
+}
+
+impl std::ops::Not for SatLit {
+    type Output = SatLit;
+    #[inline]
+    fn not(self) -> SatLit {
+        SatLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for SatLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.is_neg() { "!" } else { "" }, self.0 >> 1)
+    }
+}
+
+/// Tri-state assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// From a boolean.
+    #[inline]
+    pub const fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Negation (`Undef` stays `Undef`).
+    #[inline]
+    pub const fn negate(self) -> Self {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding() {
+        let v = SatVar::new(3);
+        assert_eq!(v.pos().var(), v);
+        assert!(!v.pos().is_neg());
+        assert!(v.neg().is_neg());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(v.lit(true), v.neg());
+        assert_eq!(v.pos().xor(true), v.neg());
+    }
+
+    #[test]
+    fn lbool_negation() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::from_bool(true), LBool::True);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: the CDCL solver against brute force, and the
+//! Tseitin encoding against the reference AIG evaluator.
+
+use proptest::prelude::*;
+
+use parsweep_sat::{CnfEncoder, SatLit, SatVar, SolveResult, Solver};
+
+/// Brute-force satisfiability over up to 16 variables.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<SatLit>]) -> bool {
+    (0..1u32 << num_vars).any(|m| {
+        clauses.iter().all(|c| {
+            c.iter().any(|l| {
+                let val = m >> l.var().index() & 1 == 1;
+                val != l.is_neg()
+            })
+        })
+    })
+}
+
+fn arb_cnf(num_vars: usize) -> impl Strategy<Value = Vec<Vec<SatLit>>> {
+    let lit = (0..num_vars as u32, any::<bool>()).prop_map(|(v, n)| SatVar::new(v).lit(n));
+    proptest::collection::vec(proptest::collection::vec(lit, 1..4), 1..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn solver_matches_brute_force(clauses in arb_cnf(8)) {
+        let mut s = Solver::new();
+        for _ in 0..8 {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let expect = brute_force_sat(8, &clauses);
+        match s.solve(&[]) {
+            SolveResult::Sat => {
+                prop_assert!(expect, "solver SAT, brute force UNSAT");
+                // Model check.
+                for c in &clauses {
+                    let ok = c.iter().any(|l| {
+                        s.model_value(l.var()).unwrap() != l.is_neg()
+                    });
+                    prop_assert!(ok, "model violates {c:?}");
+                }
+            }
+            SolveResult::Unsat => prop_assert!(!expect, "solver UNSAT, brute force SAT"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn assumptions_match_brute_force(clauses in arb_cnf(6), probe in 0u32..6, neg in any::<bool>()) {
+        let mut s = Solver::new();
+        for _ in 0..6 {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let assumption = SatVar::new(probe).lit(neg);
+        let mut forced = clauses.clone();
+        forced.push(vec![assumption]);
+        let expect = brute_force_sat(6, &forced);
+        let got = s.solve(&[assumption]);
+        match got {
+            SolveResult::Sat => prop_assert!(expect),
+            SolveResult::Unsat => prop_assert!(!expect),
+            SolveResult::Unknown => prop_assert!(false),
+        }
+        // The solver must remain reusable afterwards.
+        let plain = s.solve(&[]);
+        prop_assert_eq!(plain == SolveResult::Sat, brute_force_sat(6, &clauses));
+    }
+
+    #[test]
+    fn tseitin_encoding_matches_evaluator(seed in any::<u64>(), pis in 1usize..7, ands in 1usize..50) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 1, seed);
+        let po = aig.po(0);
+        let mut solver = Solver::new();
+        let mut enc = CnfEncoder::new();
+        let spo = enc.encode(&aig, po, &mut solver);
+        // The PO can be 1 iff some input assignment makes it 1.
+        let can_be_true = (0..1usize << pis).any(|i| {
+            let bits: Vec<bool> = (0..pis).map(|k| i >> k & 1 == 1).collect();
+            aig.eval(&bits)[0]
+        });
+        let can_be_false = (0..1usize << pis).any(|i| {
+            let bits: Vec<bool> = (0..pis).map(|k| i >> k & 1 == 1).collect();
+            !aig.eval(&bits)[0]
+        });
+        prop_assert_eq!(solver.solve(&[spo]) == SolveResult::Sat, can_be_true);
+        prop_assert_eq!(solver.solve(&[!spo]) == SolveResult::Sat, can_be_false);
+    }
+
+    #[test]
+    fn sat_model_of_po_is_a_real_witness(seed in any::<u64>(), pis in 1usize..7, ands in 1usize..50) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 1, seed);
+        let po = aig.po(0);
+        let mut solver = Solver::new();
+        let mut enc = CnfEncoder::new();
+        let spo = enc.encode(&aig, po, &mut solver);
+        if solver.solve(&[spo]) == SolveResult::Sat {
+            let cex = enc.model_to_cex(&aig, &solver);
+            let out = aig.eval(&cex.to_dense(&aig));
+            prop_assert!(out[0], "model does not set the PO");
+        }
+    }
+}

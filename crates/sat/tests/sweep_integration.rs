@@ -1,0 +1,123 @@
+//! Integration tests of the SAT sweeping checker: seeding, budgets,
+//! round behaviour.
+
+use parsweep_aig::{miter, Aig, Lit};
+use parsweep_par::Executor;
+use parsweep_sat::{sat_sweep, sat_sweep_seeded, SweepConfig, Verdict};
+use parsweep_sim::Cex;
+
+fn exec() -> Executor {
+    Executor::with_threads(1)
+}
+
+/// Two builds of a 6-bit odd-parity + threshold circuit.
+fn parity_threshold(variant: bool) -> Aig {
+    let mut aig = Aig::new();
+    let xs = aig.add_inputs(6);
+    let parity = if variant {
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.xor(acc, x);
+        }
+        acc
+    } else {
+        let a = aig.xor(xs[0], xs[1]);
+        let b = aig.xor(xs[2], xs[3]);
+        let c = aig.xor(xs[4], xs[5]);
+        let ab = aig.xor(a, b);
+        aig.xor(ab, c)
+    };
+    aig.add_po(parity);
+    // A second output to keep classes interesting.
+    let t = aig.and(xs[0], xs[3]);
+    let u = aig.or(t, xs[5]);
+    aig.add_po(u);
+    aig
+}
+
+#[test]
+fn seeded_sweep_matches_unseeded_verdict() {
+    let m = miter(&parity_threshold(false), &parity_threshold(true)).unwrap();
+    let cfg = SweepConfig::default();
+    let plain = sat_sweep(&m, &exec(), &cfg);
+    // Seed with arbitrary (valid positional) patterns: verdict unchanged.
+    let seeds: Vec<Cex> = (0..5)
+        .map(|k| Cex::new((0..m.num_pis()).map(|i| (i + k) % 3 == 0).collect()))
+        .collect();
+    let seeded = sat_sweep_seeded(&m, &exec(), &cfg, &seeds);
+    assert_eq!(plain.verdict, seeded.verdict);
+    assert_eq!(plain.verdict, Verdict::Equivalent);
+}
+
+#[test]
+fn seeding_with_distinguishing_pattern_short_circuits() {
+    // Make the two circuits differ; seed the sweep with the exact
+    // counter-example so round 1 simulation disproves instantly.
+    let a = parity_threshold(false);
+    let mut b = parity_threshold(false);
+    let po = b.po(0);
+    b.set_po(0, !po);
+    let m = miter(&a, &b).unwrap();
+    // Any pattern fires PO 0 (complemented parity differs everywhere).
+    let seed = Cex::new(vec![false; m.num_pis()]);
+    let r = sat_sweep_seeded(&m, &exec(), &SweepConfig::default(), &[seed]);
+    match r.verdict {
+        Verdict::NotEquivalent(cex) => assert!(cex.fires(&m)),
+        other => panic!("expected disproof, got {other:?}"),
+    }
+    // Disproved purely by simulation: zero SAT calls.
+    assert_eq!(r.stats.sat_calls, 0);
+}
+
+#[test]
+fn single_round_budget_still_sound() {
+    let m = miter(&parity_threshold(false), &parity_threshold(true)).unwrap();
+    let cfg = SweepConfig {
+        max_rounds: 1,
+        ..SweepConfig::default()
+    };
+    let r = sat_sweep(&m, &exec(), &cfg);
+    // One round may or may not finish, but must never disprove an
+    // equivalent miter.
+    assert!(!matches!(r.verdict, Verdict::NotEquivalent(_)));
+}
+
+#[test]
+fn tiny_conflict_budgets_degrade_to_undecided_not_wrong() {
+    // A moderately hard equivalent pair with absurdly small budgets.
+    let mut a = Aig::new();
+    let xs = a.add_inputs(14);
+    let f = a.and_all(xs.iter().copied());
+    a.add_po(f);
+    let mut b = Aig::new();
+    let ys = b.add_inputs(14);
+    let mut g = ys[13];
+    for &y in ys[..13].iter().rev() {
+        g = b.and(y, g);
+    }
+    b.add_po(g);
+    let m = miter(&a, &b).unwrap();
+    let cfg = SweepConfig {
+        conflicts_per_pair: 1,
+        conflicts_per_po: 1,
+        max_rounds: 2,
+        ..SweepConfig::default()
+    };
+    let r = sat_sweep(&m, &exec(), &cfg);
+    assert!(
+        !matches!(r.verdict, Verdict::NotEquivalent(_)),
+        "budget starvation must never fabricate a disproof"
+    );
+}
+
+#[test]
+fn stats_reflect_work() {
+    let m = miter(&parity_threshold(false), &parity_threshold(true)).unwrap();
+    let r = sat_sweep(&m, &exec(), &SweepConfig::default());
+    assert!(r.stats.rounds >= 1);
+    assert!(r.stats.seconds >= 0.0);
+    if r.verdict == Verdict::Equivalent {
+        assert_eq!(r.reduced.num_ands(), 0);
+    }
+    let _ = Lit::FALSE;
+}

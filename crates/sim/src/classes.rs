@@ -1,0 +1,115 @@
+//! Equivalence-class construction from simulation signatures.
+
+use parsweep_aig::{Aig, Var};
+
+use crate::partial::Signatures;
+
+/// Clusters all nodes by phase-canonicalized signature.
+///
+/// Returns every class with at least two members, each sorted by id (the
+/// minimum-id member — the paper's *representative* — first), ordered by
+/// representative id. A node and its complement land in the same class;
+/// the relative phase of two members is `sigs.phase(a) != sigs.phase(b)`.
+pub fn signature_classes(aig: &Aig, sigs: &Signatures) -> Vec<Vec<Var>> {
+    use std::collections::HashMap;
+    let mut buckets: HashMap<u64, Vec<Var>> = HashMap::new();
+    for i in 0..aig.num_nodes() {
+        let v = Var::new(i as u32);
+        buckets.entry(sigs.canonical_hash(v)).or_default().push(v);
+    }
+    let mut classes = Vec::new();
+    for (_, mut members) in buckets {
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_unstable();
+        // Split hash buckets by exact canonical signature.
+        while members.len() >= 2 {
+            let repr = members[0];
+            let repr_sig: Vec<u64> = sigs.canonical(repr).collect();
+            let (same, rest): (Vec<Var>, Vec<Var>) = members
+                .into_iter()
+                .partition(|&m| sigs.canonical(m).eq(repr_sig.iter().copied()));
+            if same.len() >= 2 {
+                classes.push(same);
+            }
+            members = rest;
+        }
+    }
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+/// Scans the PO signatures for a fired miter output and extracts the
+/// distinguishing input pattern, if any.
+///
+/// Returns a counter-example as soon as some PO evaluates to 1 under one
+/// of the simulated patterns (constant-true POs yield the all-zero
+/// pattern).
+pub fn find_po_counterexample(
+    aig: &Aig,
+    sigs: &Signatures,
+    patterns: &crate::partial::Patterns,
+) -> Option<crate::Cex> {
+    use parsweep_aig::Lit;
+    for &po in aig.pos() {
+        if po == Lit::FALSE {
+            continue;
+        }
+        if po == Lit::TRUE {
+            return Some(crate::Cex::new(vec![false; aig.num_pis()]));
+        }
+        let mask = if po.is_complemented() { u64::MAX } else { 0 };
+        for (w, &word) in sigs.sig(po.var()).iter().enumerate() {
+            let fired = word ^ mask;
+            if fired != 0 {
+                let bit = fired.trailing_zeros() as usize;
+                let p = w * 64 + bit;
+                let inputs = (0..aig.num_pis())
+                    .map(|i| patterns.word(i, p / 64) >> (p % 64) & 1 == 1)
+                    .collect();
+                return Some(crate::Cex::new(inputs));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial::{simulate, Patterns};
+    use parsweep_aig::Aig;
+    use parsweep_par::Executor;
+
+    #[test]
+    fn clusters_equal_functions_and_complements() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        // Two structurally distinct forms of a & b: plain, and the
+        // redundant (a | b) & (a & b).
+        let f1 = aig.and(xs[0], xs[1]);
+        let t = aig.or(xs[0], xs[1]);
+        let g = aig.and(t, f1);
+        aig.add_po(g);
+        aig.add_po(!f1);
+        let patterns = Patterns::random(3, 4, 9);
+        let sigs = simulate(&aig, &Executor::with_threads(1), &patterns);
+        let classes = signature_classes(&aig, &sigs);
+        // f1 and g's var must share a class.
+        let has = classes
+            .iter()
+            .any(|c| c.contains(&f1.var()) && c.contains(&g.var()));
+        assert!(has, "classes: {classes:?}");
+    }
+
+    #[test]
+    fn representative_is_minimum_id() {
+        let aig = parsweep_aig::random::random_aig(5, 60, 2, 8);
+        let patterns = Patterns::random(5, 2, 3);
+        let sigs = simulate(&aig, &Executor::with_threads(1), &patterns);
+        for class in signature_classes(&aig, &sigs) {
+            assert!(class.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

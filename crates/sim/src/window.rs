@@ -1,0 +1,411 @@
+//! Simulation windows (§III-B1).
+//!
+//! A window is the set of intermediate nodes that drive the roots of one or
+//! more candidate pairs, together with the window's input nodes. Global
+//! function checking uses the union of the pair's structural supports as
+//! inputs; local function checking uses a common cut.
+
+use std::collections::HashMap;
+
+use parsweep_aig::{Aig, Node, Var};
+
+use crate::tt::word_len;
+
+/// One candidate equivalence to check inside a window: `a ≡ b ⊕ complement`.
+///
+/// By convention `a` is the representative (smaller id); a check against
+/// the constant node (`a == Var::FALSE`) proves that `b` is constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairCheck {
+    /// Representative (or constant) root.
+    pub a: Var,
+    /// The other root.
+    pub b: Var,
+    /// True if `b` is expected to be the complement of `a`.
+    pub complement: bool,
+}
+
+/// A simulation window: input nodes, interior nodes (topologically sorted)
+/// and the candidate pairs whose roots lie inside it.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Input nodes in increasing id order (the truth-table variables).
+    pub inputs: Vec<Var>,
+    /// Interior nodes (including roots), topologically sorted, excluding
+    /// inputs.
+    pub nodes: Vec<Var>,
+    /// The candidate pairs checked with this window.
+    pub pairs: Vec<PairCheck>,
+}
+
+impl Window {
+    /// Builds a window for checking one pair over an explicit input set
+    /// (either the support union for global checking, or a common cut for
+    /// local checking).
+    ///
+    /// Returns `None` if `inputs` is not a valid cut of both roots.
+    pub fn for_pair(aig: &Aig, pair: PairCheck, mut inputs: Vec<Var>) -> Option<Window> {
+        inputs.sort_unstable();
+        inputs.dedup();
+        let mut roots = Vec::with_capacity(2);
+        if !pair.a.is_const() {
+            roots.push(pair.a);
+        }
+        roots.push(pair.b);
+        let nodes = aig.cone_between(&roots, &inputs)?;
+        Some(Window {
+            inputs,
+            nodes,
+            pairs: vec![pair],
+        })
+    }
+
+    /// Builds a global-checking window: inputs are the union of the two
+    /// roots' structural supports.
+    pub fn global(aig: &Aig, pair: PairCheck) -> Window {
+        let mut roots = Vec::with_capacity(2);
+        if !pair.a.is_const() {
+            roots.push(pair.a);
+        }
+        roots.push(pair.b);
+        let inputs = aig.support(&roots);
+        Self::for_pair(aig, pair, inputs).expect("support union is always a valid cut")
+    }
+
+    /// Number of truth-table variables (window inputs).
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Length of the full truth table in 64-bit words.
+    pub fn tt_words(&self) -> usize {
+        word_len(self.inputs.len())
+    }
+
+    /// Number of simulation-table entries this window occupies
+    /// (inputs + interior nodes), the paper's `|w| + |inputs(w)|`.
+    pub fn num_entries(&self) -> usize {
+        self.inputs.len() + self.nodes.len()
+    }
+
+    /// Maps each window node (inputs first, then interior) to its entry
+    /// slot inside this window.
+    pub fn entry_index(&self) -> HashMap<Var, u32> {
+        let mut map = HashMap::with_capacity(self.num_entries());
+        for (i, &v) in self.inputs.iter().chain(&self.nodes).enumerate() {
+            map.insert(v, i as u32);
+        }
+        map
+    }
+
+    /// Groups interior nodes by window-local topological level (inputs are
+    /// level 0; every interior node is `1 + max(fanin levels)`).
+    pub fn level_groups(&self, aig: &Aig) -> Vec<Vec<Var>> {
+        let mut level: HashMap<Var, u32> = HashMap::with_capacity(self.num_entries());
+        for &v in &self.inputs {
+            level.insert(v, 0);
+        }
+        let mut groups: Vec<Vec<Var>> = Vec::new();
+        for &v in &self.nodes {
+            if level.contains_key(&v) {
+                continue; // a root that is also an input
+            }
+            let l = match aig.node(v) {
+                Node::And(a, b) => {
+                    let la = *level.get(&a.var()).expect("window is topologically closed");
+                    let lb = *level.get(&b.var()).expect("window is topologically closed");
+                    1 + la.max(lb)
+                }
+                _ => unreachable!("interior window nodes are AND gates"),
+            };
+            level.insert(v, l);
+            let idx = l as usize - 1;
+            if groups.len() <= idx {
+                groups.resize(idx + 1, Vec::new());
+            }
+            groups[idx].push(v);
+        }
+        groups
+    }
+}
+
+/// Merges a batch of global-checking windows by greedy similarity
+/// clustering — the "more dedicated approach" the paper contrasts with
+/// lexicographic merging (§III-B3): each seed window absorbs the
+/// remaining window with the highest input-set Jaccard similarity until
+/// nothing fits under `k_s`. Quadratic in the batch size (the overhead
+/// the paper predicts), measured against [`merge_windows`] by the
+/// ablation harness.
+pub fn merge_windows_clustered(windows: Vec<Window>, k_s: usize) -> Vec<Window> {
+    if windows.len() <= 1 {
+        return windows;
+    }
+    let mut pool: Vec<Option<Window>> = windows.into_iter().map(Some).collect();
+    let mut out = Vec::with_capacity(pool.len());
+    for i in 0..pool.len() {
+        let Some(mut current) = pool[i].take() else {
+            continue;
+        };
+        loop {
+            // Pick the most input-similar remaining window that fits.
+            let mut best: Option<(usize, f64)> = None;
+            for (j, slot) in pool.iter().enumerate().skip(i + 1) {
+                let Some(w) = slot else { continue };
+                let union = union_sorted(&current.inputs, &w.inputs);
+                if union.len() > k_s {
+                    continue;
+                }
+                let inter =
+                    current.inputs.len() + w.inputs.len() - union.len();
+                if inter == 0 {
+                    continue; // disjoint windows never merge (see try_union)
+                }
+                let sim = inter as f64 / union.len().max(1) as f64;
+                if best.is_none_or(|(_, s)| sim > s) {
+                    best = Some((j, sim));
+                }
+            }
+            let Some((j, _)) = best else { break };
+            let absorbed = pool[j].take().expect("candidate present");
+            current = try_union(&current, &absorbed, k_s)
+                .expect("union checked to fit k_s");
+        }
+        out.push(current);
+    }
+    out
+}
+
+/// Merges a sorted batch of global-checking windows (§III-B3): windows are
+/// sorted lexicographically by input list, then consecutive windows are
+/// merged greedily while the merged input count stays within `k_s`.
+///
+/// Only valid for global-checking windows (inputs are PIs), where an input
+/// of one window can never be an interior node of another.
+pub fn merge_windows(mut windows: Vec<Window>, k_s: usize) -> Vec<Window> {
+    if windows.len() <= 1 {
+        return windows;
+    }
+    windows.sort_by(|a, b| a.inputs.cmp(&b.inputs));
+    let mut out: Vec<Window> = Vec::with_capacity(windows.len());
+    let mut it = windows.into_iter();
+    let mut current = it.next().expect("nonempty");
+    for w in it {
+        match try_union(&current, &w, k_s) {
+            Some(merged) => current = merged,
+            None => {
+                out.push(std::mem::replace(&mut current, w));
+            }
+        }
+    }
+    out.push(current);
+    out
+}
+
+fn union_sorted(a: &[Var], b: &[Var]) -> Vec<Var> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if j >= b.len() || (i < a.len() && a[i] < b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else if i >= a.len() || b[j] < a[i] {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+        }
+    }
+    out
+}
+
+fn try_union(a: &Window, b: &Window, k_s: usize) -> Option<Window> {
+    let inputs = union_sorted(&a.inputs, &b.inputs);
+    if inputs.len() > k_s {
+        return None;
+    }
+    // Never merge input-disjoint windows: the merged truth table costs
+    // 2^(|A|+|B|) patterns where the separate windows cost 2^|A| + 2^|B|.
+    // (All of the paper's §III-B3 examples share inputs.)
+    if inputs.len() == a.inputs.len() + b.inputs.len() {
+        return None;
+    }
+    let nodes = union_sorted(&a.nodes, &b.nodes);
+    let mut pairs = a.pairs.clone();
+    pairs.extend_from_slice(&b.pairs);
+    Some(Window {
+        inputs,
+        nodes,
+        pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsweep_aig::Aig;
+
+    fn pair(a: Var, b: Var) -> PairCheck {
+        PairCheck {
+            a,
+            b,
+            complement: false,
+        }
+    }
+
+    #[test]
+    fn global_window_covers_cone() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        let f = aig.xor(xs[0], xs[1]);
+        let g = aig.and(f, xs[2]);
+        let w = Window::global(&aig, pair(f.var(), g.var()));
+        assert_eq!(w.num_inputs(), 3);
+        assert!(w.nodes.contains(&f.var()));
+        assert!(w.nodes.contains(&g.var()));
+        assert_eq!(w.tt_words(), 1);
+    }
+
+    #[test]
+    fn window_against_constant() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let f = aig.and(xs[0], xs[1]);
+        let w = Window::global(&aig, pair(Var::FALSE, f.var()));
+        assert_eq!(w.num_inputs(), 2);
+        assert_eq!(w.nodes, vec![f.var()]);
+    }
+
+    #[test]
+    fn invalid_cut_rejected() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let f = aig.and(xs[0], xs[1]);
+        // Cut missing xs[1].
+        let w = Window::for_pair(&aig, pair(Var::FALSE, f.var()), vec![xs[0].var()]);
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn level_groups_respect_dependencies() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let a = aig.and(xs[0], xs[1]);
+        let b = aig.and(xs[2], xs[3]);
+        let c = aig.and(a, b);
+        let w = Window::global(&aig, pair(a.var(), c.var()));
+        let groups = w.level_groups(&aig);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2); // a and b
+        assert_eq!(groups[1], vec![c.var()]);
+    }
+
+    #[test]
+    fn merge_respects_threshold() {
+        // Paper example: inputs {a,b}, {a,b,c}, {a,c}... with k_s = 3 the
+        // lexicographically consecutive ones merge while small enough.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(6);
+        let vars: Vec<Var> = xs.iter().map(|l| l.var()).collect();
+        let mk = |inputs: &[usize], aig: &mut Aig| {
+            // Build a tiny node over the inputs so cones are valid.
+            let lits: Vec<_> = inputs.iter().map(|&i| xs[i]).collect();
+            let f = aig.and_all(lits);
+            Window::for_pair(
+                aig,
+                pair(Var::FALSE, f.var()),
+                inputs.iter().map(|&i| vars[i]).collect(),
+            )
+            .unwrap()
+        };
+        let w1 = mk(&[0, 1], &mut aig);
+        let w2 = mk(&[0, 1, 2], &mut aig);
+        let w3 = mk(&[0, 4], &mut aig);
+        let w4 = mk(&[0, 5], &mut aig);
+        let merged = merge_windows(vec![w1, w2, w3, w4], 3);
+        assert_eq!(merged.len(), 2);
+        let sizes: Vec<usize> = merged.iter().map(|w| w.num_inputs()).collect();
+        assert!(sizes.iter().all(|&s| s <= 3));
+        let total_pairs: usize = merged.iter().map(|w| w.pairs.len()).sum();
+        assert_eq!(total_pairs, 4);
+    }
+
+    #[test]
+    fn merge_keeps_singletons_when_threshold_tight() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let f = aig.and(xs[0], xs[1]);
+        let g = aig.and(xs[2], xs[3]);
+        let w1 = Window::global(&aig, pair(Var::FALSE, f.var()));
+        let w2 = Window::global(&aig, pair(Var::FALSE, g.var()));
+        let merged = merge_windows(vec![w1, w2], 2);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn clustered_merge_respects_threshold_and_keeps_pairs() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(6);
+        let mk = |inputs: &[usize], aig: &mut Aig| {
+            let lits: Vec<_> = inputs.iter().map(|&i| xs[i]).collect();
+            let f = aig.and_all(lits);
+            Window::for_pair(
+                aig,
+                pair(Var::FALSE, f.var()),
+                inputs.iter().map(|&i| xs[i].var()).collect(),
+            )
+            .unwrap()
+        };
+        let w1 = mk(&[0, 1], &mut aig);
+        let w2 = mk(&[0, 1, 2], &mut aig);
+        let w3 = mk(&[3, 4], &mut aig);
+        let w4 = mk(&[3, 5], &mut aig);
+        let merged = merge_windows_clustered(vec![w1, w2, w3, w4], 3);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.iter().all(|w| w.num_inputs() <= 3));
+        let total_pairs: usize = merged.iter().map(|w| w.pairs.len()).sum();
+        assert_eq!(total_pairs, 4);
+    }
+
+    #[test]
+    fn clustered_merge_prefers_similar_inputs() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(8);
+        let mk = |inputs: &[usize], aig: &mut Aig| {
+            let lits: Vec<_> = inputs.iter().map(|&i| xs[i]).collect();
+            let f = aig.and_all(lits);
+            Window::for_pair(
+                aig,
+                pair(Var::FALSE, f.var()),
+                inputs.iter().map(|&i| xs[i].var()).collect(),
+            )
+            .unwrap()
+        };
+        // Seed {0,1}: {0,1,2} is more similar than {6,7}; with k_s = 4
+        // the seed must absorb the similar one.
+        let w1 = mk(&[0, 1], &mut aig);
+        let w2 = mk(&[6, 7], &mut aig);
+        let w3 = mk(&[0, 1, 2], &mut aig);
+        let merged = merge_windows_clustered(vec![w1, w2, w3], 4);
+        let with_0 = merged
+            .iter()
+            .find(|w| w.inputs.contains(&xs[0].var()))
+            .unwrap();
+        assert!(with_0.inputs.contains(&xs[2].var()));
+    }
+
+    #[test]
+    fn entry_index_is_dense_and_unique() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        let f = aig.xor(xs[0], xs[1]);
+        let g = aig.and(f, xs[2]);
+        let w = Window::global(&aig, pair(f.var(), g.var()));
+        let idx = w.entry_index();
+        assert_eq!(idx.len(), w.num_entries());
+        let mut slots: Vec<u32> = idx.values().copied().collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..w.num_entries() as u32).collect::<Vec<_>>());
+    }
+}

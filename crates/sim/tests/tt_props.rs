@@ -1,0 +1,170 @@
+//! Property-based tests of truth tables and the exhaustive simulator.
+
+use proptest::prelude::*;
+
+use parsweep_aig::{Aig, Var};
+use parsweep_par::Executor;
+use parsweep_sim::{check_windows, PairCheck, PairOutcome, TruthTable, Window};
+
+fn arb_tt(num_vars: usize) -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(any::<u64>(), parsweep_sim::word_len(num_vars))
+        .prop_map(move |words| TruthTable::from_words(num_vars, words))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn de_morgan_holds(a in arb_tt(7), b in arb_tt(7)) {
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    #[test]
+    fn xor_is_its_own_inverse(a in arb_tt(6), b in arb_tt(6)) {
+        prop_assert_eq!(a.xor(&b).xor(&b), a.clone());
+        prop_assert!(a.xor(&a).is_zero());
+    }
+
+    #[test]
+    fn double_complement_is_identity(a in arb_tt(5)) {
+        prop_assert_eq!(a.not().not(), a.clone());
+        prop_assert_eq!(a.count_ones() + a.not().count_ones(), a.num_bits());
+    }
+
+    #[test]
+    fn cofactors_reconstruct_by_shannon(a in arb_tt(5), var in 0usize..5) {
+        let c1 = a.cofactor(var, true);
+        let c0 = a.cofactor(var, false);
+        let x = TruthTable::projection(5, var);
+        let rebuilt = x.and(&c1).or(&x.not().and(&c0));
+        prop_assert_eq!(rebuilt, a.clone());
+        // Cofactors never depend on the cofactored variable.
+        prop_assert!(!c1.depends_on(var));
+        prop_assert!(!c0.depends_on(var));
+    }
+
+    #[test]
+    fn depends_on_matches_cofactor_difference(a in arb_tt(6), var in 0usize..6) {
+        let differs = a.cofactor(var, true) != a.cofactor(var, false);
+        prop_assert_eq!(a.depends_on(var), differs);
+    }
+
+    #[test]
+    fn exhaustive_checker_agrees_with_reference_eval(
+        seed in any::<u64>(), pis in 2usize..7, ands in 4usize..60
+    ) {
+        // Build one random network; pick the two newest nodes as a pair
+        // and compare the checker's verdict with brute-force evaluation.
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let v1 = aig.po(0).var();
+        let v2 = aig.po(1).var();
+        if v1 == v2 || v1.is_const() || v2.is_const() {
+            return Ok(());
+        }
+        let (a, b) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+        for complement in [false, true] {
+            let pair = PairCheck { a, b, complement };
+            let w = Window::global(&aig, pair);
+            let exec = Executor::with_threads(1);
+            let (out, _) = check_windows(&aig, &exec, &[w], 1 << 14);
+            // Reference: brute force over all assignments.
+            let mut equal = true;
+            for i in 0..1usize << pis {
+                let bits: Vec<bool> = (0..pis).map(|k| i >> k & 1 == 1).collect();
+                let values = aig.eval_nodes(&bits);
+                if values[a.index()] != (values[b.index()] != complement) {
+                    equal = false;
+                    break;
+                }
+            }
+            match &out[0][0] {
+                PairOutcome::Equal => prop_assert!(equal, "checker said equal, reference disagrees"),
+                PairOutcome::Mismatch { .. } => prop_assert!(!equal, "checker mismatch, reference says equal"),
+            }
+        }
+    }
+
+    #[test]
+    fn mismatch_assignment_is_a_witness(
+        seed in any::<u64>(), pis in 2usize..7, ands in 4usize..60
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let v1 = aig.po(0).var();
+        let v2 = aig.po(1).var();
+        if v1 == v2 || v1.is_const() || v2.is_const() {
+            return Ok(());
+        }
+        let (a, b) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+        let pair = PairCheck { a, b, complement: false };
+        let w = Window::global(&aig, pair);
+        let inputs = w.inputs.clone();
+        let exec = Executor::with_threads(1);
+        let (out, _) = check_windows(&aig, &exec, &[w], 1 << 14);
+        if let PairOutcome::Mismatch { assignment, .. } = &out[0][0] {
+            // Evaluate the witness: expand window-input assignment to PIs.
+            let mut dense = vec![false; aig.num_pis()];
+            let mut pi_pos = std::collections::HashMap::new();
+            for (i, &pi) in aig.pis().iter().enumerate() {
+                pi_pos.insert(pi, i);
+            }
+            for (v, &val) in inputs.iter().zip(assignment.iter()) {
+                dense[pi_pos[v]] = val;
+            }
+            let values = aig.eval_nodes(&dense);
+            prop_assert_ne!(values[a.index()], values[b.index()]);
+        }
+        let _ = Var::FALSE;
+    }
+}
+
+#[test]
+fn window_merging_preserves_outcomes() {
+    // Merged and unmerged batches must agree on every pair verdict.
+    let mut aig = Aig::new();
+    let xs = aig.add_inputs(6);
+    let f1 = aig.xor(xs[0], xs[1]);
+    let f2 = {
+        let t0 = aig.and(xs[0], !xs[1]);
+        let t1 = aig.and(!xs[0], xs[1]);
+        aig.or(t0, t1)
+    };
+    let g1 = aig.and(xs[2], xs[3]);
+    let g2 = aig.or(xs[2], xs[3]);
+    let h1 = aig.maj3(xs[3], xs[4], xs[5]);
+    let h2 = {
+        let or = aig.or(xs[4], xs[5]);
+        let and = aig.and(xs[4], xs[5]);
+        aig.mux(xs[3], or, and)
+    };
+    let pairs = [(f1, f2), (g1, g2), (h1, h2)];
+    let exec = Executor::with_threads(1);
+    let windows: Vec<Window> = pairs
+        .iter()
+        .map(|(x, y)| {
+            Window::global(
+                &aig,
+                PairCheck {
+                    a: x.var().min(y.var()),
+                    b: x.var().max(y.var()),
+                    complement: x.is_complemented() != y.is_complemented(),
+                },
+            )
+        })
+        .collect();
+    let (plain, _) = check_windows(&aig, &exec, &windows, 1 << 14);
+    let merged = parsweep_sim::merge_windows(windows.clone(), 6);
+    let (merged_out, _) = check_windows(&aig, &exec, &merged, 1 << 14);
+    // Collect verdicts per pair (b-var identifies the pair).
+    let collect = |wins: &[Window], outs: &[Vec<PairOutcome>]| {
+        let mut v: Vec<(Var, bool)> = Vec::new();
+        for (w, win) in wins.iter().enumerate() {
+            for (k, o) in outs[w].iter().enumerate() {
+                v.push((win.pairs[k].b, matches!(o, PairOutcome::Equal)));
+            }
+        }
+        v.sort();
+        v
+    };
+    assert_eq!(collect(&windows, &plain), collect(&merged, &merged_out));
+}

@@ -1,0 +1,166 @@
+//! AND-tree balancing (the `b` steps of `resyn2`).
+//!
+//! Collects maximal multi-input AND trees (following non-complemented
+//! fanin edges) and rebuilds each as a depth-minimal balanced tree, pairing
+//! the shallowest operands first.
+
+use parsweep_aig::{Aig, Lit, Node};
+
+/// Rebuilds the network with every maximal AND tree balanced.
+///
+/// The result is functionally equivalent; depth typically drops while the
+/// gate count stays equal or shrinks (via re-hashing).
+pub fn balance(aig: &Aig) -> Aig {
+    let mut out = Aig::with_capacity(aig.num_nodes());
+    let mut map: Vec<Lit> = Vec::with_capacity(aig.num_nodes());
+    let fanouts = aig.fanout_counts();
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let lit = match node {
+            Node::Const => Lit::FALSE,
+            Node::Input(_) => out.add_input(),
+            Node::And(_, _) => {
+                // Collect the maximal AND tree rooted here: descend through
+                // non-complemented AND fanins with single fanout (shared
+                // nodes keep their own identity).
+                let mut operands: Vec<Lit> = Vec::new();
+                let mut stack = vec![parsweep_aig::Var::new(i as u32)];
+                while let Some(v) = stack.pop() {
+                    match aig.node(v) {
+                        Node::And(a, b) if v.index() == i || fanouts[v.index()] == 1 => {
+                            for f in [a, b] {
+                                if !f.is_complemented() && aig.node(f.var()).is_and() {
+                                    stack.push(f.var());
+                                } else {
+                                    operands
+                                        .push(map[f.var().index()].xor(f.is_complemented()));
+                                }
+                            }
+                        }
+                        _ => {
+                            // Shared subtree: treat as a single operand.
+                            operands.push(map[v.index()]);
+                        }
+                    }
+                }
+                build_balanced(&mut out, operands)
+            }
+        };
+        map.push(lit);
+    }
+    for po in aig.pos() {
+        let lit = map[po.var().index()].xor(po.is_complemented());
+        out.add_po(lit);
+    }
+    out.clean()
+}
+
+/// Combines operands into a balanced AND tree, always pairing the two
+/// shallowest operands (Huffman-style by level).
+fn build_balanced(out: &mut Aig, operands: Vec<Lit>) -> Lit {
+    if operands.is_empty() {
+        return Lit::TRUE;
+    }
+    let levels = out.levels();
+    // Min-heap of (level, lit) via Reverse ordering.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = operands
+        .into_iter()
+        .map(|l| Reverse((levels.get(l.var().index()).copied().unwrap_or(0), l.code())))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse((la, a)) = heap.pop().expect("len > 1");
+        let Reverse((lb, b)) = heap.pop().expect("len > 1");
+        let f = out.and(Lit::from_code(a), Lit::from_code(b));
+        heap.push(Reverse((la.max(lb) + 1, f.code())));
+    }
+    let Reverse((_, top)) = heap.pop().expect("nonempty");
+    Lit::from_code(top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equivalent(a: &Aig, b: &Aig) -> bool {
+        assert_eq!(a.num_pis(), b.num_pis());
+        assert_eq!(a.num_pos(), b.num_pos());
+        let n = a.num_pis();
+        if n <= 12 {
+            (0..1usize << n).all(|v| {
+                let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+                a.eval(&bits) == b.eval(&bits)
+            })
+        } else {
+            let mut rng = parsweep_aig::random::SplitMix64::new(1);
+            (0..512).all(|_| {
+                let bits: Vec<bool> = (0..n).map(|_| rng.bool()).collect();
+                a.eval(&bits) == b.eval(&bits)
+            })
+        }
+    }
+
+    #[test]
+    fn chain_becomes_logarithmic() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(16);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_po(acc);
+        assert_eq!(aig.depth(), 15);
+        let b = balance(&aig);
+        assert_eq!(b.depth(), 4);
+        assert!(equivalent(&aig, &b));
+    }
+
+    #[test]
+    fn complemented_edges_block_tree_collection() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let t = aig.and(xs[0], xs[1]);
+        let u = aig.and(!t, xs[2]); // complement boundary
+        let v = aig.and(u, xs[3]);
+        aig.add_po(v);
+        let b = balance(&aig);
+        assert!(equivalent(&aig, &b));
+    }
+
+    #[test]
+    fn shared_nodes_keep_identity() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let shared = aig.and(xs[0], xs[1]);
+        let f = aig.and(shared, xs[2]);
+        let g = aig.and(shared, xs[3]);
+        aig.add_po(f);
+        aig.add_po(g);
+        let b = balance(&aig);
+        assert!(equivalent(&aig, &b));
+        assert!(b.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn random_networks_stay_equivalent() {
+        for seed in [2u64, 12, 99] {
+            let aig = parsweep_aig::random::random_aig(8, 80, 4, seed);
+            let b = balance(&aig);
+            assert!(equivalent(&aig, &b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn balance_is_idempotent_on_depth() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(8);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_po(acc);
+        let b1 = balance(&aig);
+        let b2 = balance(&b1);
+        assert_eq!(b1.depth(), b2.depth());
+    }
+}

@@ -1,0 +1,34 @@
+//! # parsweep-synth — logic optimization substrate
+//!
+//! The paper's benchmark miters compare an original circuit against its
+//! ABC-`resyn2`-optimized version. This crate rebuilds that optimizer:
+//! AND-tree [`balance`], cut-based [`rewrite`]/refactor via truth-table
+//! extraction + irredundant SOP ([`isop`]), chained into the
+//! [`resyn2`]-equivalent script.
+//!
+//! ```
+//! use parsweep_aig::Aig;
+//! use parsweep_synth::resyn2;
+//! let mut aig = Aig::new();
+//! let xs = aig.add_inputs(8);
+//! let mut acc = xs[0];
+//! for &x in &xs[1..] {
+//!     acc = aig.and(acc, x); // a deep chain
+//! }
+//! aig.add_po(acc);
+//! let opt = resyn2(&aig);
+//! assert!(opt.depth() < aig.depth());
+//! assert_eq!(opt.eval(&[true; 8]), vec![true]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod balance;
+mod isop;
+mod resyn;
+mod rewrite;
+
+pub use balance::balance;
+pub use isop::{isop, sop_cost, Cube};
+pub use resyn::{resyn2, resyn_light};
+pub use rewrite::{build_sop, local_truth_table, rewrite, RewriteParams};

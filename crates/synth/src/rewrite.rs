@@ -1,0 +1,300 @@
+//! Cut-based resynthesis: the `rw` (small cuts) and `rf` (larger cuts)
+//! steps of `resyn2`.
+//!
+//! Every AND node is considered with one well-shaped cut; its local
+//! function over the cut is extracted as a truth table, covered by an
+//! irredundant SOP, and rebuilt if the SOP form is estimated cheaper than
+//! the existing cone. The whole network is rebuilt in one topological
+//! pass, so the result is functionally equivalent by construction.
+
+use parsweep_aig::{Aig, Lit, Node, Var};
+use parsweep_cut::{
+    enumerate_cuts, filter_dominated, select_priority_cuts, Cut, CutParams, CutScorer, Pass,
+};
+use parsweep_sim::TruthTable;
+
+use crate::isop::{isop, sop_cost, Cube};
+
+/// Parameters of a rewriting pass.
+#[derive(Clone, Copy, Debug)]
+pub struct RewriteParams {
+    /// Maximum cut size considered (4 for `rw`-style, 8-10 for `rf`-style).
+    pub cut_size: usize,
+    /// Priority cuts kept per node during enumeration.
+    pub cuts_per_node: usize,
+    /// Accept resynthesized structure also on equal estimated cost
+    /// (zero-cost replacement, like ABC's `-z` variants); increases
+    /// structural diversity without size growth.
+    pub zero_cost: bool,
+}
+
+impl RewriteParams {
+    /// `rw`-like: 4-input cuts.
+    pub fn rewrite() -> Self {
+        RewriteParams {
+            cut_size: 4,
+            cuts_per_node: 6,
+            zero_cost: false,
+        }
+    }
+
+    /// `rf`-like: larger cuts.
+    pub fn refactor() -> Self {
+        RewriteParams {
+            cut_size: 8,
+            cuts_per_node: 4,
+            zero_cost: false,
+        }
+    }
+
+    /// Zero-cost variant of this parameter set.
+    pub fn with_zero_cost(mut self) -> Self {
+        self.zero_cost = true;
+        self
+    }
+}
+
+/// Computes the local truth table of `root` over `cut` in `aig`.
+///
+/// Returns `None` if the cut is not a valid cut of the root.
+pub fn local_truth_table(aig: &Aig, root: Var, cut: &Cut) -> Option<TruthTable> {
+    let leaves = cut.to_vars();
+    let cone = aig.cone_between(&[root], &leaves)?;
+    let k = leaves.len();
+    let mut tts: std::collections::HashMap<Var, TruthTable> = leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, TruthTable::projection(k, i)))
+        .collect();
+    for &v in &cone {
+        let Node::And(a, b) = aig.node(v) else {
+            return None;
+        };
+        let ta = {
+            let t = tts.get(&a.var())?;
+            if a.is_complemented() {
+                t.not()
+            } else {
+                t.clone()
+            }
+        };
+        let tb = {
+            let t = tts.get(&b.var())?;
+            if b.is_complemented() {
+                t.not()
+            } else {
+                t.clone()
+            }
+        };
+        tts.insert(v, ta.and(&tb));
+    }
+    tts.remove(&root)
+}
+
+/// Builds an SOP cover as AIG logic over the given leaf literals.
+pub fn build_sop(out: &mut Aig, cubes: &[Cube], leaves: &[Lit]) -> Lit {
+    let mut terms = Vec::with_capacity(cubes.len());
+    for cube in cubes {
+        let mut lits = Vec::with_capacity(cube.num_lits());
+        for (j, &leaf) in leaves.iter().enumerate() {
+            if cube.pos >> j & 1 == 1 {
+                lits.push(leaf);
+            }
+            if cube.neg >> j & 1 == 1 {
+                lits.push(!leaf);
+            }
+        }
+        terms.push(out.and_all(lits));
+    }
+    out.or_all(terms)
+}
+
+/// One rewriting pass over the network.
+///
+/// Returns a functionally equivalent network; gate count never increases
+/// beyond the strash-rebuilt baseline by more than the accepted zero-cost
+/// replacements.
+pub fn rewrite(aig: &Aig, params: RewriteParams) -> Aig {
+    let cut_params = CutParams {
+        k_l: params.cut_size,
+        c: params.cuts_per_node,
+    };
+    let fanouts = aig.fanout_counts();
+    let levels = aig.levels();
+    let scorer = CutScorer::new(&fanouts, &levels);
+
+    // Bottom-up priority cuts on the original network.
+    let mut cut_sets: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let cuts = match node {
+            Node::Const | Node::Input(_) => Vec::new(),
+            Node::And(a, b) => {
+                let cands = filter_dominated(enumerate_cuts(
+                    *a,
+                    *b,
+                    &cut_sets[a.var().index()],
+                    &cut_sets[b.var().index()],
+                    cut_params,
+                ));
+                select_priority_cuts(cands, &scorer, Pass::Fanout, cut_params, None)
+            }
+        };
+        cut_sets.push(cuts);
+        let _ = i;
+    }
+
+    let mut out = Aig::with_capacity(aig.num_nodes());
+    let mut map: Vec<Lit> = Vec::with_capacity(aig.num_nodes());
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let v = Var::new(i as u32);
+        let lit = match node {
+            Node::Const => Lit::FALSE,
+            Node::Input(_) => out.add_input(),
+            Node::And(a, b) => {
+                let fallback = |out: &mut Aig, map: &[Lit]| {
+                    let fa = map[a.var().index()].xor(a.is_complemented());
+                    let fb = map[b.var().index()].xor(b.is_complemented());
+                    out.and(fa, fb)
+                };
+                // Try the best nontrivial cut for resynthesis.
+                let mut chosen: Option<Lit> = None;
+                for cut in &cut_sets[i] {
+                    if cut.len() < 3 || cut.contains(v) {
+                        continue;
+                    }
+                    let Some(tt) = local_truth_table(aig, v, cut) else {
+                        continue;
+                    };
+                    let cone_size = aig
+                        .cone_between(&[v], &cut.to_vars())
+                        .map(|c| c.len())
+                        .unwrap_or(usize::MAX);
+                    let cubes = isop(&tt);
+                    let cubes_neg = isop(&tt.not());
+                    let (use_neg, cost) = if sop_cost(&cubes_neg) < sop_cost(&cubes) {
+                        (true, sop_cost(&cubes_neg))
+                    } else {
+                        (false, sop_cost(&cubes))
+                    };
+                    let accept = if params.zero_cost {
+                        cost <= cone_size
+                    } else {
+                        cost < cone_size
+                    };
+                    if accept {
+                        let leaves: Vec<Lit> = cut
+                            .iter()
+                            .map(|l| map[l.index()])
+                            .collect();
+                        let built = if use_neg {
+                            !build_sop(&mut out, &cubes_neg, &leaves)
+                        } else {
+                            build_sop(&mut out, &cubes, &leaves)
+                        };
+                        chosen = Some(built);
+                        break;
+                    }
+                }
+                chosen.unwrap_or_else(|| fallback(&mut out, &map))
+            }
+        };
+        map.push(lit);
+    }
+    for po in aig.pos() {
+        let lit = map[po.var().index()].xor(po.is_complemented());
+        out.add_po(lit);
+    }
+    out.clean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equivalent(a: &Aig, b: &Aig) -> bool {
+        assert_eq!(a.num_pis(), b.num_pis());
+        assert_eq!(a.num_pos(), b.num_pos());
+        let n = a.num_pis();
+        if n <= 10 {
+            (0..1usize << n).all(|v| {
+                let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+                a.eval(&bits) == b.eval(&bits)
+            })
+        } else {
+            let mut rng = parsweep_aig::random::SplitMix64::new(3);
+            (0..1024).all(|_| {
+                let bits: Vec<bool> = (0..n).map(|_| rng.bool()).collect();
+                a.eval(&bits) == b.eval(&bits)
+            })
+        }
+    }
+
+    #[test]
+    fn local_tt_of_mux() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        let m = aig.mux(xs[0], xs[1], xs[2]);
+        let cut = Cut::new(&[xs[0].var(), xs[1].var(), xs[2].var()]);
+        // m may carry a complement; compute for the underlying var.
+        let tt = local_truth_table(&aig, m.var(), &cut).unwrap();
+        let expect = TruthTable::from_fn(3, |i| {
+            let (s, t, e) = (i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1);
+            let muxv = if s { t } else { e };
+            muxv != m.is_complemented()
+        });
+        assert_eq!(tt, expect);
+    }
+
+    #[test]
+    fn invalid_cut_gives_none() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let f = aig.and(xs[0], xs[1]);
+        let cut = Cut::new(&[xs[0].var()]);
+        assert!(local_truth_table(&aig, f.var(), &cut).is_none());
+    }
+
+    #[test]
+    fn redundant_logic_shrinks() {
+        // f = (a & b) | (a & b & c): redundant term.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        let ab = aig.and(xs[0], xs[1]);
+        let abc = aig.and(ab, xs[2]);
+        let f = aig.or(ab, abc);
+        aig.add_po(f);
+        let r = rewrite(&aig, RewriteParams::rewrite());
+        assert!(equivalent(&aig, &r));
+        assert!(r.num_ands() < aig.num_ands());
+    }
+
+    #[test]
+    fn rewrite_preserves_random_networks() {
+        for seed in [7u64, 21, 63] {
+            let aig = parsweep_aig::random::random_aig(8, 120, 4, seed);
+            let r = rewrite(&aig, RewriteParams::rewrite());
+            assert!(equivalent(&aig, &r), "seed {seed} (rw)");
+            let r2 = rewrite(&aig, RewriteParams::refactor());
+            assert!(equivalent(&aig, &r2), "seed {seed} (rf)");
+            let r3 = rewrite(&aig, RewriteParams::rewrite().with_zero_cost());
+            assert!(equivalent(&aig, &r3), "seed {seed} (rwz)");
+        }
+    }
+
+    #[test]
+    fn build_sop_matches_cover() {
+        let a = TruthTable::projection(3, 0);
+        let b = TruthTable::projection(3, 1);
+        let c = TruthTable::projection(3, 2);
+        let f = a.xor(&b).or(&c);
+        let cubes = isop(&f);
+        let mut out = Aig::new();
+        let leaves = out.add_inputs(3);
+        let lit = build_sop(&mut out, &cubes, &leaves);
+        out.add_po(lit);
+        for i in 0..8usize {
+            let bits = [(i & 1) != 0, (i >> 1 & 1) != 0, (i >> 2 & 1) != 0];
+            assert_eq!(out.eval(&bits), vec![f.value(i)]);
+        }
+    }
+}

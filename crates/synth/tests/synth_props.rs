@@ -1,0 +1,70 @@
+//! Property-based tests: every optimization pass preserves the function.
+
+use proptest::prelude::*;
+
+use parsweep_aig::random::random_aig;
+use parsweep_aig::Aig;
+use parsweep_synth::{balance, isop, resyn_light, rewrite, Cube, RewriteParams};
+
+fn equivalent_exhaustive(a: &Aig, b: &Aig) -> bool {
+    let n = a.num_pis();
+    (0..1usize << n).all(|v| {
+        let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+        a.eval(&bits) == b.eval(&bits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn balance_preserves_function(
+        pis in 2usize..8, ands in 5usize..80, pos in 1usize..4, seed in any::<u64>()
+    ) {
+        let aig = random_aig(pis, ands, pos, seed);
+        let b = balance(&aig);
+        prop_assert!(equivalent_exhaustive(&aig, &b));
+        prop_assert!(b.depth() <= aig.depth());
+    }
+
+    #[test]
+    fn rewrite_preserves_function(
+        pis in 2usize..8, ands in 5usize..80, pos in 1usize..4, seed in any::<u64>()
+    ) {
+        let aig = random_aig(pis, ands, pos, seed);
+        for params in [RewriteParams::rewrite(), RewriteParams::refactor(),
+                       RewriteParams::rewrite().with_zero_cost()] {
+            let r = rewrite(&aig, params);
+            prop_assert!(equivalent_exhaustive(&aig, &r));
+        }
+    }
+
+    #[test]
+    fn resyn_light_preserves_and_never_grows(
+        pis in 2usize..8, ands in 5usize..80, pos in 1usize..4, seed in any::<u64>()
+    ) {
+        let aig = random_aig(pis, ands, pos, seed).clean();
+        let opt = resyn_light(&aig);
+        prop_assert!(equivalent_exhaustive(&aig, &opt));
+        prop_assert!(opt.num_ands() <= aig.num_ands() + 2,
+            "light script grew {} -> {}", aig.num_ands(), opt.num_ands());
+    }
+
+    #[test]
+    fn isop_covers_random_functions_exactly(code in any::<u64>(), k in 1usize..7) {
+        let f = parsweep_sim::TruthTable::from_fn(k, |i| code >> (i % 64) & 1 == 1);
+        let cubes = isop(&f);
+        for i in 0..f.num_bits() {
+            let covered = cubes.iter().any(|c: &Cube| c.eval(i));
+            prop_assert_eq!(covered, f.value(i));
+        }
+        // Irredundancy sanity: no cube is fully covered by the others.
+        for skip in 0..cubes.len() {
+            let missing = (0..f.num_bits()).any(|i| {
+                cubes[skip].eval(i)
+                    && !cubes.iter().enumerate().any(|(j, c)| j != skip && c.eval(i))
+            });
+            prop_assert!(missing, "cube {skip} is redundant");
+        }
+    }
+}

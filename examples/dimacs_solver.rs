@@ -1,0 +1,65 @@
+//! A miniature DIMACS SAT solver CLI over the embedded CDCL engine.
+//!
+//! Usage: `cargo run --release --example dimacs_solver -- [file.cnf]`
+//!
+//! Without a file, solves a built-in pigeonhole instance. Prints
+//! `s SATISFIABLE` / `s UNSATISFIABLE` and a `v` model line, DIMACS-style.
+
+use parsweep::sat::{dimacs, SatLit, SatVar, SolveResult};
+
+fn builtin_php(n: usize) -> dimacs::Cnf {
+    // n pigeons, n-1 holes.
+    let var = |p: usize, h: usize| SatVar::new((p * (n - 1) + h) as u32);
+    let mut clauses: Vec<Vec<SatLit>> = Vec::new();
+    for p in 0..n {
+        clauses.push((0..n - 1).map(|h| var(p, h).pos()).collect());
+    }
+    for h in 0..n - 1 {
+        for p1 in 0..n {
+            for p2 in p1 + 1..n {
+                clauses.push(vec![var(p1, h).neg(), var(p2, h).neg()]);
+            }
+        }
+    }
+    dimacs::Cnf {
+        num_vars: n * (n - 1),
+        clauses,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cnf = match std::env::args().nth(1) {
+        Some(path) => dimacs::read_dimacs(std::fs::File::open(path)?)?,
+        None => {
+            println!("c no file given; solving built-in PHP(6 -> 5)");
+            builtin_php(6)
+        }
+    };
+    println!(
+        "c {} variables, {} clauses",
+        cnf.num_vars,
+        cnf.clauses.len()
+    );
+    let mut solver = cnf.into_solver();
+    match solver.solve(&[]) {
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for v in 0..cnf.num_vars {
+                let var = SatVar::new(v as u32);
+                let val = solver.model_value(var).unwrap_or(false);
+                line.push_str(&format!(" {}", if val { v as i64 + 1 } else { -(v as i64 + 1) }));
+            }
+            line.push_str(" 0");
+            println!("{line}");
+        }
+        SolveResult::Unsat => println!("s UNSATISFIABLE"),
+        SolveResult::Unknown => println!("s UNKNOWN"),
+    }
+    let st = solver.stats();
+    println!(
+        "c {} conflicts, {} decisions, {} propagations, {} restarts, {} reductions",
+        st.conflicts, st.decisions, st.propagations, st.restarts, st.reductions
+    );
+    Ok(())
+}

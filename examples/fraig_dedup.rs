@@ -1,0 +1,78 @@
+//! FRAIG construction: use the equivalence-checking machinery as a logic
+//! optimizer — functionally equivalent internal nodes are proved by
+//! exhaustive simulation and merged, shrinking the network.
+//!
+//! Run with: `cargo run --release --example fraig_dedup`
+
+use parsweep::aig::{Aig, Lit};
+use parsweep::engine::{fraig, EngineConfig};
+use parsweep::par::Executor;
+
+/// Builds a network riddled with redundant re-implementations: four
+/// copies of the same comparator, each structured differently.
+fn redundant_design() -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_inputs(4);
+    let b = aig.add_inputs(4);
+
+    // "a == b", four ways.
+    let eq_xnor = {
+        let bits: Vec<Lit> = a.iter().zip(&b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+        aig.and_all(bits)
+    };
+    let eq_nxor = {
+        let bits: Vec<Lit> = a.iter().zip(&b).map(|(&x, &y)| aig.xor(x, y)).collect();
+        let any = aig.or_all(bits);
+        !any
+    };
+    let eq_mux = {
+        let bits: Vec<Lit> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| aig.mux(x, y, !y))
+            .collect();
+        aig.and_all(bits)
+    };
+    let eq_chain = {
+        let mut acc = Lit::TRUE;
+        for (&x, &y) in a.iter().zip(&b) {
+            let e = aig.xnor(x, y);
+            acc = aig.and(acc, e);
+        }
+        acc
+    };
+    aig.add_po(eq_xnor);
+    aig.add_po(eq_nxor);
+    aig.add_po(eq_mux);
+    aig.add_po(eq_chain);
+    aig
+}
+
+fn main() {
+    let aig = redundant_design();
+    println!(
+        "before: {} ANDs, depth {}, {} POs",
+        aig.num_ands(),
+        aig.depth(),
+        aig.num_pos()
+    );
+
+    let exec = Executor::new();
+    let r = fraig(&aig, &exec, &EngineConfig::default());
+    println!(
+        "after:  {} ANDs ({} equivalences merged, {:.3}s)",
+        r.reduced.num_ands(),
+        r.stats.proved_pairs,
+        r.stats.seconds
+    );
+
+    // Verify with the slow evaluator.
+    let mut worst = 0usize;
+    for v in 0..1usize << 8 {
+        let bits: Vec<bool> = (0..8).map(|i| v >> i & 1 == 1).collect();
+        assert_eq!(aig.eval(&bits), r.reduced.eval(&bits));
+        worst = worst.max(v);
+    }
+    println!("verified on all {} input patterns", worst + 1);
+    assert!(r.reduced.num_ands() < aig.num_ands());
+}

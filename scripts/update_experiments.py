@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Splices the harness outputs (table2.txt, fig6.txt, fig7.txt,
+ablation.txt) into EXPERIMENTS.md, replacing the PLACEHOLDER_* markers.
+
+Usage: python3 scripts/update_experiments.py
+"""
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+def splice(marker: str, path: pathlib.Path, text: str) -> str:
+    content = path.read_text().rstrip() if path.exists() else f"(missing: {path.name})"
+    return text.replace(marker, content)
+
+def main() -> None:
+    exp = ROOT / "EXPERIMENTS.md"
+    text = exp.read_text()
+    text = splice("PLACEHOLDER_TABLE2", ROOT / "table2.txt", text)
+    text = splice("PLACEHOLDER_FIG6", ROOT / "fig6.txt", text)
+    text = splice("PLACEHOLDER_FIG7", ROOT / "fig7.txt", text)
+    text = splice("PLACEHOLDER_ABLATION", ROOT / "ablation.txt", text)
+    text = splice("PLACEHOLDER_SCALING", ROOT / "scaling.txt", text)
+    exp.write_text(text)
+    print("EXPERIMENTS.md updated")
+
+if __name__ == "__main__":
+    main()

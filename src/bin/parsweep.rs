@@ -1,0 +1,241 @@
+//! The `parsweep` command-line tool: equivalence checking and AIG
+//! utilities over AIGER files.
+//!
+//! ```text
+//! parsweep check <left.aig> <right.aig> [--engine sim|sat|portfolio|combined] [--budget <s>]
+//! parsweep stats <file.aig>
+//! parsweep optimize <in.aig> <out.aig>
+//! parsweep convert <in.aag|aig> <out.aag|aig>
+//! parsweep double <in.aig> <out.aig> --times <n>
+//! parsweep fraig <in.aig> <out.aig>
+//! parsweep verilog <in.aig> [out.v]
+//! parsweep dot <in.aig> [out.dot]
+//! ```
+//!
+//! Exit codes for `check`: 0 equivalent, 1 not equivalent, 2 undecided.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use parsweep::aig::{aiger, dot, miter, verilog, Aig, NetworkStats};
+use parsweep::engine::{
+    combined_check, sim_sweep, CombinedConfig, EngineConfig, Report, Verdict,
+};
+use parsweep::par::Executor;
+use parsweep::sat::{portfolio_check, sat_sweep, PortfolioConfig, SweepConfig};
+use parsweep::synth::resyn2;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  parsweep check <left> <right> [--engine sim|sat|portfolio|combined] [--budget <s>]\n  \
+         parsweep stats <file>\n  \
+         parsweep optimize <in> <out>\n  \
+         parsweep convert <in> <out>\n  \
+         parsweep double <in> <out> --times <n>\n  \
+         parsweep fraig <in> <out>\n  \
+         parsweep verilog <in> [out]\n  \
+         parsweep dot <in> [out]"
+    );
+    ExitCode::from(64)
+}
+
+fn load(path: &str) -> Result<Aig, String> {
+    aiger::read_aiger_file(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(65)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(usage());
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "stats" => {
+            let [path] = &args[1..] else { return Ok(usage()) };
+            let aig = load(path)?;
+            println!("{}", NetworkStats::of(&aig));
+            Ok(ExitCode::SUCCESS)
+        }
+        "optimize" => {
+            let [input, output] = &args[1..] else { return Ok(usage()) };
+            let aig = load(input)?;
+            let opt = resyn2(&aig);
+            println!(
+                "{} -> {} ANDs, depth {} -> {}",
+                aig.num_ands(),
+                opt.num_ands(),
+                aig.depth(),
+                opt.depth()
+            );
+            aiger::write_aiger_file(&opt, output).map_err(|e| e.to_string())?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "convert" => {
+            let [input, output] = &args[1..] else { return Ok(usage()) };
+            let aig = load(input)?;
+            aiger::write_aiger_file(&aig, output).map_err(|e| e.to_string())?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "double" => {
+            let mut times = 1usize;
+            let mut files: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--times" {
+                    times = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--times needs a number")?;
+                } else {
+                    files.push(a);
+                }
+            }
+            let [input, output] = files[..] else { return Ok(usage()) };
+            let aig = load(input)?;
+            let doubled = aig.double_times(times);
+            println!(
+                "{} ANDs -> {} ANDs ({} copies)",
+                aig.num_ands(),
+                doubled.num_ands(),
+                1usize << times
+            );
+            aiger::write_aiger_file(&doubled, output).map_err(|e| e.to_string())?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "fraig" => {
+            let [input, output] = &args[1..] else { return Ok(usage()) };
+            let aig = load(input)?;
+            let exec = Executor::new();
+            let r = parsweep::engine::fraig(&aig, &exec, &parsweep::engine::EngineConfig::default());
+            println!(
+                "{} -> {} ANDs ({} equivalences merged)",
+                aig.num_ands(),
+                r.reduced.num_ands(),
+                r.stats.proved_pairs
+            );
+            aiger::write_aiger_file(&r.reduced, output).map_err(|e| e.to_string())?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "verilog" => {
+            let input = args.get(1).ok_or("verilog needs an input file")?;
+            let aig = load(input)?;
+            match args.get(2) {
+                Some(out) => {
+                    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+                    verilog::write_verilog(&aig, "parsweep_dut", file).map_err(|e| e.to_string())?;
+                }
+                None => print!("{}", verilog::to_verilog_string(&aig, "parsweep_dut")),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "dot" => {
+            let input = args.get(1).ok_or("dot needs an input file")?;
+            let aig = load(input)?;
+            match args.get(2) {
+                Some(out) => {
+                    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+                    dot::write_dot(&aig, file).map_err(|e| e.to_string())?;
+                }
+                None => print!("{}", dot::to_dot_string(&aig)),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut engine = "combined".to_string();
+    let mut budget = Duration::from_secs(300);
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                engine = it.next().ok_or("--engine needs a value")?.clone();
+            }
+            "--budget" => {
+                budget = Duration::from_secs(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--budget needs seconds")?,
+                );
+            }
+            _ => files.push(a),
+        }
+    }
+    let [left_path, right_path] = files[..] else {
+        return Err("check needs exactly two AIGER files".into());
+    };
+    let left = load(left_path)?;
+    let right = load(right_path)?;
+    let m = miter(&left, &right).map_err(|e| e.to_string())?;
+    let exec = Executor::new();
+    let sat_cfg = SweepConfig {
+        wall_budget: Some(budget),
+        ..SweepConfig::default()
+    };
+    let verdict = match engine.as_str() {
+        "sim" => {
+            let r = sim_sweep(&m, &exec, &EngineConfig::default());
+            println!("{}", Report::new(&r));
+            r.verdict
+        }
+        "sat" => sat_sweep(&m, &exec, &sat_cfg).verdict,
+        "portfolio" => {
+            portfolio_check(
+                &m,
+                &exec,
+                &PortfolioConfig {
+                    sweep: sat_cfg,
+                    ..PortfolioConfig::default()
+                },
+            )
+            .verdict
+        }
+        "combined" => {
+            let r = combined_check(
+                &m,
+                &exec,
+                &CombinedConfig {
+                    sat: sat_cfg,
+                    ..CombinedConfig::default()
+                },
+            );
+            println!("{}", Report::new(&r.engine));
+            if r.sat.is_some() {
+                println!("sat fallback: {:.3}s", r.sat_seconds);
+            }
+            r.verdict
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    match verdict {
+        Verdict::Equivalent => {
+            println!("EQUIVALENT");
+            Ok(ExitCode::SUCCESS)
+        }
+        Verdict::NotEquivalent(cex) => {
+            println!("NOT EQUIVALENT");
+            println!("counter-example: {:?}", cex.inputs());
+            let d = parsweep::engine::diagnose(&m, &cex);
+            println!("firing output pairs: {:?}", d.firing_pos);
+            println!("minimized pattern:   {:?}", d.minimized.inputs());
+            Ok(ExitCode::from(1))
+        }
+        Verdict::Undecided => {
+            println!("UNDECIDED (budget exhausted)");
+            Ok(ExitCode::from(2))
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # parsweep — simulation-based parallel sweeping for CEC
+//!
+//! A Rust reproduction of *"Simulation-based Parallel Sweeping: A New
+//! Perspective on Combinational Equivalence Checking"* (DAC 2025).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`aig`] — And-Inverter Graphs, AIGER I/O, miters, `double`;
+//! * [`par`] — the data-parallel kernel-launch executor (the GPU
+//!   execution-model substrate);
+//! * [`sim`] — partial and exhaustive bit-parallel simulation;
+//! * [`cut`] — priority-cut enumeration with the Table-I criteria;
+//! * [`sat`] — CDCL solver, SAT sweeping baseline, portfolio checker;
+//! * [`synth`] — `resyn2`-equivalent optimization (balance / rewrite /
+//!   refactor);
+//! * [`engine`] — the paper's simulation-based CEC engine and the
+//!   combined engine + SAT flow.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parsweep::aig::{Aig, miter};
+//! use parsweep::engine::{sim_sweep, EngineConfig, Verdict};
+//! use parsweep::par::Executor;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two implementations of a full adder.
+//! let mut a = Aig::new();
+//! let xs = a.add_inputs(3);
+//! let axb = a.xor(xs[0], xs[1]);
+//! let sum = a.xor(axb, xs[2]);
+//! let c1 = a.and(xs[0], xs[1]);
+//! let c2 = a.and(axb, xs[2]);
+//! let carry = a.or(c1, c2);
+//! a.add_po(sum);
+//! a.add_po(carry);
+//!
+//! let mut b = Aig::new();
+//! let ys = b.add_inputs(3);
+//! let s1 = b.xor(ys[0], ys[1]);
+//! let sum2 = b.xor(s1, ys[2]);
+//! let carry2 = b.maj3(ys[0], ys[1], ys[2]);
+//! b.add_po(sum2);
+//! b.add_po(carry2);
+//!
+//! let m = miter(&a, &b)?;
+//! let exec = Executor::new();
+//! let result = sim_sweep(&m, &exec, &EngineConfig::default());
+//! assert_eq!(result.verdict, Verdict::Equivalent);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use parsweep_aig as aig;
+pub use parsweep_core as engine;
+pub use parsweep_cut as cut;
+pub use parsweep_par as par;
+pub use parsweep_sat as sat;
+pub use parsweep_sim as sim;
+pub use parsweep_synth as synth;

@@ -1,0 +1,194 @@
+//! Edge cases and failure injection across the whole stack.
+
+use parsweep::aig::{aiger, is_proved, miter, Aig, Lit};
+use parsweep::engine::{combined_check, sim_sweep, CombinedConfig, EngineConfig, Verdict};
+use parsweep::par::Executor;
+use parsweep::sat::{sat_sweep, SweepConfig};
+use parsweep::synth::{balance, resyn2, rewrite, RewriteParams};
+
+fn exec() -> Executor {
+    Executor::with_threads(1)
+}
+
+#[test]
+fn empty_miter_is_trivially_equivalent() {
+    // Zero POs: nothing to disprove.
+    let mut a = Aig::new();
+    a.add_inputs(3);
+    let m = miter(&a, &a).unwrap();
+    assert!(is_proved(&m));
+    let r = sim_sweep(&m, &exec(), &EngineConfig::default());
+    assert_eq!(r.verdict, Verdict::Equivalent);
+    let s = sat_sweep(&m, &exec(), &SweepConfig::default());
+    assert_eq!(s.verdict, Verdict::Equivalent);
+}
+
+#[test]
+fn po_directly_on_pi() {
+    let mut a = Aig::new();
+    let xs = a.add_inputs(2);
+    a.add_po(xs[0]);
+    a.add_po(!xs[1]);
+    // Same wires, same order: equivalent.
+    let m = miter(&a, &a.clone()).unwrap();
+    let r = sim_sweep(&m, &exec(), &EngineConfig::default());
+    assert_eq!(r.verdict, Verdict::Equivalent);
+    // Swapped wires: not equivalent.
+    let mut b = Aig::new();
+    let ys = b.add_inputs(2);
+    b.add_po(ys[1]);
+    b.add_po(!ys[0]);
+    let m2 = miter(&a, &b).unwrap();
+    match sim_sweep(&m2, &exec(), &EngineConfig::default()).verdict {
+        Verdict::NotEquivalent(cex) => assert!(cex.fires(&m2)),
+        other => panic!("expected disproof, got {other:?}"),
+    }
+}
+
+#[test]
+fn constant_pos_both_polarities() {
+    let mut a = Aig::new();
+    let xs = a.add_inputs(2);
+    let t = a.and(xs[0], !xs[0]); // folds to FALSE
+    a.add_po(t);
+    a.add_po(Lit::TRUE);
+    let mut b = Aig::new();
+    let ys = b.add_inputs(2);
+    let u = b.and(ys[0], ys[1]);
+    let z = b.and(u, !ys[0]); // semantically FALSE but a real node
+    b.add_po(z);
+    b.add_po(Lit::TRUE);
+    let m = miter(&a, &b).unwrap();
+    let r = sim_sweep(&m, &exec(), &EngineConfig::default());
+    assert_eq!(r.verdict, Verdict::Equivalent);
+}
+
+#[test]
+fn circuits_that_differ_only_on_one_pattern() {
+    // f = AND of 14 inputs vs constant false: differ on exactly one of
+    // 16384 assignments; random simulation essentially never finds it,
+    // exhaustive PO checking must.
+    let n = 14;
+    let mut a = Aig::new();
+    let xs = a.add_inputs(n);
+    let f = a.and_all(xs.iter().copied());
+    a.add_po(f);
+    let mut b = Aig::new();
+    b.add_inputs(n);
+    b.add_po(Lit::FALSE);
+    let m = miter(&a, &b).unwrap();
+    match sim_sweep(&m, &exec(), &EngineConfig::default()).verdict {
+        Verdict::NotEquivalent(cex) => {
+            assert!(cex.fires(&m));
+            assert!(cex.inputs().iter().all(|&x| x), "only all-ones fires");
+        }
+        other => panic!("expected disproof, got {other:?}"),
+    }
+}
+
+#[test]
+fn aiger_rejects_malformed_inputs() {
+    for bad in [
+        "",                             // empty
+        "aag",                          // truncated header
+        "aag 1 1 0 0 0",                // missing input line
+        "aag 1 0 1 0 0\n2 3\n",         // latches
+        "aig 2 1 0 0 1\n",              // truncated binary section
+        "nonsense 0 0 0 0 0",           // bad magic
+        "aag 2 1 0 1 1\n2\n4\nx y z\n", // garbage AND line
+    ] {
+        assert!(
+            aiger::read_aiger(bad.as_bytes()).is_err(),
+            "input {bad:?} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn optimizers_handle_degenerate_networks() {
+    // Constant-only network.
+    let mut a = Aig::new();
+    a.add_inputs(1);
+    a.add_po(Lit::FALSE);
+    a.add_po(Lit::TRUE);
+    let opt = resyn2(&a);
+    assert_eq!(opt.pos(), a.pos());
+
+    // Pure wire network.
+    let mut w = Aig::new();
+    let xs = w.add_inputs(3);
+    for &x in &xs {
+        w.add_po(!x);
+    }
+    let optw = balance(&w);
+    assert_eq!(optw.num_ands(), 0);
+    for v in 0..8u32 {
+        let bits = [(v & 1) != 0, (v & 2) != 0, (v & 4) != 0];
+        assert_eq!(w.eval(&bits), optw.eval(&bits));
+    }
+
+    // Single gate.
+    let mut g = Aig::new();
+    let ys = g.add_inputs(2);
+    let f = g.and(ys[0], ys[1]);
+    g.add_po(f);
+    let optg = rewrite(&g, RewriteParams::rewrite());
+    assert_eq!(optg.num_ands(), 1);
+}
+
+#[test]
+fn deep_chain_does_not_overflow_recursion() {
+    // 20k-node chain: everything must be iterative, not recursive.
+    let mut a = Aig::new();
+    let xs = a.add_inputs(2);
+    let mut acc = xs[0];
+    for i in 0..20_000 {
+        let other = if i % 2 == 0 { xs[1] } else { !xs[1] };
+        acc = a.xor(acc, other);
+    }
+    a.add_po(acc);
+    let m = miter(&a, &a.clean()).unwrap();
+    let cfg = EngineConfig {
+        max_local_phases: 2,
+        ..EngineConfig::default()
+    };
+    let r = sim_sweep(&m, &exec(), &cfg);
+    // Deep chains strash heavily; whatever the verdict, no stack overflow
+    // and no wrong disproof.
+    assert!(!matches!(r.verdict, Verdict::NotEquivalent(_)));
+}
+
+#[test]
+fn combined_flow_on_wide_interface() {
+    // 600 PIs / 300 POs of tiny functions: stresses interface handling,
+    // not logic depth.
+    let mut a = Aig::new();
+    let mut b = Aig::new();
+    for _ in 0..300 {
+        let xa = a.add_inputs(2);
+        let fa = a.and(xa[0], xa[1]);
+        a.add_po(fa);
+        let xb = b.add_inputs(2);
+        let fb = b.or(!xb[0], !xb[1]);
+        b.add_po(!fb);
+    }
+    let m = miter(&a, &b).unwrap();
+    let r = combined_check(&m, &exec(), &CombinedConfig::default());
+    assert_eq!(r.verdict, Verdict::Equivalent);
+}
+
+#[test]
+fn engine_stats_are_internally_consistent() {
+    let a = parsweep::aig::random::random_aig(8, 200, 4, 3);
+    let b = resyn2(&a);
+    let m = miter(&a, &b).unwrap();
+    let r = sim_sweep(&m, &exec(), &EngineConfig::default());
+    let t = r.stats.phase_times;
+    assert!(t.po >= 0.0 && t.global >= 0.0 && t.local >= 0.0 && t.other >= 0.0);
+    assert!(t.total() <= r.stats.seconds + 1e-6);
+    assert!(r.stats.final_ands <= r.stats.initial_ands);
+    if r.verdict.is_equivalent() {
+        assert_eq!(r.stats.final_ands, 0);
+        assert_eq!(r.stats.reduction_pct(), 100.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Cross-engine agreement: the simulation engine, SAT sweeping and the
+//! portfolio must never contradict each other on the same miter.
+
+use parsweep::aig::{miter, random::random_aig};
+use parsweep::engine::{sim_sweep, EngineConfig, Verdict};
+use parsweep::par::Executor;
+use parsweep::sat::{sat_sweep, SweepConfig};
+use parsweep::synth::resyn_light;
+
+fn exec() -> Executor {
+    Executor::with_threads(1)
+}
+
+fn agree(v1: &Verdict, v2: &Verdict) -> bool {
+    !matches!(
+        (v1, v2),
+        (Verdict::Equivalent, Verdict::NotEquivalent(_))
+            | (Verdict::NotEquivalent(_), Verdict::Equivalent)
+    )
+}
+
+#[test]
+fn random_equivalent_pairs_agree() {
+    for seed in 0..12u64 {
+        let a = random_aig(7, 70, 3, seed);
+        let b = resyn_light(&a);
+        let m = miter(&a, &b).unwrap();
+        let sim = sim_sweep(&m, &exec(), &EngineConfig::default()).verdict;
+        let sat = sat_sweep(&m, &exec(), &SweepConfig::default()).verdict;
+        assert!(agree(&sim, &sat), "seed {seed}: sim {sim:?} vs sat {sat:?}");
+        // Optimized pairs are equivalent by construction, so neither
+        // engine may disprove.
+        assert!(!matches!(sim, Verdict::NotEquivalent(_)), "seed {seed}");
+        assert!(!matches!(sat, Verdict::NotEquivalent(_)), "seed {seed}");
+    }
+}
+
+#[test]
+fn random_unrelated_pairs_agree() {
+    // Two unrelated random networks are (with overwhelming probability)
+    // inequivalent; both engines must find and validate a witness.
+    for seed in 0..8u64 {
+        let a = random_aig(7, 60, 2, seed);
+        let b = random_aig(7, 60, 2, seed + 1000);
+        let m = miter(&a, &b).unwrap();
+        let sim = sim_sweep(&m, &exec(), &EngineConfig::default()).verdict;
+        let sat = sat_sweep(&m, &exec(), &SweepConfig::default()).verdict;
+        assert!(agree(&sim, &sat), "seed {seed}");
+        if let Verdict::NotEquivalent(cex) = &sim {
+            assert!(cex.fires(&m), "seed {seed}: sim witness must fire");
+        }
+        if let Verdict::NotEquivalent(cex) = &sat {
+            assert!(cex.fires(&m), "seed {seed}: sat witness must fire");
+        }
+    }
+}
+
+#[test]
+fn single_bit_mutations_are_caught() {
+    // Flip one PO polarity; every engine must catch it.
+    for seed in [5u64, 15, 25] {
+        let a = random_aig(6, 50, 3, seed);
+        let mut b = a.clone();
+        let po = b.po(1);
+        b.set_po(1, !po);
+        let m = miter(&a, &b).unwrap();
+        // The mutated PO differs everywhere, so even pure simulation
+        // disproves instantly.
+        let sim = sim_sweep(&m, &exec(), &EngineConfig::default()).verdict;
+        assert!(matches!(sim, Verdict::NotEquivalent(_)), "seed {seed}");
+        let sat = sat_sweep(&m, &exec(), &SweepConfig::default()).verdict;
+        assert!(matches!(sat, Verdict::NotEquivalent(_)), "seed {seed}");
+    }
+}

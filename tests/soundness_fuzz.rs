@@ -1,0 +1,105 @@
+//! Soundness fuzzing: on small random miters the engines' verdicts are
+//! checked against ground-truth brute-force evaluation.
+
+use parsweep::aig::{miter, random::random_aig, random::SplitMix64, Aig};
+use parsweep::engine::{sim_sweep, EngineConfig, Verdict};
+use parsweep::par::Executor;
+use parsweep::sat::{sat_sweep, SweepConfig};
+
+fn exec() -> Executor {
+    Executor::with_threads(1)
+}
+
+/// Ground truth by exhaustive evaluation (miters with <= 12 PIs).
+fn truly_equivalent(m: &Aig) -> bool {
+    let n = m.num_pis();
+    assert!(n <= 12, "brute force cap");
+    (0..1usize << n).all(|i| {
+        let bits: Vec<bool> = (0..n).map(|k| i >> k & 1 == 1).collect();
+        !m.eval(&bits).iter().any(|&x| x)
+    })
+}
+
+/// Mutates a circuit in a random small way (may or may not change its
+/// function — ground truth decides).
+fn mutate(aig: &Aig, rng: &mut SplitMix64) -> Aig {
+    let mut out = aig.clone();
+    match rng.below(3) {
+        0 => {
+            // Complement a PO.
+            let i = rng.below(out.num_pos());
+            let po = out.po(i);
+            out.set_po(i, !po);
+        }
+        1 => {
+            // Redirect a PO to another node (often changes function).
+            let i = rng.below(out.num_pos());
+            let target = 1 + rng.below(out.num_nodes() - 1);
+            out.set_po(
+                i,
+                parsweep::aig::Var::new(target as u32).lit_with(rng.bool()),
+            );
+        }
+        _ => {
+            // Rebuild (never changes function).
+            out = out.clean();
+        }
+    }
+    out
+}
+
+#[test]
+fn verdicts_match_ground_truth_on_random_mutations() {
+    let mut rng = SplitMix64::new(0xf002);
+    let exec = exec();
+    let mut checked_eq = 0;
+    let mut checked_neq = 0;
+    for seed in 0..30u64 {
+        let a = random_aig(6, 40, 3, seed);
+        let b = mutate(&a, &mut rng);
+        let Ok(m) = miter(&a, &b) else { continue };
+        let truth = truly_equivalent(&m);
+        if truth {
+            checked_eq += 1;
+        } else {
+            checked_neq += 1;
+        }
+
+        let sim = sim_sweep(&m, &exec, &EngineConfig::default());
+        match (&sim.verdict, truth) {
+            (Verdict::Equivalent, false) => panic!("seed {seed}: sim false-equivalent"),
+            (Verdict::NotEquivalent(cex), true) => {
+                panic!("seed {seed}: sim false-disproof {:?}", cex.inputs())
+            }
+            (Verdict::NotEquivalent(cex), false) => {
+                assert!(cex.fires(&m), "seed {seed}: invalid witness")
+            }
+            _ => {}
+        }
+
+        let sat = sat_sweep(&m, &exec, &SweepConfig::default());
+        match (&sat.verdict, truth) {
+            (Verdict::Equivalent, false) => panic!("seed {seed}: sat false-equivalent"),
+            (Verdict::NotEquivalent(_), true) => panic!("seed {seed}: sat false-disproof"),
+            _ => {}
+        }
+    }
+    assert!(checked_eq >= 3, "fuzz must cover equivalent cases");
+    assert!(checked_neq >= 3, "fuzz must cover inequivalent cases");
+}
+
+#[test]
+fn engine_decides_all_small_miters() {
+    // At <= 8 PIs every PO fits the default k_P: the engine must never
+    // return Undecided.
+    for seed in 100..115u64 {
+        let a = random_aig(8, 60, 2, seed);
+        let b = random_aig(8, 60, 2, seed + 5000);
+        let m = miter(&a, &b).unwrap();
+        let r = sim_sweep(&m, &exec(), &EngineConfig::default());
+        assert!(
+            !matches!(r.verdict, Verdict::Undecided),
+            "seed {seed}: small miter must be decidable one-shot"
+        );
+    }
+}
