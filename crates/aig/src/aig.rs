@@ -238,7 +238,10 @@ impl Aig {
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
         assert_eq!(inputs.len(), self.pis.len(), "wrong number of input values");
         let values = self.eval_nodes(inputs);
-        self.pos.iter().map(|po| po.eval(values[po.var().index()])).collect()
+        self.pos
+            .iter()
+            .map(|po| po.eval(values[po.var().index()]))
+            .collect()
     }
 
     /// Evaluates every node under one assignment of the PIs and returns the

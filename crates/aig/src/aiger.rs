@@ -70,7 +70,9 @@ struct Header {
 
 fn parse_header(line: &str) -> Result<Header, ParseAigerError> {
     let mut it = line.split_whitespace();
-    let tag = it.next().ok_or_else(|| ParseAigerError::BadHeader(line.into()))?;
+    let tag = it
+        .next()
+        .ok_or_else(|| ParseAigerError::BadHeader(line.into()))?;
     let binary = match tag {
         "aag" => false,
         "aig" => true,

@@ -122,7 +122,11 @@ impl Aig {
     /// Panics if `subst.len() != self.num_nodes()` or if a substitution
     /// target does not precede the substituted node.
     pub fn rebuild_with_substitution(&self, subst: &[Lit]) -> (Aig, Vec<Lit>) {
-        assert_eq!(subst.len(), self.num_nodes(), "substitution map size mismatch");
+        assert_eq!(
+            subst.len(),
+            self.num_nodes(),
+            "substitution map size mismatch"
+        );
         let mut out = Aig::with_capacity(self.num_nodes());
         let mut map: Vec<Lit> = Vec::with_capacity(self.num_nodes());
         for (i, node) in self.nodes().iter().enumerate() {

@@ -38,20 +38,12 @@ impl NetworkStats {
                 if (levels[i] as usize) < level_histogram.len() {
                     level_histogram[levels[i] as usize] += 1;
                 }
-                complemented_edges +=
-                    a.is_complemented() as usize + b.is_complemented() as usize;
+                complemented_edges += a.is_complemented() as usize + b.is_complemented() as usize;
             }
         }
-        complemented_edges += aig
-            .pos()
-            .iter()
-            .filter(|po| po.is_complemented())
-            .count();
+        complemented_edges += aig.pos().iter().filter(|po| po.is_complemented()).count();
         let fanouts = aig.fanout_counts();
-        let multi_fanout_nodes = aig
-            .and_vars()
-            .filter(|v| fanouts[v.index()] > 1)
-            .count();
+        let multi_fanout_nodes = aig.and_vars().filter(|v| fanouts[v.index()] > 1).count();
         let dangling_nodes = aig.num_ands() - aig.clean().num_ands().min(aig.num_ands());
         NetworkStats {
             num_pis: aig.num_pis(),

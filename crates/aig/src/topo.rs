@@ -122,20 +122,14 @@ impl Aig {
         for node in self.nodes() {
             let s = match node {
                 Node::Const => Support::Exact(Vec::new()),
-                Node::Input(_) => {
-                    Support::Exact(vec![Var::new(supports.len() as u32)])
-                }
-                Node::And(a, b) => {
-                    match (&supports[a.var().index()], &supports[b.var().index()]) {
-                        (Support::Exact(sa), Support::Exact(sb)) => {
-                            match merge_bounded(sa, sb, cap) {
-                                Some(m) => Support::Exact(m),
-                                None => Support::Over,
-                            }
-                        }
-                        _ => Support::Over,
-                    }
-                }
+                Node::Input(_) => Support::Exact(vec![Var::new(supports.len() as u32)]),
+                Node::And(a, b) => match (&supports[a.var().index()], &supports[b.var().index()]) {
+                    (Support::Exact(sa), Support::Exact(sb)) => match merge_bounded(sa, sb, cap) {
+                        Some(m) => Support::Exact(m),
+                        None => Support::Over,
+                    },
+                    _ => Support::Over,
+                },
             };
             supports.push(s);
         }

@@ -251,7 +251,11 @@ mod tests {
         }
         for v in 0..1u64 << (2 * w) {
             let expect = (v as f64).sqrt().floor() as u64;
-            assert_eq!(from_bits(&aig.eval(&to_bits(v, 2 * w))), expect, "sqrt({v})");
+            assert_eq!(
+                from_bits(&aig.eval(&to_bits(v, 2 * w))),
+                expect,
+                "sqrt({v})"
+            );
         }
     }
 

@@ -10,7 +10,11 @@ use parsweep_par::Executor;
 
 fn bar(pct: f64, width: usize) -> String {
     let filled = ((pct / 100.0) * width as f64).round() as usize;
-    format!("{}{}", "#".repeat(filled.min(width)), ".".repeat(width - filled.min(width)))
+    format!(
+        "{}{}",
+        "#".repeat(filled.min(width)),
+        ".".repeat(width - filled.min(width))
+    )
 }
 
 fn main() {

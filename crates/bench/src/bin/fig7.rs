@@ -21,7 +21,9 @@ fn main() {
         match arg.as_str() {
             "--budget" => {
                 budget = Duration::from_secs(
-                    it.next().and_then(|s| s.parse().ok()).expect("--budget <s>"),
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--budget <s>"),
                 );
             }
             s => scale = Scale::parse(s).unwrap_or_else(|| panic!("unknown scale {s:?}")),

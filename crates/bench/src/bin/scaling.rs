@@ -24,11 +24,16 @@ fn main() {
         match a.as_str() {
             "--family" => family = it.next().expect("--family <name>").clone(),
             "--max-doublings" => {
-                max_doublings = it.next().and_then(|s| s.parse().ok()).expect("--max-doublings N")
+                max_doublings = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-doublings N")
             }
             "--budget" => {
                 budget = Duration::from_secs(
-                    it.next().and_then(|s| s.parse().ok()).expect("--budget <s>"),
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--budget <s>"),
                 )
             }
             other => panic!("unknown argument {other:?}"),

@@ -53,10 +53,19 @@ fn main() {
     println!();
     println!(
         "{:<16} {:>7} {:>7} {:>9} {:>6} | {:>9} {:>9} | {:>8} {:>7} {:>8} {:>9} | {:>8} {:>8}",
-        "Benchmark", "#PIs", "#POs", "#Nodes", "Lev",
-        "SAT(s)", "Pfl(s)",
-        "Eng(s)", "Red(%)", "SAT2(s)", "Total(s)",
-        "vs.SAT", "vs.Pfl"
+        "Benchmark",
+        "#PIs",
+        "#POs",
+        "#Nodes",
+        "Lev",
+        "SAT(s)",
+        "Pfl(s)",
+        "Eng(s)",
+        "Red(%)",
+        "SAT2(s)",
+        "Total(s)",
+        "vs.SAT",
+        "vs.Pfl"
     );
 
     let mut vs_sat = Vec::new();
@@ -115,6 +124,9 @@ fn main() {
     println!();
     println!(
         "{:<16} {:>86} {:>7.2}x {:>7.2}x",
-        "Geomean", "", geomean(&vs_sat), geomean(&vs_pfl)
+        "Geomean",
+        "",
+        geomean(&vs_sat),
+        geomean(&vs_pfl)
     );
 }

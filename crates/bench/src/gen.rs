@@ -6,8 +6,8 @@
 //! then optimizes it with `resyn2`, enlarges both versions with `double`
 //! (the paper's `nxd` suffix) and miters them.
 
-use parsweep_aig::{Aig, Lit};
 use parsweep_aig::random::SplitMix64;
+use parsweep_aig::{Aig, Lit};
 
 use crate::arith::{
     cla_add, greater_than, isqrt, multiplier, popcount, ripple_add, squarer, subtract,
@@ -182,7 +182,13 @@ pub fn gen_voter(n: usize) -> Aig {
     // majority <=> count > floor(n/2): compare against the constant.
     let half = (n / 2) as u64;
     let threshold: Vec<Lit> = (0..count.len())
-        .map(|i| if half >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
+        .map(|i| {
+            if half >> i & 1 == 1 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
         .collect();
     let maj = greater_than(&mut aig, &count, &threshold);
     aig.add_po(maj);
@@ -269,10 +275,22 @@ pub fn gen_video_timing(counter_bits: usize, lanes: usize, seed: u64) -> Aig {
         let lo = rng.below(1 << (counter_bits - 1)) as u64;
         let hi = lo + 1 + rng.below(1 << (counter_bits - 1)) as u64;
         let lo_vec: Vec<Lit> = (0..counter_bits)
-            .map(|i| if lo >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
+            .map(|i| {
+                if lo >> i & 1 == 1 {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                }
+            })
             .collect();
         let hi_vec: Vec<Lit> = (0..counter_bits)
-            .map(|i| if hi >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
+            .map(|i| {
+                if hi >> i & 1 == 1 {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                }
+            })
             .collect();
         let above = greater_than(&mut aig, &h, &lo_vec);
         let below = greater_than(&mut aig, &hi_vec, &h);
@@ -294,10 +312,7 @@ pub fn gen_max(w: usize) -> Aig {
     let nums: Vec<Vec<Lit>> = (0..4).map(|_| aig.add_inputs(w)).collect();
     let pick_max = |aig: &mut Aig, a: &[Lit], b: &[Lit]| -> Vec<Lit> {
         let gt = greater_than(aig, a, b);
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| aig.mux(gt, x, y))
-            .collect()
+        a.iter().zip(b).map(|(&x, &y)| aig.mux(gt, x, y)).collect()
     };
     let m01 = pick_max(&mut aig, &nums[0], &nums[1]);
     let m23 = pick_max(&mut aig, &nums[2], &nums[3]);

@@ -85,8 +85,16 @@ pub fn suite(scale: Scale) -> Vec<Case> {
         Case::build("square", gen::gen_square(mw), d_arith),
         Case::build("voter", gen::gen_voter(voter_n), d_wide),
         Case::build("sin", gen::gen_sin(sinw), d_arith),
-        Case::build("ac97_ctrl", gen::gen_bus_ctrl(bus_groups, 8, 0xac97), d_wide),
-        Case::build("vga_lcd", gen::gen_video_timing(9, vga_lanes, 0x60a), d_wide),
+        Case::build(
+            "ac97_ctrl",
+            gen::gen_bus_ctrl(bus_groups, 8, 0xac97),
+            d_wide,
+        ),
+        Case::build(
+            "vga_lcd",
+            gen::gen_video_timing(9, vga_lanes, 0x60a),
+            d_wide,
+        ),
     ]
 }
 
@@ -149,7 +157,12 @@ mod tests {
     use super::*;
 
     fn check_sound(case: &Case, patterns: usize) {
-        assert_eq!(case.original.num_pis(), case.optimized.num_pis(), "{}", case.name);
+        assert_eq!(
+            case.original.num_pis(),
+            case.optimized.num_pis(),
+            "{}",
+            case.name
+        );
         let mut rng = parsweep_aig::random::SplitMix64::new(5);
         for _ in 0..patterns {
             let bits: Vec<bool> = (0..case.miter.num_pis()).map(|_| rng.bool()).collect();
@@ -167,7 +180,10 @@ mod tests {
         // `full_tiny_suite_is_sound` covers all nine (slow in debug).
         check_sound(&Case::build("multiplier", gen::gen_multiplier(5), 1), 16);
         check_sound(&Case::build("voter", gen::gen_voter(9), 1), 16);
-        check_sound(&Case::build("vga_lcd", gen::gen_video_timing(6, 2, 0x60a), 1), 16);
+        check_sound(
+            &Case::build("vga_lcd", gen::gen_video_timing(6, 2, 0x60a), 1),
+            16,
+        );
     }
 
     #[test]

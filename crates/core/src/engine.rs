@@ -94,7 +94,13 @@ fn run(
     let po_outcome = po_phase(&mut current, exec, cfg, &mut stats);
     stats.phase_times.po = t.elapsed().as_secs_f64();
     if let Err(cex) = po_outcome {
-        return finish(Verdict::NotEquivalent(cex), current, stats, snapshots, disproofs);
+        return finish(
+            Verdict::NotEquivalent(cex),
+            current,
+            stats,
+            snapshots,
+            disproofs,
+        );
     }
     if traced {
         snapshots.push(("P".into(), current.clone()));
@@ -108,7 +114,13 @@ fn run(
     let g_outcome = global_phase(&mut current, exec, cfg, &mut stats, &mut disproofs);
     stats.phase_times.global = t.elapsed().as_secs_f64();
     if let Err(cex) = g_outcome {
-        return finish(Verdict::NotEquivalent(cex), current, stats, snapshots, disproofs);
+        return finish(
+            Verdict::NotEquivalent(cex),
+            current,
+            stats,
+            snapshots,
+            disproofs,
+        );
     }
     if traced {
         snapshots.push(("PG".into(), current.clone()));
@@ -122,10 +134,23 @@ fn run(
     let mut active_passes = cfg.passes.clone();
     for phase in 0..cfg.max_local_phases {
         stats.local_phases += 1;
-        match local_phase(&mut current, exec, cfg, &active_passes, &mut stats, phase as u64) {
+        match local_phase(
+            &mut current,
+            exec,
+            cfg,
+            &active_passes,
+            &mut stats,
+            phase as u64,
+        ) {
             Err(cex) => {
                 stats.phase_times.local = t.elapsed().as_secs_f64();
-                return finish(Verdict::NotEquivalent(cex), current, stats, snapshots, disproofs);
+                return finish(
+                    Verdict::NotEquivalent(cex),
+                    current,
+                    stats,
+                    snapshots,
+                    disproofs,
+                );
             }
             Ok((reduced, per_pass)) => {
                 if is_proved(&current) || !reduced {
@@ -345,8 +370,11 @@ pub(crate) fn global_phase_inner(
         if is_proved(current) {
             break;
         }
-        let mut patterns =
-            Patterns::random(current.num_pis(), cfg.sim_words, cfg.seed ^ (round as u64 + 1));
+        let mut patterns = Patterns::random(
+            current.num_pis(),
+            cfg.sim_words,
+            cfg.seed ^ (round as u64 + 1),
+        );
         let cex_patterns = if cfg.distance1_cex {
             Patterns::from_cexs_distance1(current, &cex_pool, cfg.seed ^ 0xd1)
         } else {
@@ -367,9 +395,11 @@ pub(crate) fn global_phase_inner(
         let mut windows: Vec<Window> = Vec::new();
         let mut skipped_const: Vec<PairCheck> = Vec::new();
         for pair in ec.pairs(current) {
-            let Some(union) =
-                union_support(&supports[pair.a.index()], &supports[pair.b.index()], cfg.k_g)
-            else {
+            let Some(union) = union_support(
+                &supports[pair.a.index()],
+                &supports[pair.b.index()],
+                cfg.k_g,
+            ) else {
                 if pair.a.is_const() {
                     skipped_const.push(pair);
                 }
@@ -489,7 +519,15 @@ pub(crate) fn local_phase_inner(
     for &pass in passes {
         let before_pairs = stats.proved_pairs;
         run_cut_pass(
-            current, exec, cfg, pass, &ec, &repr_map, &mut subst, &mut proved, stats,
+            current,
+            exec,
+            cfg,
+            pass,
+            &ec,
+            &repr_map,
+            &mut subst,
+            &mut proved,
+            stats,
         );
         per_pass.push(stats.proved_pairs - before_pairs);
     }
@@ -670,5 +708,4 @@ mod tests {
         assert!(!matches!(r.verdict, Verdict::NotEquivalent(_)));
         assert!(r.stats.disproved_pairs > 0, "stats: {:?}", r.stats);
     }
-
 }

@@ -12,7 +12,7 @@ use parsweep_aig::{Aig, Lit, Node, Var};
 use parsweep_cut::{
     common_cuts, enumerate_cuts, enumeration_levels, select_priority_cuts, Cut, CutScorer, Pass,
 };
-use parsweep_par::{Executor, SharedSlice};
+use parsweep_par::Executor;
 use parsweep_sim::{PairCheck, PairOutcome, Window};
 
 use crate::config::EngineConfig;
@@ -61,9 +61,9 @@ pub(crate) fn run_cut_pass(
         }
         // Parallel priority-cut computation for this enumeration level.
         {
-            let cells = SharedSlice::new(&mut cut_sets);
+            let cells = exec.bind("core.local.cut_sets", &mut cut_sets);
             let scorer = CutScorer::new(&fanouts, &levels);
-            exec.launch(group.len(), |t| {
+            exec.launch_labeled("core.local.cuts", group.len(), |t| {
                 let v = group[t];
                 let Node::And(a, b) = aig.node(v) else {
                     unreachable!("groups contain AND nodes only");
@@ -71,12 +71,15 @@ pub(crate) fn run_cut_pass(
                 // SAFETY: fanins and representatives have strictly smaller
                 // enumeration levels, so their slots were written by
                 // earlier launches; this task writes only slot v.
-                let p0: &Vec<Cut> = unsafe { &*cells.as_ptr_at(a.var().index()) };
-                let p1: &Vec<Cut> = unsafe { &*cells.as_ptr_at(b.var().index()) };
+                let p0: &Vec<Cut> = unsafe { cells.get_ref(t, a.var().index()) };
+                // SAFETY: as above.
+                let p1: &Vec<Cut> = unsafe { cells.get_ref(t, b.var().index()) };
                 let candidates = enumerate_cuts(a, b, p0, p1, cfg.cut);
                 let repr_cuts: Option<&Vec<Cut>> = repr_map[v.index()].and_then(|r| {
                     if cfg.similarity_selection && !r.is_const() {
-                        Some(unsafe { &*(cells.as_ptr_at(r.index()) as *const Vec<Cut>) })
+                        // SAFETY: representatives sit at strictly smaller
+                        // enumeration levels, written by earlier launches.
+                        Some(unsafe { cells.get_ref(t, r.index()) })
                     } else {
                         None
                     }
@@ -88,7 +91,9 @@ pub(crate) fn run_cut_pass(
                     cfg.cut,
                     repr_cuts.map(|c| c.as_slice()),
                 );
-                unsafe { cells.write(v.index(), selected) };
+                // SAFETY: this task writes only slot v; no other task in
+                // this launch touches v.
+                unsafe { cells.write(t, v.index(), selected) };
             });
         }
 
@@ -211,7 +216,11 @@ mod tests {
         let patterns = Patterns::random(aig.num_pis(), 8, 3);
         let ec = EcManager::from_patterns(&aig, &exec(), &patterns);
         let repr_map = ec.repr_map(aig.num_nodes());
-        assert!(repr_map[n2.index()].is_some(), "classes: {:?}", ec.classes());
+        assert!(
+            repr_map[n2.index()].is_some(),
+            "classes: {:?}",
+            ec.classes()
+        );
         let mut subst: Vec<Lit> = (0..aig.num_nodes())
             .map(|i| Var::new(i as u32).lit())
             .collect();
@@ -219,7 +228,15 @@ mod tests {
         let mut stats = EngineStats::default();
         for pass in parsweep_cut::Pass::ALL {
             run_cut_pass(
-                &aig, &exec(), &cfg, pass, &ec, &repr_map, &mut subst, &mut proved, &mut stats,
+                &aig,
+                &exec(),
+                &cfg,
+                pass,
+                &ec,
+                &repr_map,
+                &mut subst,
+                &mut proved,
+                &mut stats,
             );
         }
         assert!(stats.proved_pairs >= 1, "stats: {stats:?}");

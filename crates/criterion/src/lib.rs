@@ -1,0 +1,187 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of criterion used by `crates/bench`: named
+//! benchmark groups, `bench_function`, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` entry points. Instead of
+//! criterion's statistical analysis it runs a fixed warm-up plus a small
+//! number of measured iterations and prints the mean wall-clock time.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Strategy for handing setup output to a batched benchmark routine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: one setup per measured iteration.
+    #[default]
+    SmallInput,
+    /// Large per-iteration inputs; treated identically to `SmallInput`.
+    LargeInput,
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Self {
+        Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Measures `routine` over the configured number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up iteration, then the measured runs.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.samples as u64;
+    }
+
+    /// Measures `routine` on fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iterations += self.samples as u64;
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u32).max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: Into<String>>(
+        &mut self,
+        id: N,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        let mean = if b.iterations == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iterations as u32
+        };
+        println!(
+            "{}/{id}: {mean:?} mean over {} iters",
+            self.name, b.iterations
+        );
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one named benchmark outside any group.
+    pub fn bench_function<N: Into<String>>(
+        &mut self,
+        id: N,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions as a single runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -140,9 +140,9 @@ impl Cut {
         if self.sig & !other.sig != 0 || self.len > other.len {
             return false;
         }
-        self.leaves().iter().all(|&v| {
-            other.leaves().binary_search(&v).is_ok()
-        })
+        self.leaves()
+            .iter()
+            .all(|&v| other.leaves().binary_search(&v).is_ok())
     }
 
     /// Size of the intersection with `other`.

@@ -59,9 +59,7 @@ pub fn select_priority_cuts(
     repr_cuts: Option<&[Cut]>,
 ) -> Vec<Cut> {
     match repr_cuts {
-        Some(rc) => {
-            candidates.sort_by(|a, b| compare_with_similarity(scorer, a, b, pass, rc))
-        }
+        Some(rc) => candidates.sort_by(|a, b| compare_with_similarity(scorer, a, b, pass, rc)),
         None => candidates.sort_by(|a, b| scorer.compare(a, b, pass)),
     }
     candidates.truncate(params.c);
@@ -77,9 +75,7 @@ pub fn select_priority_cuts(
 pub fn filter_dominated(cuts: Vec<Cut>) -> Vec<Cut> {
     let mut keep: Vec<Cut> = Vec::with_capacity(cuts.len());
     for c in &cuts {
-        let dominated = cuts
-            .iter()
-            .any(|d| d != c && d.subset_of(c));
+        let dominated = cuts.iter().any(|d| d != c && d.subset_of(c));
         if !dominated && !keep.contains(c) {
             keep.push(*c);
         }

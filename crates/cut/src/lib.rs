@@ -25,9 +25,7 @@ mod criteria;
 mod cut;
 mod enumerate;
 
-pub use criteria::{
-    compare_with_similarity, similarity, CutMetrics, CutScorer, Pass,
-};
+pub use criteria::{compare_with_similarity, similarity, CutMetrics, CutScorer, Pass};
 pub use cut::{Cut, MAX_CUT_SIZE};
 pub use enumerate::{
     common_cuts, enumerate_cuts, enumeration_levels, filter_dominated, select_priority_cuts,

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 
 use parsweep_aig::{Lit, Var};
 use parsweep_cut::{
-    enumerate_cuts, select_priority_cuts, similarity, Cut, CutParams, CutScorer, Pass,
-    MAX_CUT_SIZE,
+    enumerate_cuts, select_priority_cuts, similarity, Cut, CutParams, CutScorer, Pass, MAX_CUT_SIZE,
 };
 
 fn arb_cut() -> impl Strategy<Value = Cut> {

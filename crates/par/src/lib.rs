@@ -3,7 +3,7 @@
 //! The paper implements its CEC engine as CUDA kernels on an NVIDIA GPU.
 //! This crate is the substitution substrate: it exposes the same
 //! *kernel-launch* programming model — "run this closure for thread ids
-//! `0..n`" — backed by an OS thread pool (crossbeam scoped threads), so all
+//! `0..n`" — backed by an OS thread pool (std scoped threads), so all
 //! engine algorithms are written exactly as their GPU formulation
 //! prescribes (word-parallel truth-table computation, level-wise node
 //! batches, window batches).
@@ -22,17 +22,67 @@
 //! assert_eq!(stats.launches, 1);
 //! assert_eq!(stats.total_threads, 8);
 //! ```
+//!
+//! ## Kernel sanitizer
+//!
+//! Kernels access shared buffers through [`DeviceSlice`] under an
+//! unchecked "each tid owns its slot" discipline — the executor-model
+//! analogue of the raw device pointers CUDA kernels receive, and the same
+//! class of bug `compute-sanitizer --tool racecheck` exists for. A
+//! sanitizing executor ([`Executor::with_sanitizer`], the
+//! `PARSWEEP_SANITIZE=1` environment variable, or the `sanitize` cargo
+//! feature) logs every access and reports write–write and read–write
+//! hazards between distinct tids, out-of-bounds accesses, and unwritten
+//! output slots — with the kernel label, launch ordinal, and conflicting
+//! tids:
+//!
+//! ```
+//! use parsweep_par::{ConflictKind, Executor, SanitizerConfig};
+//! let exec = Executor::with_sanitizer_config(
+//!     2,
+//!     SanitizerConfig { fail_fast: false, ..SanitizerConfig::default() },
+//! );
+//! let mut buf = vec![0u32; 4];
+//! {
+//!     let cells = exec.bind("buf", &mut buf);
+//!     // Every tid writes slot 0: a write-write race on a real GPU.
+//!     exec.launch_labeled("racy", 4, |tid| {
+//!         // SAFETY: intentionally violates the disjoint-slot discipline
+//!         // to demonstrate detection; the sanitizer serializes execution
+//!         // so the race is logged, not physically exercised.
+//!         unsafe { cells.write(tid, 0, tid as u32) }
+//!     });
+//! }
+//! let reports = exec.take_reports();
+//! assert_eq!(reports.len(), 1);
+//! assert_eq!(reports[0].kernel, "racy");
+//! assert!(matches!(reports[0].kind, ConflictKind::WriteWrite { .. }));
+//! ```
 
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
+mod sanitizer;
+
+pub use sanitizer::{AccessKind, ConflictKind, RaceReport, SanitizerConfig};
+
+use sanitizer::Sanitizer;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Number of log2-width buckets retained in [`LaunchStats`]'s launch-width
+/// histogram (bucket `b` counts launches of width `w` with
+/// `floor(log2(w)) == b`).
+pub const WIDTH_BUCKETS: usize = 64;
 
 /// Aggregate statistics over all kernel launches of an [`Executor`].
 ///
 /// `launches` is the critical-path length in kernels (each launch is a
 /// global synchronization point, as on a GPU stream); `total_threads` is
 /// the total data-parallel work; `widest` is the largest single launch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// The per-launch widths are additionally retained in a bounded log2
+/// histogram so [`LaunchStats::modeled_time`] can cost non-uniform launch
+/// profiles accurately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaunchStats {
     /// Number of kernel launches (sequential dependency chain length).
     pub launches: u64,
@@ -40,24 +90,61 @@ pub struct LaunchStats {
     pub total_threads: u64,
     /// Width of the widest launch.
     pub widest: u64,
+    /// Launch counts bucketed by `floor(log2(width))`.
+    pub width_counts: [u64; WIDTH_BUCKETS],
+    /// Sum of launch widths per bucket.
+    pub width_sums: [u64; WIDTH_BUCKETS],
+}
+
+impl Default for LaunchStats {
+    fn default() -> Self {
+        LaunchStats {
+            launches: 0,
+            total_threads: 0,
+            widest: 0,
+            width_counts: [0; WIDTH_BUCKETS],
+            width_sums: [0; WIDTH_BUCKETS],
+        }
+    }
 }
 
 impl LaunchStats {
     /// Models the execution time, in abstract work units, of this launch
     /// profile on a machine with `cores` parallel lanes: each launch of
-    /// width `w` costs `ceil(w / cores)` units (plus one unit of launch
-    /// overhead), mirroring how a GPU schedules thread blocks over SMs.
+    /// width `w` costs `ceil(w / cores)` units, mirroring how a GPU
+    /// schedules thread blocks over SMs.
+    ///
+    /// Per-launch widths are costed from the log2 width histogram, so the
+    /// result is exact whenever the launches that share a bucket share a
+    /// width (the common case: level batches of equal size), and never
+    /// below the uniform lower bound `max(ceil(total/cores), launches)`
+    /// otherwise. Stats assembled by hand without histogram entries fall
+    /// back to that lower bound.
     ///
     /// # Panics
     ///
     /// Panics if `cores == 0`.
     pub fn modeled_time(&self, cores: u64) -> u64 {
         assert!(cores > 0, "modeled machine needs at least one core");
-        // All launches of average width; exact per-launch widths are not
-        // retained, so model with total work spread over the launches.
-        // A lower bound that is exact for uniform launches:
-        //   sum_i ceil(w_i/cores) >= ceil(total/cores)  and >= launches.
-        (self.total_threads.div_ceil(cores)).max(self.launches)
+        let histogrammed: u64 = self.width_counts.iter().sum();
+        if histogrammed < self.launches {
+            // Histogram not populated: the pre-histogram lower bound.
+            return (self.total_threads.div_ceil(cores)).max(self.launches);
+        }
+        self.width_counts
+            .iter()
+            .zip(&self.width_sums)
+            .map(|(&count, &sum)| {
+                if count == 0 {
+                    0
+                } else if sum % count == 0 {
+                    // Uniform bucket: every launch has width sum/count.
+                    count * (sum / count).div_ceil(cores)
+                } else {
+                    (sum.div_ceil(cores)).max(count)
+                }
+            })
+            .sum()
     }
 
     /// The maximum speedup this profile admits (Amdahl-style): total work
@@ -77,16 +164,31 @@ impl LaunchStats {
 /// parallel over a pool of OS threads, and returns when all work items
 /// finished (a launch is a synchronization barrier, like a CUDA kernel on
 /// one stream).
+///
+/// A *sanitizing* executor (see [`Executor::with_sanitizer`]) additionally
+/// race-checks every launch: execution is serialized in tid order while
+/// all [`DeviceSlice`] accesses are logged and analyzed for hazards, the
+/// executor-model equivalent of running under
+/// `compute-sanitizer --tool racecheck`.
 #[derive(Debug)]
 pub struct Executor {
     num_threads: usize,
     stats: Mutex<LaunchStats>,
+    sanitizer: Option<Sanitizer>,
 }
 
 impl Default for Executor {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// True when the environment forces sanitizing on every executor: either
+/// the `sanitize` cargo feature or `PARSWEEP_SANITIZE` set to anything
+/// but `0`.
+fn ambient_sanitize() -> bool {
+    cfg!(feature = "sanitize")
+        || std::env::var_os("PARSWEEP_SANITIZE").is_some_and(|v| v != "0" && !v.is_empty())
 }
 
 impl Executor {
@@ -100,6 +202,11 @@ impl Executor {
 
     /// Creates an executor with an explicit number of worker threads.
     ///
+    /// The executor sanitizes when the `sanitize` cargo feature is enabled
+    /// or the `PARSWEEP_SANITIZE` environment variable is set (to anything
+    /// but `0`), so an unmodified test suite can be run fully
+    /// instrumented.
+    ///
     /// # Panics
     ///
     /// Panics if `num_threads == 0`.
@@ -108,6 +215,32 @@ impl Executor {
         Executor {
             num_threads,
             stats: Mutex::new(LaunchStats::default()),
+            sanitizer: ambient_sanitize().then(|| Sanitizer::new(SanitizerConfig::default())),
+        }
+    }
+
+    /// Creates a sanitizing executor with the default
+    /// [`SanitizerConfig`] (fail-fast: the first launch with a detected
+    /// hazard panics with the report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn with_sanitizer(num_threads: usize) -> Self {
+        Self::with_sanitizer_config(num_threads, SanitizerConfig::default())
+    }
+
+    /// Creates a sanitizing executor with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn with_sanitizer_config(num_threads: usize, config: SanitizerConfig) -> Self {
+        assert!(num_threads > 0, "executor needs at least one thread");
+        Executor {
+            num_threads,
+            stats: Mutex::new(LaunchStats::default()),
+            sanitizer: Some(Sanitizer::new(config)),
         }
     }
 
@@ -116,21 +249,70 @@ impl Executor {
         self.num_threads
     }
 
+    /// True when this executor race-checks its launches.
+    pub fn sanitizing(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Drains all accumulated sanitizer reports (empty when not
+    /// sanitizing or when every launch was hazard-free).
+    pub fn take_reports(&self) -> Vec<RaceReport> {
+        self.sanitizer
+            .as_ref()
+            .map_or_else(Vec::new, Sanitizer::take_reports)
+    }
+
+    /// Clones all accumulated sanitizer reports without draining them.
+    pub fn reports(&self) -> Vec<RaceReport> {
+        self.sanitizer
+            .as_ref()
+            .map_or_else(Vec::new, Sanitizer::reports)
+    }
+
     /// Returns the accumulated launch statistics.
     pub fn stats(&self) -> LaunchStats {
-        *self.stats.lock()
+        *self.lock_stats()
     }
 
     /// Resets the accumulated launch statistics.
     pub fn reset_stats(&self) {
-        *self.stats.lock() = LaunchStats::default();
+        *self.lock_stats() = LaunchStats::default();
     }
 
-    fn record(&self, n: usize) {
-        let mut s = self.stats.lock();
+    fn lock_stats(&self) -> MutexGuard<'_, LaunchStats> {
+        self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records a launch of width `n` and returns its 1-based ordinal.
+    fn record(&self, n: usize) -> u64 {
+        let mut s = self.lock_stats();
         s.launches += 1;
         s.total_threads += n as u64;
         s.widest = s.widest.max(n as u64);
+        let bucket = (n as u64).ilog2() as usize;
+        s.width_counts[bucket] += 1;
+        s.width_sums[bucket] += n as u64;
+        s.launches
+    }
+
+    /// Binds a mutable slice as a labeled device buffer for use inside
+    /// kernels of this executor.
+    ///
+    /// On a raw executor the returned [`DeviceSlice`] is a zero-cost
+    /// wrapper over the slice's pointer; on a sanitizing executor every
+    /// access through it is logged and race-checked.
+    pub fn bind<'a, T>(&'a self, label: &str, slice: &'a mut [T]) -> DeviceSlice<'a, T> {
+        let id = self
+            .sanitizer
+            .as_ref()
+            .map_or(0, |s| s.register_buffer(label, slice.len()));
+        DeviceSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            san: self.sanitizer.as_ref(),
+            id,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Launches a kernel over thread ids `0..n` and waits for completion.
@@ -141,10 +323,49 @@ impl Executor {
     where
         F: Fn(usize) + Sync,
     {
+        self.launch_labeled("kernel", n, kernel);
+    }
+
+    /// Like [`Executor::launch`], with a kernel label used in sanitizer
+    /// reports and panics.
+    pub fn launch_labeled<F>(&self, label: &str, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.launch_inner(label, n, None, kernel);
+    }
+
+    /// Launches a kernel that promises to write every slot of `buffer`
+    /// (whose length must be `n`) exactly once — the contract of
+    /// [`Executor::map`] and [`Executor::fill`] output buffers. A
+    /// sanitizing executor verifies the promise and reports every slot
+    /// left unwritten, as well as any double write.
+    pub fn launch_filling<T, F>(&self, label: &str, buffer: &DeviceSlice<'_, T>, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.launch_inner(label, buffer.len(), Some(buffer.id), kernel);
+    }
+
+    fn launch_inner<F>(&self, label: &str, n: usize, coverage_buffer: Option<u32>, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
         if n == 0 {
             return;
         }
-        self.record(n);
+        let ordinal = self.record(n);
+        if let Some(san) = &self.sanitizer {
+            // Sanitized launches run serialized in tid order: hazards are
+            // detected from the virtual-tid access log, never physically
+            // raced (the trade compute-sanitizer makes too).
+            san.begin_launch(label, ordinal, coverage_buffer.map(|b| (b, n)));
+            for tid in 0..n {
+                kernel(tid);
+            }
+            san.end_launch();
+            return;
+        }
         let workers = self.num_threads.min(n);
         if workers == 1 {
             for tid in 0..n {
@@ -153,37 +374,49 @@ impl Executor {
             return;
         }
         let chunk = n.div_ceil(workers);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for w in 0..workers {
                 let kernel = &kernel;
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for tid in lo..hi {
                         kernel(tid);
                     }
                 });
             }
-        })
-        .expect("executor worker panicked");
+        });
     }
 
-    /// Launches a kernel producing one value per thread id and collects the
-    /// results in id order.
+    /// Launches a kernel producing one value per thread id and collects
+    /// the results in id order.
+    ///
+    /// The output is assembled in uninitialized storage that the launch
+    /// fills slot-by-slot, so `T` needs no placeholder `Default` value; a
+    /// sanitizing executor verifies that every slot is written exactly
+    /// once before the storage is assumed initialized.
     pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
-        T: Send + Default + Clone,
+        T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let mut out = vec![T::default(); n];
+        let mut out: Vec<MaybeUninit<T>> = std::iter::repeat_with(MaybeUninit::uninit)
+            .take(n)
+            .collect();
         {
-            let slots = SliceCells::new(&mut out);
-            self.launch(n, |tid| {
-                // SAFETY: each tid writes a distinct slot.
-                unsafe { slots.write(tid, f(tid)) };
+            let slots = self.bind("par.map.out", &mut out);
+            self.launch_filling("par.map", &slots, |tid| {
+                // SAFETY: tid < n == slots.len(), and each tid writes only
+                // its own slot (verified by the sanitizer when enabled).
+                unsafe { slots.write(tid, tid, MaybeUninit::new(f(tid))) };
             });
         }
-        out
+        let mut out = ManuallyDrop::new(out);
+        // SAFETY: the filling launch wrote every slot of `out` exactly
+        // once (each tid its own), so all n elements are initialized;
+        // Vec<MaybeUninit<T>> and Vec<T> share layout, and the original
+        // Vec is leaked via ManuallyDrop before ownership is re-assembled.
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<T>(), out.len(), out.capacity()) }
     }
 
     /// Fills `out[tid] = f(tid)` for `tid in 0..out.len()` in parallel.
@@ -192,64 +425,183 @@ impl Executor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let n = out.len();
-        let slots = SliceCells::new(out);
-        self.launch(n, |tid| {
-            // SAFETY: each tid writes a distinct slot.
-            unsafe { slots.write(tid, f(tid)) };
+        let slots = self.bind("par.fill.out", out);
+        self.launch_filling("par.fill", &slots, |tid| {
+            // SAFETY: tid < out.len(), and each tid writes only its own
+            // slot (verified by the sanitizer when enabled).
+            unsafe { slots.write(tid, tid, f(tid)) };
         });
     }
 
     /// Parallel reduction: maps every id through `f` and folds the results
     /// with the associative operation `op` (identity `init`).
+    ///
+    /// Worker partials are folded in worker (= thread-id block) order, so
+    /// the result is deterministic for any associative `op`, including
+    /// non-commutative ones.
     pub fn reduce<T, F, O>(&self, n: usize, init: T, f: F, op: O) -> T
     where
         T: Send + Clone,
         F: Fn(usize) -> T + Sync,
-        O: Fn(T, T) -> T + Sync + Send,
+        O: Fn(T, T) -> T + Sync,
     {
         if n == 0 {
             return init;
         }
+        let ordinal = self.record(n);
+        if let Some(san) = &self.sanitizer {
+            san.begin_launch("par.reduce", ordinal, None);
+            let result = (0..n).fold(init, |acc, tid| op(acc, f(tid)));
+            san.end_launch();
+            return result;
+        }
         let workers = self.num_threads.min(n);
-        self.record(n);
         if workers == 1 {
-            let mut acc = init;
-            for tid in 0..n {
-                acc = op(acc, f(tid));
-            }
-            return acc;
+            return (0..n).fold(init, |acc, tid| op(acc, f(tid)));
         }
         let chunk = n.div_ceil(workers);
-        let partials = Mutex::new(Vec::with_capacity(workers));
-        crossbeam::scope(|scope| {
-            for w in 0..workers {
-                let f = &f;
-                let op = &op;
-                let init = init.clone();
-                let partials = &partials;
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                scope.spawn(move |_| {
-                    let mut acc = init;
-                    for tid in lo..hi {
-                        acc = op(acc, f(tid));
-                    }
-                    partials.lock().push(acc);
-                });
+        let partials: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let f = &f;
+                    let op = &op;
+                    let init = init.clone();
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || (lo..hi).fold(init, |acc, tid| op(acc, f(tid))))
+                })
+                .collect();
+            // Joining in spawn order keeps the fold deterministic no
+            // matter which worker finishes first.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        });
+        partials.into_iter().fold(init, op)
+    }
+}
+
+/// A labeled, optionally sanitizer-instrumented view of a mutable slice
+/// allowing disjoint per-index access from parallel kernels — the moral
+/// equivalent of a device buffer handed to a GPU kernel.
+///
+/// Created with [`Executor::bind`]. On a raw executor every access
+/// compiles down to a pointer offset (today's zero-cost path); on a
+/// sanitizing executor every access is logged as
+/// `(buffer, index, virtual tid, kind)` and race-checked after the
+/// launch.
+///
+/// ```
+/// use parsweep_par::Executor;
+/// let exec = Executor::with_threads(2);
+/// let mut buf = vec![0u64; 16];
+/// {
+///     let cells = exec.bind("buf", &mut buf);
+///     // SAFETY: each tid writes its own slot.
+///     exec.launch(16, |tid| unsafe { cells.write(tid, tid, tid as u64 * 3) });
+/// }
+/// assert_eq!(buf[5], 15);
+/// ```
+pub struct DeviceSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    san: Option<&'a Sanitizer>,
+    id: u32,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline is enforced by callers (each thread id touches
+// a distinct index when writing), matching how GPU kernels use buffers;
+// the sanitizer reference is behind a mutex.
+unsafe impl<T: Send> Sync for DeviceSlice<'_, T> {}
+// SAFETY: as above; a DeviceSlice is a (pointer, sanitizer handle) pair
+// whose underlying slice is `Send` element-wise.
+unsafe impl<T: Send> Send for DeviceSlice<'_, T> {}
+
+impl<T> DeviceSlice<'_, T> {
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index` on behalf of virtual thread `tid`,
+    /// dropping the old value.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds, and no other thread may access `index`
+    /// concurrently — within one launch, only `tid` may touch `index`.
+    /// A sanitizing executor verifies both and reports violations instead
+    /// of exhibiting them.
+    pub unsafe fn write(&self, tid: usize, index: usize, value: T) {
+        if let Some(san) = self.san {
+            if !san.record_write(self.id, index, tid) {
+                return; // out of bounds: reported, not performed
             }
-        })
-        .expect("executor worker panicked");
-        partials
-            .into_inner()
-            .into_iter()
-            .fold(init, op)
+        } else {
+            debug_assert!(index < self.len);
+        }
+        // SAFETY: index is in bounds (caller contract; checked above when
+        // sanitizing) and no concurrent access aliases this slot (caller
+        // contract; sanitized launches are serialized).
+        unsafe { *self.ptr.add(index) = value };
+    }
+
+    /// Reads the value at `index` on behalf of virtual thread `tid`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and no concurrent write to `index` may
+    /// happen. Reading a value written earlier in the *same* launch is
+    /// only safe if the writer ordered before this read (e.g. same
+    /// thread), as on a GPU; cross-tid same-launch reads are reported by
+    /// the sanitizer as read–write hazards.
+    pub unsafe fn read(&self, tid: usize, index: usize) -> T
+    where
+        T: Copy,
+    {
+        if let Some(san) = self.san {
+            san.record_read(self.id, index, tid);
+        } else {
+            debug_assert!(index < self.len);
+        }
+        // SAFETY: index is in bounds (caller contract; the sanitizer
+        // panics on OOB reads) and no write aliases this slot during the
+        // read (caller contract; sanitized launches are serialized).
+        unsafe { *self.ptr.add(index) }
+    }
+
+    /// Returns a shared reference to the element at `index` on behalf of
+    /// virtual thread `tid`, for non-`Copy` element access.
+    ///
+    /// # Safety
+    ///
+    /// Same discipline as [`DeviceSlice::read`]: in bounds, and no
+    /// concurrent write to `index` while the reference lives.
+    pub unsafe fn get_ref(&self, tid: usize, index: usize) -> &T {
+        if let Some(san) = self.san {
+            san.record_read(self.id, index, tid);
+        } else {
+            debug_assert!(index < self.len);
+        }
+        // SAFETY: index is in bounds and no write aliases this slot while
+        // the reference is live (caller contract, sanitizer-verified).
+        unsafe { &*self.ptr.add(index) }
     }
 }
 
 /// A shared view of a mutable slice allowing disjoint per-index access from
-/// parallel kernels — the moral equivalent of a device buffer handed to a
-/// GPU kernel.
+/// parallel kernels.
+///
+/// This is the raw, label-free primitive predating [`DeviceSlice`]; prefer
+/// [`Executor::bind`], which participates in kernel sanitizing. Retained
+/// for uninstrumented uses and backwards compatibility.
 ///
 /// ```
 /// use parsweep_par::{Executor, SharedSlice};
@@ -257,6 +609,7 @@ impl Executor {
 /// let mut buf = vec![0u64; 16];
 /// {
 ///     let cells = SharedSlice::new(&mut buf);
+///     // SAFETY: each tid writes its own slot.
 ///     exec.launch(16, |tid| unsafe { cells.write(tid, tid as u64 * 3) });
 /// }
 /// assert_eq!(buf[5], 15);
@@ -270,6 +623,7 @@ pub struct SharedSlice<'a, T> {
 // SAFETY: access discipline is enforced by callers (each thread id touches
 // a distinct index when writing), matching how GPU kernels use buffers.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+// SAFETY: as above.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
@@ -300,7 +654,8 @@ impl<'a, T> SharedSlice<'a, T> {
     /// concurrently.
     pub unsafe fn write(&self, index: usize, value: T) {
         debug_assert!(index < self.len);
-        *self.ptr.add(index) = value;
+        // SAFETY: index in bounds and slot unaliased per caller contract.
+        unsafe { *self.ptr.add(index) = value };
     }
 
     /// Reads the value at `index`.
@@ -316,7 +671,8 @@ impl<'a, T> SharedSlice<'a, T> {
         T: Copy,
     {
         debug_assert!(index < self.len);
-        *self.ptr.add(index)
+        // SAFETY: index in bounds and slot unaliased per caller contract.
+        unsafe { *self.ptr.add(index) }
     }
 
     /// Returns a raw pointer to the element at `index`, for non-`Copy`
@@ -332,8 +688,6 @@ impl<'a, T> SharedSlice<'a, T> {
         unsafe { self.ptr.add(index) }
     }
 }
-
-use SharedSlice as SliceCells;
 
 #[cfg(test)]
 mod tests {
@@ -365,6 +719,31 @@ mod tests {
     }
 
     #[test]
+    fn map_works_without_default() {
+        // A result type with no Default impl: map must not need one.
+        struct NoDefault(usize);
+        let exec = Executor::with_threads(3);
+        let v = exec.map(9, NoDefault);
+        assert!(v.iter().enumerate().all(|(i, x)| x.0 == i));
+    }
+
+    #[test]
+    fn map_drops_results_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let exec = Executor::with_threads(2);
+        let v = exec.map(25, |_| Counted);
+        assert_eq!(v.len(), 25);
+        drop(v);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
     fn fill_writes_every_slot() {
         let exec = Executor::with_threads(2);
         let mut buf = vec![0usize; 31];
@@ -386,6 +765,30 @@ mod tests {
     }
 
     #[test]
+    fn reduce_is_deterministic_for_non_commutative_op() {
+        // String concatenation is associative but not commutative: if
+        // worker partials were folded in completion order the result
+        // would depend on thread scheduling. Stagger the first chunk so a
+        // completion-order fold would almost surely misorder.
+        let expect: String = (0..64).map(|i| format!("{i},")).collect();
+        for _ in 0..8 {
+            let exec = Executor::with_threads(4);
+            let got = exec.reduce(
+                64,
+                String::new(),
+                |i| {
+                    if i < 16 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    format!("{i},")
+                },
+                |a, b| a + &b,
+            );
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
     fn stats_accumulate() {
         let exec = Executor::with_threads(2);
         exec.launch(10, |_| {});
@@ -399,11 +802,13 @@ mod tests {
     }
 
     #[test]
-    fn modeled_time_bounds() {
+    fn modeled_time_bounds_without_histogram() {
+        // Hand-assembled stats (no histogram): the uniform lower bound.
         let s = LaunchStats {
             launches: 4,
             total_threads: 4000,
             widest: 1000,
+            ..LaunchStats::default()
         };
         assert_eq!(s.modeled_time(1), 4000);
         assert_eq!(s.modeled_time(1000), 4);
@@ -411,9 +816,177 @@ mod tests {
     }
 
     #[test]
+    fn modeled_time_exact_for_non_uniform_launches() {
+        let exec = Executor::with_threads(2);
+        exec.launch(1000, |_| {});
+        exec.launch(8, |_| {});
+        let s = exec.stats();
+        // True cost on 64 lanes: ceil(1000/64) + ceil(8/64) = 16 + 1;
+        // the pre-histogram bound would have said ceil(1008/64) = 16.
+        assert_eq!(s.modeled_time(64), 17);
+        assert_eq!(s.modeled_time(1), 1008);
+        // Same-width launches sharing a bucket stay exact.
+        exec.reset_stats();
+        exec.launch(65, |_| {});
+        exec.launch(65, |_| {});
+        assert_eq!(exec.stats().modeled_time(64), 4);
+    }
+
+    #[test]
     fn single_thread_executor_is_sequential_and_correct() {
         let exec = Executor::with_threads(1);
         let v = exec.map(8, |i| i);
         assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sanitizer_flags_write_write_race() {
+        let exec = Executor::with_sanitizer_config(
+            4,
+            SanitizerConfig {
+                fail_fast: false,
+                ..SanitizerConfig::default()
+            },
+        );
+        let mut buf = vec![0u32; 8];
+        {
+            let cells = exec.bind("racy.buf", &mut buf);
+            exec.launch_labeled("racy.kernel", 6, |tid| {
+                // SAFETY: intentionally racy (all tids write slot 3) to
+                // exercise detection; sanitized launches are serialized.
+                unsafe { cells.write(tid, 3, tid as u32) };
+            });
+        }
+        let reports = exec.take_reports();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        let r = &reports[0];
+        assert_eq!(r.kernel, "racy.kernel");
+        assert_eq!(r.buffer, "racy.buf");
+        assert_eq!(r.index, 3);
+        assert_eq!(r.launch, 1);
+        let (a, b) = r.conflicting_tids().expect("write-write carries tids");
+        assert_ne!(a, b);
+        assert!(matches!(r.kind, ConflictKind::WriteWrite { .. }));
+    }
+
+    #[test]
+    fn sanitizer_flags_read_write_hazard() {
+        let exec = Executor::with_sanitizer_config(
+            2,
+            SanitizerConfig {
+                fail_fast: false,
+                ..SanitizerConfig::default()
+            },
+        );
+        let mut buf = vec![0u32; 8];
+        {
+            let cells = exec.bind("buf", &mut buf);
+            exec.launch_labeled("rw.kernel", 4, |tid| {
+                // SAFETY: intentionally hazardous (tid 0 writes slot 0,
+                // others read it in the same launch); serialized.
+                unsafe {
+                    if tid == 0 {
+                        cells.write(tid, 0, 7);
+                    } else {
+                        let _ = cells.read(tid, 0);
+                    }
+                }
+            });
+        }
+        let reports = exec.take_reports();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert!(matches!(reports[0].kind, ConflictKind::ReadWrite { .. }));
+    }
+
+    #[test]
+    fn sanitizer_clean_on_disjoint_writes() {
+        let exec = Executor::with_sanitizer(4);
+        let mut buf = vec![0u64; 64];
+        {
+            let cells = exec.bind("buf", &mut buf);
+            exec.launch_labeled("disjoint", 64, |tid| {
+                // SAFETY: each tid writes its own slot.
+                unsafe { cells.write(tid, tid, tid as u64) };
+            });
+        }
+        assert!(exec.take_reports().is_empty());
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn sanitizer_flags_out_of_bounds_write() {
+        let exec = Executor::with_sanitizer_config(
+            2,
+            SanitizerConfig {
+                fail_fast: false,
+                ..SanitizerConfig::default()
+            },
+        );
+        let mut buf = vec![0u8; 4];
+        {
+            let cells = exec.bind("small", &mut buf);
+            exec.launch_labeled("oob", 1, |tid| {
+                // SAFETY: deliberately out of bounds; the sanitizer
+                // reports and suppresses the physical write.
+                unsafe { cells.write(tid, 9, 1) };
+            });
+        }
+        let reports = exec.take_reports();
+        assert_eq!(reports.len(), 1);
+        assert!(matches!(
+            reports[0].kind,
+            ConflictKind::OutOfBounds { tid: 0 }
+        ));
+        assert_eq!(buf, vec![0u8; 4], "OOB write must not be performed");
+    }
+
+    #[test]
+    #[should_panic(expected = "write-write hazard")]
+    fn sanitizer_fail_fast_panics_on_race() {
+        let exec = Executor::with_sanitizer(2);
+        let mut buf = vec![0u32; 2];
+        let cells = exec.bind("buf", &mut buf);
+        exec.launch_labeled("racy", 2, |tid| {
+            // SAFETY: intentionally racy; serialized under the sanitizer.
+            unsafe { cells.write(tid, 0, 1) };
+        });
+    }
+
+    #[test]
+    fn sanitizer_unwritten_slot_in_filling_launch() {
+        let exec = Executor::with_sanitizer_config(
+            2,
+            SanitizerConfig {
+                fail_fast: false,
+                ..SanitizerConfig::default()
+            },
+        );
+        let mut buf = vec![0u32; 4];
+        {
+            let cells = exec.bind("out", &mut buf);
+            exec.launch_filling("half-fill", &cells, |tid| {
+                if tid != 2 {
+                    // SAFETY: each tid writes its own slot.
+                    unsafe { cells.write(tid, tid, 1) };
+                }
+            });
+        }
+        let reports = exec.take_reports();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].index, 2);
+        assert_eq!(reports[0].kind, ConflictKind::UnwrittenSlot);
+    }
+
+    #[test]
+    fn sanitized_results_match_raw_results() {
+        let raw = Executor::with_threads(4);
+        let san = Executor::with_sanitizer(4);
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e3779b97f4a7c15).rotate_left(9);
+        assert_eq!(raw.map(321, f), san.map(321, f));
+        assert_eq!(
+            raw.reduce(321, 0u64, f, u64::wrapping_add),
+            san.reduce(321, 0u64, f, u64::wrapping_add),
+        );
+        assert!(san.take_reports().is_empty());
     }
 }

@@ -31,6 +31,7 @@ proptest! {
         let mut buf = vec![0u32; n];
         {
             let cells = SharedSlice::new(&mut buf);
+            // SAFETY: each tid writes only its own slot.
             exec.launch(n, |i| unsafe { cells.write(i, (i * i) as u32) });
         }
         prop_assert!(buf.iter().enumerate().all(|(i, &v)| v as usize == i * i));

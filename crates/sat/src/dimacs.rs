@@ -92,13 +92,13 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<Cnf, ParseDimacsError> {
                     message: format!("expected 'p cnf', got {trimmed:?}"),
                 });
             }
-            let v: usize = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or(ParseDimacsError::Malformed {
-                    line: line_no,
-                    message: "bad variable count".into(),
-                })?;
+            let v: usize =
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseDimacsError::Malformed {
+                        line: line_no,
+                        message: "bad variable count".into(),
+                    })?;
             num_vars = Some(v);
             continue;
         }
@@ -171,10 +171,10 @@ mod tests {
     fn clause_may_span_lines() {
         let text = "p cnf 2 1\n1\n2 0\n";
         let cnf = read_dimacs(text.as_bytes()).unwrap();
-        assert_eq!(cnf.clauses, vec![vec![
-            SatVar::new(0).pos(),
-            SatVar::new(1).pos(),
-        ]]);
+        assert_eq!(
+            cnf.clauses,
+            vec![vec![SatVar::new(0).pos(), SatVar::new(1).pos(),]]
+        );
     }
 
     #[test]

@@ -51,6 +51,5 @@ pub use portfolio::{portfolio_check, Engine, PortfolioConfig, PortfolioResult};
 pub use slit::{LBool, SatLit, SatVar};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use sweep::{
-    check_equivalence, sat_sweep, sat_sweep_seeded, SweepConfig, SweepResult, SweepStats,
-    Verdict,
+    check_equivalence, sat_sweep, sat_sweep_seeded, SweepConfig, SweepResult, SweepStats, Verdict,
 };

@@ -99,14 +99,15 @@ pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> P
     // Engine 3: exhaustive PO truth tables when supports are small and
     // cones stay below the BDD-style blow-up proxy.
     let supports = miter.bounded_supports(cfg.po_support_cap);
-    let simulatable = miter.pos().iter().all(|po| {
-        po.var().is_const() || supports[po.var().index()].size().is_some()
-    });
+    let simulatable = miter
+        .pos()
+        .iter()
+        .all(|po| po.var().is_const() || supports[po.var().index()].size().is_some());
     let cones_ok = simulatable
-        && miter.pos().iter().all(|po| {
-            po.var().is_const()
-                || miter.tfi_cone(&[po.var()]).len() <= cfg.po_cone_cap
-        });
+        && miter
+            .pos()
+            .iter()
+            .all(|po| po.var().is_const() || miter.tfi_cone(&[po.var()]).len() <= cfg.po_cone_cap);
     if simulatable && cones_ok {
         let windows: Vec<Window> = miter
             .pos()

@@ -84,7 +84,12 @@ impl std::ops::Not for SatLit {
 
 impl fmt::Debug for SatLit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}", if self.is_neg() { "!" } else { "" }, self.0 >> 1)
+        write!(
+            f,
+            "{}x{}",
+            if self.is_neg() { "!" } else { "" },
+            self.0 >> 1
+        )
     }
 }
 

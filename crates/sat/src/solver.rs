@@ -144,7 +144,10 @@ impl Solver {
     ///
     /// Panics if called at a non-root decision level.
     pub fn add_clause(&mut self, lits: &[SatLit]) -> bool {
-        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         if !self.ok {
             return false;
         }
@@ -391,16 +394,12 @@ impl Solver {
         for &(cref, _) in victims.iter().take(keep_half) {
             keep_learned.insert(cref);
         }
-        let drop: std::collections::HashSet<u32> = victims
-            .iter()
-            .skip(keep_half)
-            .map(|&(c, _)| c)
-            .collect();
+        let drop: std::collections::HashSet<u32> =
+            victims.iter().skip(keep_half).map(|&(c, _)| c).collect();
 
         // Compact the arena, remapping clause refs.
         let mut new_db: Vec<u32> = Vec::with_capacity(self.db.len());
-        let mut remap: std::collections::HashMap<u32, u32> =
-            std::collections::HashMap::new();
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         let mut cref = 0usize;
         while cref < self.db.len() {
             let len = self.db[cref] as usize;
@@ -427,7 +426,8 @@ impl Solver {
         self.learned_index.clear();
         for (cref, act) in old {
             if let Some(&new_ref) = remap.get(&cref) {
-                self.learned_index.insert(new_ref, self.learned_clauses.len());
+                self.learned_index
+                    .insert(new_ref, self.learned_clauses.len());
                 self.learned_clauses.push((new_ref, act));
             }
         }
@@ -746,15 +746,17 @@ mod tests {
             let vars: Vec<SatVar> = (0..nv).map(|_| s.new_var()).collect();
             let mut clauses = Vec::new();
             for _ in 0..nc {
-                let c: Vec<SatLit> =
-                    (0..3).map(|_| vars[rng.below(nv)].lit(rng.bool())).collect();
+                let c: Vec<SatLit> = (0..3)
+                    .map(|_| vars[rng.below(nv)].lit(rng.bool()))
+                    .collect();
                 clauses.push(c.clone());
                 s.add_clause(&c);
             }
             if s.solve(&[]) == SolveResult::Sat {
                 for c in &clauses {
                     assert!(
-                        c.iter().any(|l| s.model_value(l.var()).unwrap() != l.is_neg()),
+                        c.iter()
+                            .any(|l| s.model_value(l.var()).unwrap() != l.is_neg()),
                         "round {round}: model violates {c:?}"
                     );
                 }

@@ -122,8 +122,7 @@ pub fn sat_sweep_seeded(
     let mut pending_cexs: Vec<Cex> = seed_cexs.to_vec();
     let mut round_seed = cfg.seed;
 
-    let out_of_time =
-        |start: &Instant| cfg.wall_budget.is_some_and(|b| start.elapsed() >= b);
+    let out_of_time = |start: &Instant| cfg.wall_budget.is_some_and(|b| start.elapsed() >= b);
 
     for round in 0..cfg.max_rounds {
         if is_proved(&current) {
@@ -139,7 +138,9 @@ pub fn sat_sweep_seeded(
         }
         stats.rounds = round as u32 + 1;
         // 1. Simulate: random patterns plus any pending counter-examples.
-        round_seed = round_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        round_seed = round_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(1);
         let mut patterns = Patterns::random(current.num_pis(), cfg.sim_words, round_seed);
         if let Some(cex_patterns) = Patterns::from_cexs(&current, &pending_cexs) {
             patterns = patterns.concat(&cex_patterns);
@@ -216,7 +217,11 @@ pub fn sat_sweep_seeded(
         stats.conflicts += solver.stats().conflicts;
 
         // 3. Reduce the miter by the proved equivalences.
-        if subst.iter().enumerate().any(|(i, &l)| l != Var::new(i as u32).lit()) {
+        if subst
+            .iter()
+            .enumerate()
+            .any(|(i, &l)| l != Var::new(i as u32).lit())
+        {
             let (reduced, _) = current.rebuild_with_substitution(&subst);
             current = reduced;
         }

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::{Executor, SharedSlice};
+use parsweep_par::Executor;
 
 use crate::tt::projection_word;
 use crate::window::Window;
@@ -135,8 +135,7 @@ pub fn check_windows(
         // Windows still needing simulation this round.
         let active: Vec<usize> = (0..plans.len())
             .filter(|&i| {
-                plans[i].tt_words > r * entry_words
-                    && unresolved[i].load(Ordering::Relaxed) > 0
+                plans[i].tt_words > r * entry_words && unresolved[i].load(Ordering::Relaxed) > 0
             })
             .collect();
         if active.is_empty() {
@@ -144,21 +143,21 @@ pub fn check_windows(
         }
         rounds_run += 1;
         let active_words = |p: &WindowPlan| (p.tt_words - r * entry_words).min(entry_words);
-        let cells = SharedSlice::new(&mut simt);
+        let cells = exec.bind("sim.exhaustive.table", &mut simt);
 
         // 1. Write projection truth-table segments for all window inputs.
         let input_tasks: Vec<(usize, usize)> = active
             .iter()
             .flat_map(|&i| (0..plans[i].window.inputs.len()).map(move |j| (i, j)))
             .collect();
-        exec.launch(input_tasks.len(), |t| {
+        exec.launch_labeled("sim.exhaustive.inputs", input_tasks.len(), |t| {
             let (i, j) = input_tasks[t];
             let p = &plans[i];
             let aw = active_words(p);
             let entry = (p.base + j) * entry_words;
             for w in 0..aw {
                 // SAFETY: each (window, input) task owns a distinct entry.
-                unsafe { cells.write(entry + w, projection_word(j, r * entry_words + w)) };
+                unsafe { cells.write(t, entry + w, projection_word(j, r * entry_words + w)) };
             }
         });
 
@@ -181,7 +180,7 @@ pub fn check_windows(
                     .sum::<u64>(),
                 Ordering::Relaxed,
             );
-            exec.launch(tasks.len(), |t| {
+            exec.launch_labeled("sim.exhaustive.level", tasks.len(), |t| {
                 let (i, k) = tasks[t];
                 let p = &plans[i];
                 let aw = active_words(p);
@@ -202,9 +201,11 @@ pub fn check_windows(
                 for w in 0..aw {
                     // SAFETY: fanin entries were written by earlier levels
                     // (previous launches); each node writes only its entry.
-                    let wa = unsafe { cells.read(ba + w) } ^ ma;
-                    let wb = unsafe { cells.read(bb + w) } ^ mb;
-                    unsafe { cells.write(bv + w, wa & wb) };
+                    unsafe {
+                        let wa = cells.read(t, ba + w) ^ ma;
+                        let wb = cells.read(t, bb + w) ^ mb;
+                        cells.write(t, bv + w, wa & wb);
+                    }
                 }
             });
         }
@@ -214,8 +215,8 @@ pub fn check_windows(
             .iter()
             .flat_map(|&i| (0..plans[i].window.pairs.len()).map(move |k| (i, k)))
             .collect();
-        let out_cells = SharedSlice::new(&mut outcomes);
-        exec.launch(pair_tasks.len(), |t| {
+        let out_cells = exec.bind("sim.exhaustive.outcomes", &mut outcomes);
+        exec.launch_labeled("sim.exhaustive.compare", pair_tasks.len(), |t| {
             let (i, k) = pair_tasks[t];
             if resolved[i][k].load(Ordering::Relaxed) {
                 return;
@@ -240,21 +241,21 @@ pub fn check_windows(
             };
             for w in 0..aw {
                 // SAFETY: root entries were written by the level launches.
-                let wa = ea.map_or(0, |e| unsafe { cells.read(e + w) });
-                let wb = eb.map_or(0, |e| unsafe { cells.read(e + w) });
+                let wa = ea.map_or(0, |e| unsafe { cells.read(t, e + w) });
+                // SAFETY: as above.
+                let wb = eb.map_or(0, |e| unsafe { cells.read(t, e + w) });
                 let diff = (wa ^ wb ^ cmask) & valid;
                 if diff != 0 {
                     let bit = diff.trailing_zeros() as u64;
                     let pattern_index = ((r * entry_words + w) as u64) << 6 | bit;
-                    let assignment = (0..k_in)
-                        .map(|j| pattern_index >> j & 1 == 1)
-                        .collect();
+                    let assignment = (0..k_in).map(|j| pattern_index >> j & 1 == 1).collect();
                     resolved[i][k].store(true, Ordering::Relaxed);
                     unresolved[i].fetch_sub(1, Ordering::Relaxed);
                     // SAFETY: exactly one task exists per (i, k), so the
                     // flat slot is written by at most one thread.
                     unsafe {
                         out_cells.write(
+                            t,
                             pair_base[i] + k,
                             Some(PairOutcome::Mismatch {
                                 pattern_index,
@@ -308,8 +309,8 @@ mod tests {
         let t0 = aig.and(xs[0], xs[1]);
         let t1 = aig.and(!xs[0], !xs[1]);
         let g = aig.or(t0, t1); // XNOR
-        // var(f) and var(g): possibly complemented nodes; figure out the
-        // complement relation from the literals: f == !g.
+                                // var(f) and var(g): possibly complemented nodes; figure out the
+                                // complement relation from the literals: f == !g.
         let complement = f.is_complemented() == g.is_complemented();
         let w = Window::global(&aig, pc(f.var(), g.var(), complement));
         let (res, _) = check_windows(&aig, &exec(), &[w], 1 << 16);
@@ -322,7 +323,10 @@ mod tests {
         let xs = aig.add_inputs(2);
         let f = aig.and(xs[0], xs[1]);
         let g = aig.or(xs[0], xs[1]);
-        let w = Window::global(&aig, pc(f.var(), g.var(), f.is_complemented() != g.is_complemented()));
+        let w = Window::global(
+            &aig,
+            pc(f.var(), g.var(), f.is_complemented() != g.is_complemented()),
+        );
         let (res, _) = check_windows(&aig, &exec(), std::slice::from_ref(&w), 1 << 16);
         match &res[0][0] {
             PairOutcome::Mismatch { assignment, .. } => {
@@ -367,7 +371,10 @@ mod tests {
             }
             acc
         };
-        let w = Window::global(&aig, pc(f.var(), g.var(), f.is_complemented() != g.is_complemented()));
+        let w = Window::global(
+            &aig,
+            pc(f.var(), g.var(), f.is_complemented() != g.is_complemented()),
+        );
         let entries = w.num_entries();
         let (res, effort) = check_windows(&aig, &exec(), &[w], entries * 2);
         assert_eq!(res[0][0], PairOutcome::Equal);
@@ -431,11 +438,19 @@ mod tests {
         let g2 = aig.or(xs[2], xs[3]);
         let w1 = Window::global(
             &aig,
-            pc(f1.var(), f2.var(), f1.is_complemented() != f2.is_complemented()),
+            pc(
+                f1.var(),
+                f2.var(),
+                f1.is_complemented() != f2.is_complemented(),
+            ),
         );
         let w2 = Window::global(
             &aig,
-            pc(g1.var(), g2.var(), g1.is_complemented() != g2.is_complemented()),
+            pc(
+                g1.var(),
+                g2.var(),
+                g1.is_complemented() != g2.is_complemented(),
+            ),
         );
         let (res, _) = check_windows(&aig, &exec(), &[w1, w2], 1 << 16);
         assert_eq!(res[0][0], PairOutcome::Equal);

@@ -6,7 +6,7 @@
 //! later resimulated to refine the classes (§III-A "partial simulator").
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::{Executor, SharedSlice};
+use parsweep_par::Executor;
 
 use crate::Cex;
 
@@ -211,14 +211,18 @@ impl Signatures {
 /// one topological level are one kernel launch; each node computes its
 /// packed words from its fanins' words.
 pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
-    assert_eq!(patterns.num_pis(), aig.num_pis(), "pattern/PI count mismatch");
+    assert_eq!(
+        patterns.num_pis(),
+        aig.num_pis(),
+        "pattern/PI count mismatch"
+    );
     let w = patterns.num_words();
     let mut data = vec![0u64; aig.num_nodes() * w];
     {
-        let cells = SharedSlice::new(&mut data);
+        let cells = exec.bind("sim.partial.signatures", &mut data);
         let groups = aig.level_groups();
         for group in &groups {
-            exec.launch(group.len(), |t| {
+            exec.launch_labeled("sim.partial.level", group.len(), |t| {
                 let v = group[t];
                 match aig.node(v) {
                     Node::Const => {
@@ -227,7 +231,9 @@ pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
                     Node::Input(pi) => {
                         for k in 0..w {
                             // SAFETY: each node writes only its own words.
-                            unsafe { cells.write(v.index() * w + k, patterns.word(pi as usize, k)) };
+                            unsafe {
+                                cells.write(t, v.index() * w + k, patterns.word(pi as usize, k))
+                            };
                         }
                     }
                     Node::And(a, b) => {
@@ -236,9 +242,11 @@ pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
                         for k in 0..w {
                             // SAFETY: fanins are in earlier levels (earlier
                             // launches); each node writes only its words.
-                            let wa = unsafe { cells.read(a.var().index() * w + k) } ^ ma;
-                            let wb = unsafe { cells.read(b.var().index() * w + k) } ^ mb;
-                            unsafe { cells.write(v.index() * w + k, wa & wb) };
+                            unsafe {
+                                let wa = cells.read(t, a.var().index() * w + k) ^ ma;
+                                let wb = cells.read(t, b.var().index() * w + k) ^ mb;
+                                cells.write(t, v.index() * w + k, wa & wb);
+                            }
                         }
                     }
                 }

@@ -98,7 +98,7 @@ mod tests {
     }
 
     #[test]
-    fn justifies_zero_through_complemented_edges(){
+    fn justifies_zero_through_complemented_edges() {
         let mut aig = Aig::new();
         let xs = aig.add_inputs(4);
         let o = aig.or_all(xs.iter().copied());

@@ -155,8 +155,7 @@ pub fn merge_windows_clustered(windows: Vec<Window>, k_s: usize) -> Vec<Window> 
                 if union.len() > k_s {
                     continue;
                 }
-                let inter =
-                    current.inputs.len() + w.inputs.len() - union.len();
+                let inter = current.inputs.len() + w.inputs.len() - union.len();
                 if inter == 0 {
                     continue; // disjoint windows never merge (see try_union)
                 }
@@ -167,8 +166,7 @@ pub fn merge_windows_clustered(windows: Vec<Window>, k_s: usize) -> Vec<Window> 
             }
             let Some((j, _)) = best else { break };
             let absorbed = pool[j].take().expect("candidate present");
-            current = try_union(&current, &absorbed, k_s)
-                .expect("union checked to fit k_s");
+            current = try_union(&current, &absorbed, k_s).expect("union checked to fit k_s");
         }
         out.push(current);
     }

@@ -31,8 +31,7 @@ pub fn balance(aig: &Aig) -> Aig {
                                 if !f.is_complemented() && aig.node(f.var()).is_and() {
                                     stack.push(f.var());
                                 } else {
-                                    operands
-                                        .push(map[f.var().index()].xor(f.is_complemented()));
+                                    operands.push(map[f.var().index()].xor(f.is_complemented()));
                                 }
                             }
                         }

@@ -96,10 +96,7 @@ fn isop_rec(lower: &TruthTable, upper: &TruthTable, num_vars: usize) -> (Vec<Cub
     cubes.extend(cs);
 
     let proj = TruthTable::projection(lower.num_vars(), var);
-    let cover = cov0
-        .and(&proj.not())
-        .or(&cov1.and(&proj))
-        .or(&covs);
+    let cover = cov0.and(&proj.not()).or(&cov1.and(&proj)).or(&covs);
     (cubes, cover)
 }
 

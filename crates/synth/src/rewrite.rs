@@ -182,10 +182,7 @@ pub fn rewrite(aig: &Aig, params: RewriteParams) -> Aig {
                         cost < cone_size
                     };
                     if accept {
-                        let leaves: Vec<Lit> = cut
-                            .iter()
-                            .map(|l| map[l.index()])
-                            .collect();
+                        let leaves: Vec<Lit> = cut.iter().map(|l| map[l.index()]).collect();
                         let built = if use_neg {
                             !build_sop(&mut out, &cubes_neg, &leaves)
                         } else {

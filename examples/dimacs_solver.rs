@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for v in 0..cnf.num_vars {
                 let var = SatVar::new(v as u32);
                 let val = solver.model_value(var).unwrap_or(false);
-                line.push_str(&format!(" {}", if val { v as i64 + 1 } else { -(v as i64 + 1) }));
+                line.push_str(&format!(
+                    " {}",
+                    if val { v as i64 + 1 } else { -(v as i64 + 1) }
+                ));
             }
             line.push_str(" 0");
             println!("{line}");

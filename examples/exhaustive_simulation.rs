@@ -30,10 +30,7 @@ fn main() {
     }
 
     // One global-checking window per pair (inputs = support union).
-    let windows: Vec<Window> = pairs
-        .iter()
-        .map(|&p| Window::global(&aig, p))
-        .collect();
+    let windows: Vec<Window> = pairs.iter().map(|&p| Window::global(&aig, p)).collect();
     let entries: usize = windows.iter().map(|w| w.num_entries()).sum();
     println!(
         "{} windows, {} total simulation-table entries before merging",
@@ -92,10 +89,7 @@ fn main() {
     {
         println!(
             "disproof: pattern #{pattern_index} over inputs {:?} -> {:?}",
-            w.inputs
-                .iter()
-                .map(|v: &Var| v.index())
-                .collect::<Vec<_>>(),
+            w.inputs.iter().map(|v: &Var| v.index()).collect::<Vec<_>>(),
             assignment
         );
     }

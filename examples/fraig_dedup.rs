@@ -26,11 +26,7 @@ fn redundant_design() -> Aig {
         !any
     };
     let eq_mux = {
-        let bits: Vec<Lit> = a
-            .iter()
-            .zip(&b)
-            .map(|(&x, &y)| aig.mux(x, y, !y))
-            .collect();
+        let bits: Vec<Lit> = a.iter().zip(&b).map(|(&x, &y)| aig.mux(x, y, !y)).collect();
         aig.and_all(bits)
     };
     let eq_chain = {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Static + dynamic hardening gate, the same sequence CI runs:
+#   1. formatting            cargo fmt --all -- --check
+#   2. lints                 cargo clippy --workspace --all-targets -- -D warnings
+#                            (workspace lints deny unsafe_op_in_unsafe_fn and
+#                             undocumented unsafe blocks)
+#   3. tier-1 build + tests  cargo build --release && cargo test
+#   4. kernel sanitizer      parsweep-par suite with the `sanitize` feature,
+#                            then the engine-facing suites with every executor
+#                            forced into sanitizing mode (racecheck analogue)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 build + test"
+cargo build --release
+cargo test -q
+
+echo "==> sanitizer-enabled tests (feature)"
+cargo test -p parsweep-par --features sanitize -q
+
+echo "==> sanitizer-enabled tests (PARSWEEP_SANITIZE=1)"
+PARSWEEP_SANITIZE=1 cargo test -p parsweep-par -p parsweep-sim -p parsweep-core -q
+PARSWEEP_SANITIZE=1 cargo test --test sanitizer_engine --test edge_cases -q
+
+echo "lint.sh: all green"

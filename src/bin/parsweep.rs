@@ -18,9 +18,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use parsweep::aig::{aiger, dot, miter, verilog, Aig, NetworkStats};
-use parsweep::engine::{
-    combined_check, sim_sweep, CombinedConfig, EngineConfig, Report, Verdict,
-};
+use parsweep::engine::{combined_check, sim_sweep, CombinedConfig, EngineConfig, Report, Verdict};
 use parsweep::par::Executor;
 use parsweep::sat::{portfolio_check, sat_sweep, PortfolioConfig, SweepConfig};
 use parsweep::synth::resyn2;
@@ -61,13 +59,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "stats" => {
-            let [path] = &args[1..] else { return Ok(usage()) };
+            let [path] = &args[1..] else {
+                return Ok(usage());
+            };
             let aig = load(path)?;
             println!("{}", NetworkStats::of(&aig));
             Ok(ExitCode::SUCCESS)
         }
         "optimize" => {
-            let [input, output] = &args[1..] else { return Ok(usage()) };
+            let [input, output] = &args[1..] else {
+                return Ok(usage());
+            };
             let aig = load(input)?;
             let opt = resyn2(&aig);
             println!(
@@ -81,7 +83,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "convert" => {
-            let [input, output] = &args[1..] else { return Ok(usage()) };
+            let [input, output] = &args[1..] else {
+                return Ok(usage());
+            };
             let aig = load(input)?;
             aiger::write_aiger_file(&aig, output).map_err(|e| e.to_string())?;
             Ok(ExitCode::SUCCESS)
@@ -100,7 +104,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     files.push(a);
                 }
             }
-            let [input, output] = files[..] else { return Ok(usage()) };
+            let [input, output] = files[..] else {
+                return Ok(usage());
+            };
             let aig = load(input)?;
             let doubled = aig.double_times(times);
             println!(
@@ -113,10 +119,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "fraig" => {
-            let [input, output] = &args[1..] else { return Ok(usage()) };
+            let [input, output] = &args[1..] else {
+                return Ok(usage());
+            };
             let aig = load(input)?;
             let exec = Executor::new();
-            let r = parsweep::engine::fraig(&aig, &exec, &parsweep::engine::EngineConfig::default());
+            let r =
+                parsweep::engine::fraig(&aig, &exec, &parsweep::engine::EngineConfig::default());
             println!(
                 "{} -> {} ANDs ({} equivalences merged)",
                 aig.num_ands(),
@@ -132,7 +141,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             match args.get(2) {
                 Some(out) => {
                     let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
-                    verilog::write_verilog(&aig, "parsweep_dut", file).map_err(|e| e.to_string())?;
+                    verilog::write_verilog(&aig, "parsweep_dut", file)
+                        .map_err(|e| e.to_string())?;
                 }
                 None => print!("{}", verilog::to_verilog_string(&aig, "parsweep_dut")),
             }

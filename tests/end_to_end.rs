@@ -37,11 +37,7 @@ fn rotator(bits: usize, sel: usize) -> Aig {
 fn optimize_and_verify_rotator_with_all_engines() {
     let original = rotator(8, 3);
     let optimized = resyn2(&original);
-    assert_ne!(
-        original.num_ands(),
-        0,
-        "rotator must contain logic"
-    );
+    assert_ne!(original.num_ands(), 0, "rotator must contain logic");
     let m = miter(&original, &optimized).unwrap();
 
     let sim = sim_sweep(&m, &exec(), &EngineConfig::default());
@@ -85,8 +81,14 @@ fn injected_bug_is_caught_with_a_real_witness() {
     let m = miter(&good, &bad).unwrap();
 
     for (name, verdict) in [
-        ("sim", sim_sweep(&m, &exec(), &EngineConfig::default()).verdict),
-        ("sat", sat_sweep(&m, &exec(), &SweepConfig::default()).verdict),
+        (
+            "sim",
+            sim_sweep(&m, &exec(), &EngineConfig::default()).verdict,
+        ),
+        (
+            "sat",
+            sat_sweep(&m, &exec(), &SweepConfig::default()).verdict,
+        ),
         (
             "combined",
             combined_check(&m, &exec(), &CombinedConfig::default()).verdict,
