@@ -1,0 +1,97 @@
+//! Device-runtime smoke benchmark: runs the engine over the generator
+//! suite and emits `BENCH_runtime.json` with wall time, the cost model's
+//! critical-path (`modeled_time`) and serialized estimates, and the
+//! buffer-arena recycling counters.
+//!
+//! Usage: `runtime [tiny|small|medium] [output.json]`
+
+use std::fmt::Write as _;
+
+use parsweep_bench::harness::{suite, Scale};
+use parsweep_core::{sim_sweep, EngineConfig, Report};
+use parsweep_par::Executor;
+
+/// Modeled device width used for the time estimates (threads).
+const MODEL_CORES: u64 = 4096;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let exec = Executor::new();
+
+    let mut cases_json = Vec::new();
+    let mut total_seconds = 0.0f64;
+    let (mut total_modeled, mut total_serialized) = (0u64, 0u64);
+    let mut peak_bytes = 0u64;
+
+    eprintln!("# device-runtime smoke bench ({scale:?}, modeled cores = {MODEL_CORES})");
+    for case in suite(scale) {
+        exec.reset_stats();
+        let r = sim_sweep(&case.miter, &exec, &EngineConfig::scaled());
+        let s = exec.stats();
+        let modeled = s.modeled_time(MODEL_CORES);
+        let serialized = s.serialized_time(MODEL_CORES);
+        total_seconds += r.stats.seconds;
+        total_modeled += modeled;
+        total_serialized += serialized;
+        peak_bytes = peak_bytes.max(s.arena_peak_bytes);
+        eprintln!(
+            "{:<16} {} wall {:.3}s modeled {} serialized {} arena {}h/{}m peak {}B",
+            case.name,
+            Report::new(&r).verdict_tag(),
+            r.stats.seconds,
+            modeled,
+            serialized,
+            s.arena_hits,
+            s.arena_misses,
+            s.arena_peak_bytes,
+        );
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            concat!(
+                "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"seconds\": {:.6}, ",
+                "\"modeled_time\": {}, \"serialized_time\": {}, \"launches\": {}, ",
+                "\"arena_hits\": {}, \"arena_misses\": {}, \"arena_peak_bytes\": {}}}"
+            ),
+            case.name,
+            Report::new(&r).verdict_tag(),
+            r.stats.seconds,
+            modeled,
+            serialized,
+            s.launches,
+            s.arena_hits,
+            s.arena_misses,
+            s.arena_peak_bytes,
+        );
+        cases_json.push(j);
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": \"{:?}\",\n",
+            "  \"model_cores\": {},\n",
+            "  \"total_wall_seconds\": {:.6},\n",
+            "  \"total_modeled_time\": {},\n",
+            "  \"total_serialized_time\": {},\n",
+            "  \"max_arena_peak_bytes\": {},\n",
+            "  \"cases\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        MODEL_CORES,
+        total_seconds,
+        total_modeled,
+        total_serialized,
+        peak_bytes,
+        cases_json.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

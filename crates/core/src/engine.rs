@@ -2,6 +2,7 @@
 //! global function checking (G), then repeated local function checking
 //! phases (L), each reducing the miter by merging proved pairs.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
 use parsweep_aig::{is_proved, Aig, Lit, Support, Var};
@@ -65,23 +66,27 @@ fn run(
         initial_ands: miter.num_ands(),
         ..Default::default()
     };
-    let mut current = miter.clone();
+    // The miter is borrowed until a phase actually reduces it: an untraced
+    // run that proves or disproves nothing never clones the input.
+    let mut current: Cow<'_, Aig> = Cow::Borrowed(miter);
     let mut snapshots: Vec<PhaseSnapshot> = Vec::new();
     let mut disproofs: Vec<Cex> = Vec::new();
 
     let finish = |verdict: Verdict,
-                  current: Aig,
+                  current: Cow<'_, Aig>,
                   mut stats: EngineStats,
                   snapshots: Vec<PhaseSnapshot>,
                   disproofs: Vec<Cex>| {
         stats.final_ands = current.num_ands();
         stats.seconds = start.elapsed().as_secs_f64();
         let accounted = stats.phase_times.po + stats.phase_times.global + stats.phase_times.local;
-        stats.phase_times.other = (stats.seconds - accounted).max(0.0);
+        // Signed residual: a slightly negative value exposes measurement
+        // skew between the phase timers and the total instead of hiding it.
+        stats.phase_times.other = stats.seconds - accounted;
         (
             EngineResult {
                 verdict,
-                reduced: current,
+                reduced: current.into_owned(),
                 stats,
                 disproof_cexs: disproofs,
             },
@@ -103,7 +108,7 @@ fn run(
         );
     }
     if traced {
-        snapshots.push(("P".into(), current.clone()));
+        snapshots.push(("P".into(), current.as_ref().clone()));
     }
     if is_proved(&current) {
         return finish(Verdict::Equivalent, current, stats, snapshots, disproofs);
@@ -123,7 +128,7 @@ fn run(
         );
     }
     if traced {
-        snapshots.push(("PG".into(), current.clone()));
+        snapshots.push(("PG".into(), current.as_ref().clone()));
     }
     if is_proved(&current) {
         return finish(Verdict::Equivalent, current, stats, snapshots, disproofs);
@@ -175,7 +180,7 @@ fn run(
     }
     stats.phase_times.local = t.elapsed().as_secs_f64();
     if traced {
-        snapshots.push(("PGL".into(), current.clone()));
+        snapshots.push(("PGL".into(), current.as_ref().clone()));
     }
 
     let verdict = if is_proved(&current) {
@@ -257,7 +262,7 @@ fn union_support(a: &Support, b: &Support, cap: usize) -> Option<Vec<Var>> {
 ///
 /// Returns `Err(cex)` if a PO is proved nonzero (real disproof).
 fn po_phase(
-    current: &mut Aig,
+    current: &mut Cow<'_, Aig>,
     exec: &Executor,
     cfg: &EngineConfig,
     stats: &mut EngineStats,
@@ -330,14 +335,15 @@ fn po_phase(
         }
     }
     if !proved.is_empty() {
-        for i in 0..current.num_pos() {
-            let po = current.po(i);
+        let cur = current.to_mut();
+        for i in 0..cur.num_pos() {
+            let po = cur.po(i);
             if proved.contains(&(po.var(), po.is_complemented())) {
-                current.set_po(i, Lit::FALSE);
+                cur.set_po(i, Lit::FALSE);
                 stats.pos_proved += 1;
             }
         }
-        *current = current.clean();
+        *cur = cur.clean();
     }
     Ok(())
 }
@@ -346,7 +352,7 @@ fn po_phase(
 /// candidate pairs whose support union fits `k_g`, refining classes with
 /// counter-examples and reducing the miter (§III-D).
 fn global_phase(
-    current: &mut Aig,
+    current: &mut Cow<'_, Aig>,
     exec: &Executor,
     cfg: &EngineConfig,
     stats: &mut EngineStats,
@@ -358,7 +364,7 @@ fn global_phase(
 /// The G phase body; with `miter_mode` off (FRAIG construction), firing
 /// POs are not treated as disproofs.
 pub(crate) fn global_phase_inner(
-    current: &mut Aig,
+    current: &mut Cow<'_, Aig>,
     exec: &Executor,
     cfg: &EngineConfig,
     stats: &mut EngineStats,
@@ -464,7 +470,7 @@ pub(crate) fn global_phase_inner(
         }
         if proved_any {
             let (reduced, _) = current.rebuild_with_substitution(&subst);
-            *current = reduced;
+            *current = Cow::Owned(reduced);
         }
         if !proved_any && cex_pool.is_empty() {
             break;
@@ -476,7 +482,7 @@ pub(crate) fn global_phase_inner(
 /// One L phase: three cut generation and checking passes (Algorithm 2)
 /// followed by miter reduction. Returns whether the miter shrank.
 fn local_phase(
-    current: &mut Aig,
+    current: &mut Cow<'_, Aig>,
     exec: &Executor,
     cfg: &EngineConfig,
     passes: &[Pass],
@@ -490,7 +496,7 @@ fn local_phase(
 /// POs are not treated as disproofs.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn local_phase_inner(
-    current: &mut Aig,
+    current: &mut Cow<'_, Aig>,
     exec: &Executor,
     cfg: &EngineConfig,
     passes: &[Pass],
@@ -533,7 +539,7 @@ pub(crate) fn local_phase_inner(
     }
     if proved.iter().any(|&p| p) {
         let (reduced, _) = current.rebuild_with_substitution(&subst);
-        *current = reduced;
+        *current = Cow::Owned(reduced);
     }
     Ok((current.num_ands() < before, per_pass))
 }
@@ -635,6 +641,21 @@ mod tests {
             let red_fired = r.reduced.eval(&bits).iter().any(|&x| x);
             assert_eq!(orig_fired, red_fired);
         }
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_wall_time() {
+        // `other` is the signed residual, so the four phase times must
+        // reconstruct the measured total exactly (up to float rounding)
+        // instead of drifting when timers over-cover.
+        let m = miter(&adder(8, true), &adder(8, false)).unwrap();
+        let r = sim_sweep(&m, &exec(), &EngineConfig::default());
+        let pt = r.stats.phase_times;
+        assert!(
+            (pt.total() - r.stats.seconds).abs() < 1e-9,
+            "{pt:?} vs {}",
+            r.stats.seconds
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
         initial_ands: aig.num_ands(),
         ..Default::default()
     };
-    let mut current = aig.clone();
+    // Borrowed until a phase actually merges something: a network with no
+    // provable duplicates is returned without ever being cloned.
+    let mut current: std::borrow::Cow<'_, Aig> = std::borrow::Cow::Borrowed(aig);
     let mut disproofs = Vec::new();
 
     let t = std::time::Instant::now();
@@ -66,7 +68,7 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
     stats.final_ands = current.num_ands();
     stats.seconds = start.elapsed().as_secs_f64();
     FraigResult {
-        reduced: current,
+        reduced: current.into_owned(),
         stats,
     }
 }

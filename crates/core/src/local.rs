@@ -8,10 +8,8 @@
 //! fills, the exhaustive simulator checks the buffered local functions and
 //! proved pairs are recorded for the end-of-phase miter reduction.
 
-use parsweep_aig::{Aig, Lit, Node, Var};
-use parsweep_cut::{
-    common_cuts, enumerate_cuts, enumeration_levels, select_priority_cuts, Cut, CutScorer, Pass,
-};
+use parsweep_aig::{Aig, Lit, Var};
+use parsweep_cut::{common_cuts, enumeration_levels, Cut, CutKernel, CutScorer, Pass};
 use parsweep_par::Executor;
 use parsweep_sim::{PairCheck, PairOutcome, Window};
 
@@ -45,12 +43,22 @@ pub(crate) fn run_cut_pass(
         groups[el[v.index()] as usize].push(v);
     }
 
-    // Priority cut sets; PIs seed with their trivial cut (Algorithm 2
-    // lines 4-5).
-    let mut cut_sets: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    // Priority cut sets, leased from the executor's arena so successive
+    // passes recycle one table; PIs seed with their trivial cut
+    // (Algorithm 2 lines 4-5).
+    let mut cut_sets = exec.arena().take::<Vec<Cut>>(aig.num_nodes());
     for &pi in aig.pis() {
         cut_sets[pi.index()] = vec![Cut::trivial(pi)];
     }
+    let scorer = CutScorer::new(&fanouts, &levels);
+    let kernel = CutKernel::new(
+        aig,
+        repr_map,
+        cfg.similarity_selection,
+        scorer,
+        cfg.cut,
+        pass,
+    );
 
     let mut buffer: Vec<(PairCheck, Cut)> = Vec::with_capacity(cfg.cut_buffer_capacity);
     let sigs = ec.signatures();
@@ -60,42 +68,7 @@ pub(crate) fn run_cut_pass(
             continue;
         }
         // Parallel priority-cut computation for this enumeration level.
-        {
-            let cells = exec.bind("core.local.cut_sets", &mut cut_sets);
-            let scorer = CutScorer::new(&fanouts, &levels);
-            exec.launch_labeled("core.local.cuts", group.len(), |t| {
-                let v = group[t];
-                let Node::And(a, b) = aig.node(v) else {
-                    unreachable!("groups contain AND nodes only");
-                };
-                // SAFETY: fanins and representatives have strictly smaller
-                // enumeration levels, so their slots were written by
-                // earlier launches; this task writes only slot v.
-                let p0: &Vec<Cut> = unsafe { cells.get_ref(t, a.var().index()) };
-                // SAFETY: as above.
-                let p1: &Vec<Cut> = unsafe { cells.get_ref(t, b.var().index()) };
-                let candidates = enumerate_cuts(a, b, p0, p1, cfg.cut);
-                let repr_cuts: Option<&Vec<Cut>> = repr_map[v.index()].and_then(|r| {
-                    if cfg.similarity_selection && !r.is_const() {
-                        // SAFETY: representatives sit at strictly smaller
-                        // enumeration levels, written by earlier launches.
-                        Some(unsafe { cells.get_ref(t, r.index()) })
-                    } else {
-                        None
-                    }
-                });
-                let selected = select_priority_cuts(
-                    candidates,
-                    &scorer,
-                    pass,
-                    cfg.cut,
-                    repr_cuts.map(|c| c.as_slice()),
-                );
-                // SAFETY: this task writes only slot v; no other task in
-                // this launch touches v.
-                unsafe { cells.write(t, v.index(), selected) };
-            });
-        }
+        kernel.compute_level(exec, group, &mut cut_sets);
 
         // Generate the common cuts of pairs whose member sits at this
         // level, buffering for batched checking (Algorithm 2 lines 11-16).

@@ -9,7 +9,11 @@ pub struct PhaseTimes {
     pub global: f64,
     /// Local function checking phases (L): cut generation + checking.
     pub local: f64,
-    /// Everything else (simulation for refinement, reduction, bookkeeping).
+    /// Everything else (simulation for refinement, reduction, bookkeeping),
+    /// recorded as the *signed* residual `seconds - (po + global + local)`.
+    /// A small negative value means the per-phase timers over-covered the
+    /// total (timer skew) — it is reported rather than clamped to zero so
+    /// the breakdown always sums to the measured wall time.
     pub other: f64,
 }
 

@@ -7,7 +7,8 @@
 //! of Table I (plus the similarity metric that aligns the cuts of a
 //! non-representative with its class representative), common-cut
 //! generation for pairs, and the enumeration levels of Eq. (2) that order
-//! the level-parallel cut generation.
+//! the level-parallel cut generation. The [`CutKernel`] runs that
+//! generation level-parallel on the device runtime.
 //!
 //! ```
 //! use parsweep_cut::{Cut, CutParams, enumerate_cuts};
@@ -24,6 +25,7 @@
 mod criteria;
 mod cut;
 mod enumerate;
+mod kernel;
 
 pub use criteria::{compare_with_similarity, similarity, CutMetrics, CutScorer, Pass};
 pub use cut::{Cut, MAX_CUT_SIZE};
@@ -31,3 +33,4 @@ pub use enumerate::{
     common_cuts, enumerate_cuts, enumeration_levels, filter_dominated, select_priority_cuts,
     CutParams,
 };
+pub use kernel::CutKernel;

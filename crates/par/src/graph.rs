@@ -1,0 +1,226 @@
+//! Typed kernel graphs: record a launch DAG once, replay it with new
+//! bindings — the executor-model analogue of CUDA graphs
+//! (`cudaGraphInstantiate` / `cudaGraphLaunch`).
+//!
+//! Iterative engines relaunch the same kernel topology every round (the
+//! paper's Fig. 5 multi-round exhaustive-simulation loop is the canonical
+//! case: per-window input projection → per-level AND evaluation → output
+//! comparison, once per pattern round). A [`KernelGraph`] records that
+//! topology once; [`KernelGraph::replay`] then executes it for a concrete
+//! *bindings* value `B` (the round index, active sets, bound buffers…),
+//! with node widths themselves functions of the bindings so a replay can
+//! shrink or skip nodes (width 0) as work drains.
+//!
+//! Replay schedules the DAG in *waves* (antichains of equal depth): all
+//! nodes of a wave run as one [`Executor::join`] epoch on separate
+//! streams, so independent branches genuinely interleave on the worker
+//! pool and the cost model charges the wave at the width of its heaviest
+//! branch only.
+//!
+//! ```
+//! use parsweep_par::{Executor, KernelGraphBuilder};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! struct Round<'a> {
+//!     scale: u64,
+//!     acc: &'a AtomicU64,
+//! }
+//! let exec = Executor::with_threads(2);
+//! let acc = AtomicU64::new(0);
+//! let mut g = KernelGraphBuilder::<Round>::new();
+//! let a = g.kernel("a", &[], |_| 8, |tid, r: &Round| {
+//!     r.acc.fetch_add(r.scale * tid as u64, Ordering::Relaxed);
+//! });
+//! let _b = g.kernel("b", &[a], |_| 4, |_, r: &Round| {
+//!     r.acc.fetch_add(1, Ordering::Relaxed);
+//! });
+//! let graph = g.build();
+//! graph.replay(&exec, &Round { scale: 2, acc: &acc });
+//! graph.replay(&exec, &Round { scale: 0, acc: &acc });
+//! assert_eq!(acc.load(Ordering::Relaxed), 2 * 28 + 4 + 4);
+//! assert_eq!(exec.stats().launches, 4);
+//! ```
+
+use crate::{Executor, Stream};
+
+/// Handle to a node of a [`KernelGraphBuilder`] / [`KernelGraph`], used to
+/// declare dependencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// A recorded kernel body: `(tid, bindings)`.
+type NodeKernel<'env, B> = Box<dyn Fn(usize, &B) + Send + Sync + 'env>;
+
+struct Node<'env, B> {
+    label: String,
+    width: Box<dyn Fn(&B) -> usize + Send + Sync + 'env>,
+    kernel: NodeKernel<'env, B>,
+    depth: usize,
+}
+
+/// Builder recording the nodes and edges of a [`KernelGraph`].
+///
+/// Dependencies can only point at already-created nodes, so the recorded
+/// structure is a DAG by construction.
+pub struct KernelGraphBuilder<'env, B> {
+    nodes: Vec<Node<'env, B>>,
+}
+
+impl<B> Default for KernelGraphBuilder<'_, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'env, B> KernelGraphBuilder<'env, B> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        KernelGraphBuilder { nodes: Vec::new() }
+    }
+
+    /// Records a kernel node that runs after every node in `deps`.
+    ///
+    /// `width` maps the replay bindings to the launch width (0 skips the
+    /// node for that replay); `kernel(tid, bindings)` is the kernel body.
+    pub fn kernel<W, K>(&mut self, label: &str, deps: &[NodeId], width: W, kernel: K) -> NodeId
+    where
+        W: Fn(&B) -> usize + Send + Sync + 'env,
+        K: Fn(usize, &B) + Send + Sync + 'env,
+    {
+        let depth = deps
+            .iter()
+            .map(|d| self.nodes[d.0].depth + 1)
+            .max()
+            .unwrap_or(0);
+        self.nodes.push(Node {
+            label: label.to_string(),
+            width: Box::new(width),
+            kernel: Box::new(kernel),
+            depth,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Finalizes the recording into a replayable graph.
+    pub fn build(self) -> KernelGraph<'env, B> {
+        let max_depth = self.nodes.iter().map(|n| n.depth).max();
+        let mut waves = vec![Vec::new(); max_depth.map_or(0, |d| d + 1)];
+        for (i, node) in self.nodes.iter().enumerate() {
+            waves[node.depth].push(i);
+        }
+        KernelGraph {
+            nodes: self.nodes,
+            waves,
+        }
+    }
+}
+
+/// A recorded launch DAG, replayable against fresh bindings — the
+/// executor-model analogue of an instantiated CUDA graph.
+pub struct KernelGraph<'env, B> {
+    nodes: Vec<Node<'env, B>>,
+    waves: Vec<Vec<usize>>,
+}
+
+impl<B: Sync> KernelGraph<'_, B> {
+    /// Number of recorded kernel nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of scheduling waves (the graph's depth).
+    pub fn num_waves(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Executes the graph for one bindings value.
+    ///
+    /// Each wave of dependency-free nodes becomes one [`Executor::join`]
+    /// epoch — one stream per node — so independent nodes interleave and
+    /// only the heaviest node of each wave lands on the modeled critical
+    /// path. Nodes whose width evaluates to 0 are skipped entirely (no
+    /// launch is recorded).
+    pub fn replay(&self, exec: &Executor, bindings: &B) {
+        for wave in &self.waves {
+            let mut streams: Vec<Stream<'_, '_>> = Vec::with_capacity(wave.len());
+            for &id in wave {
+                let node = &self.nodes[id];
+                let width = (node.width)(bindings);
+                if width == 0 {
+                    continue;
+                }
+                let kernel = &node.kernel;
+                let mut stream = exec.stream();
+                stream.launch_labeled(&node.label, width, move |tid| kernel(tid, bindings));
+                streams.push(stream);
+            }
+            if !streams.is_empty() {
+                let mut refs: Vec<&mut Stream<'_, '_>> = streams.iter_mut().collect();
+                exec.join(&mut refs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn waves_follow_dependency_depth() {
+        let mut g = KernelGraphBuilder::<()>::new();
+        let a = g.kernel("a", &[], |_| 1, |_, _| {});
+        let b = g.kernel("b", &[], |_| 1, |_, _| {});
+        let c = g.kernel("c", &[a, b], |_| 1, |_, _| {});
+        let _d = g.kernel("d", &[c], |_| 1, |_, _| {});
+        let graph = g.build();
+        assert_eq!(graph.num_nodes(), 4);
+        assert_eq!(graph.num_waves(), 3);
+    }
+
+    #[test]
+    fn replay_respects_ordering_edges() {
+        // b depends on a: every replay must observe a's writes.
+        let mut g = KernelGraphBuilder::<Vec<AtomicUsize>>::new();
+        let a = g.kernel(
+            "a",
+            &[],
+            |cells: &Vec<AtomicUsize>| cells.len(),
+            |tid, cells| cells[tid].store(tid + 1, Ordering::SeqCst),
+        );
+        g.kernel(
+            "b",
+            &[a],
+            |cells: &Vec<AtomicUsize>| cells.len(),
+            |tid, cells| {
+                let seen = cells[tid].load(Ordering::SeqCst);
+                assert_eq!(seen, tid + 1, "b ran before its dependency a");
+                cells[tid].store(seen * 10, Ordering::SeqCst);
+            },
+        );
+        let graph = g.build();
+        let exec = Executor::with_threads(4);
+        for _ in 0..3 {
+            let cells: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+            graph.replay(&exec, &cells);
+            assert!(cells
+                .iter()
+                .enumerate()
+                .all(|(i, c)| c.load(Ordering::SeqCst) == (i + 1) * 10));
+        }
+    }
+
+    #[test]
+    fn zero_width_nodes_are_skipped() {
+        let mut g = KernelGraphBuilder::<usize>::new();
+        g.kernel("gated", &[], |&active| active, |_, _| {});
+        let graph = g.build();
+        let exec = Executor::with_threads(2);
+        graph.replay(&exec, &0);
+        assert_eq!(exec.stats().launches, 0);
+        graph.replay(&exec, &5);
+        assert_eq!(exec.stats().launches, 1);
+        assert_eq!(exec.stats().total_threads, 5);
+    }
+}

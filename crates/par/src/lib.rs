@@ -61,12 +61,19 @@
 
 #![warn(missing_docs)]
 
+mod arena;
+mod graph;
 mod sanitizer;
+mod stream;
 
+pub use arena::{ArenaStats, BufferArena, PooledBuf};
+pub use graph::{KernelGraph, KernelGraphBuilder, NodeId};
 pub use sanitizer::{AccessKind, ConflictKind, RaceReport, SanitizerConfig};
+pub use stream::Stream;
 
 use sanitizer::Sanitizer;
 use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Number of log2-width buckets retained in [`LaunchStats`]'s launch-width
@@ -94,6 +101,22 @@ pub struct LaunchStats {
     pub width_counts: [u64; WIDTH_BUCKETS],
     /// Sum of launch widths per bucket.
     pub width_sums: [u64; WIDTH_BUCKETS],
+    /// Launches on the modeled critical path: every eager launch, plus —
+    /// per [`Executor::join`] epoch — the launches of the heaviest joined
+    /// stream only (the other streams overlap it).
+    pub critical_launches: u64,
+    /// Sum of the widths of critical-path launches.
+    pub critical_threads: u64,
+    /// Critical-path launch counts bucketed by `floor(log2(width))`.
+    pub critical_counts: [u64; WIDTH_BUCKETS],
+    /// Sum of critical-path launch widths per bucket.
+    pub critical_sums: [u64; WIDTH_BUCKETS],
+    /// [`BufferArena`] takes served from a pool (no allocation).
+    pub arena_hits: u64,
+    /// [`BufferArena`] takes that allocated a fresh buffer.
+    pub arena_misses: u64,
+    /// High-water mark of the arena footprint in bytes.
+    pub arena_peak_bytes: u64,
 }
 
 impl Default for LaunchStats {
@@ -104,8 +127,49 @@ impl Default for LaunchStats {
             widest: 0,
             width_counts: [0; WIDTH_BUCKETS],
             width_sums: [0; WIDTH_BUCKETS],
+            critical_launches: 0,
+            critical_threads: 0,
+            critical_counts: [0; WIDTH_BUCKETS],
+            critical_sums: [0; WIDTH_BUCKETS],
+            arena_hits: 0,
+            arena_misses: 0,
+            arena_peak_bytes: 0,
         }
     }
+}
+
+/// Costs one launch-width histogram on `cores` lanes: each launch of
+/// width `w` costs `ceil(w / cores)` units. Exact when launches sharing a
+/// bucket share a width; a lower bound otherwise. Histograms less
+/// populated than `launches` (hand-assembled stats) fall back to the
+/// uniform lower bound `max(ceil(total/cores), launches)`.
+fn histogram_cost(
+    counts: &[u64; WIDTH_BUCKETS],
+    sums: &[u64; WIDTH_BUCKETS],
+    launches: u64,
+    total_threads: u64,
+    cores: u64,
+) -> u64 {
+    assert!(cores > 0, "modeled machine needs at least one core");
+    let histogrammed: u64 = counts.iter().sum();
+    if histogrammed < launches {
+        // Histogram not populated: the pre-histogram lower bound.
+        return (total_threads.div_ceil(cores)).max(launches);
+    }
+    counts
+        .iter()
+        .zip(sums)
+        .map(|(&count, &sum)| {
+            if count == 0 {
+                0
+            } else if sum % count == 0 {
+                // Uniform bucket: every launch has width sum/count.
+                count * (sum / count).div_ceil(cores)
+            } else {
+                (sum.div_ceil(cores)).max(count)
+            }
+        })
+        .sum()
 }
 
 impl LaunchStats {
@@ -113,6 +177,13 @@ impl LaunchStats {
     /// profile on a machine with `cores` parallel lanes: each launch of
     /// width `w` costs `ceil(w / cores)` units, mirroring how a GPU
     /// schedules thread blocks over SMs.
+    ///
+    /// Only *critical-path* launches are charged: launches of streams
+    /// that overlapped a heavier stream inside an [`Executor::join`]
+    /// epoch cost nothing (they hide behind the epoch's heaviest stream),
+    /// so a two-stream workload models strictly cheaper than the same
+    /// launches serialized — compare [`LaunchStats::serialized_time`].
+    /// For profiles without stream overlap the two are identical.
     ///
     /// Per-launch widths are costed from the log2 width histogram, so the
     /// result is exact whenever the launches that share a bucket share a
@@ -125,26 +196,35 @@ impl LaunchStats {
     ///
     /// Panics if `cores == 0`.
     pub fn modeled_time(&self, cores: u64) -> u64 {
-        assert!(cores > 0, "modeled machine needs at least one core");
-        let histogrammed: u64 = self.width_counts.iter().sum();
-        if histogrammed < self.launches {
-            // Histogram not populated: the pre-histogram lower bound.
-            return (self.total_threads.div_ceil(cores)).max(self.launches);
+        if self.critical_launches == 0 {
+            // No critical-path accounting (hand-assembled stats): every
+            // launch is assumed serialized.
+            return self.serialized_time(cores);
         }
-        self.width_counts
-            .iter()
-            .zip(&self.width_sums)
-            .map(|(&count, &sum)| {
-                if count == 0 {
-                    0
-                } else if sum % count == 0 {
-                    // Uniform bucket: every launch has width sum/count.
-                    count * (sum / count).div_ceil(cores)
-                } else {
-                    (sum.div_ceil(cores)).max(count)
-                }
-            })
-            .sum()
+        histogram_cost(
+            &self.critical_counts,
+            &self.critical_sums,
+            self.critical_launches,
+            self.critical_threads,
+            cores,
+        )
+    }
+
+    /// Models the execution time of this profile with every launch
+    /// serialized (no stream overlap) — the cost `modeled_time` would
+    /// report if each launch were a global barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn serialized_time(&self, cores: u64) -> u64 {
+        histogram_cost(
+            &self.width_counts,
+            &self.width_sums,
+            self.launches,
+            self.total_threads,
+            cores,
+        )
     }
 
     /// The maximum speedup this profile admits (Amdahl-style): total work
@@ -175,6 +255,8 @@ pub struct Executor {
     num_threads: usize,
     stats: Mutex<LaunchStats>,
     sanitizer: Option<Sanitizer>,
+    arena: BufferArena,
+    next_stream: AtomicU64,
 }
 
 impl Default for Executor {
@@ -216,6 +298,8 @@ impl Executor {
             num_threads,
             stats: Mutex::new(LaunchStats::default()),
             sanitizer: ambient_sanitize().then(|| Sanitizer::new(SanitizerConfig::default())),
+            arena: BufferArena::new(),
+            next_stream: AtomicU64::new(1),
         }
     }
 
@@ -241,6 +325,8 @@ impl Executor {
             num_threads,
             stats: Mutex::new(LaunchStats::default()),
             sanitizer: Some(Sanitizer::new(config)),
+            arena: BufferArena::new(),
+            next_stream: AtomicU64::new(1),
         }
     }
 
@@ -269,14 +355,35 @@ impl Executor {
             .map_or_else(Vec::new, Sanitizer::reports)
     }
 
-    /// Returns the accumulated launch statistics.
+    /// Returns the accumulated launch statistics, including the buffer
+    /// arena's counters.
     pub fn stats(&self) -> LaunchStats {
-        *self.lock_stats()
+        let mut s = *self.lock_stats();
+        let a = self.arena.stats();
+        s.arena_hits = a.hits;
+        s.arena_misses = a.misses;
+        s.arena_peak_bytes = a.peak_bytes;
+        s
     }
 
-    /// Resets the accumulated launch statistics.
+    /// Resets the accumulated launch statistics and arena counters (the
+    /// arena's pooled buffers stay pooled).
     pub fn reset_stats(&self) {
         *self.lock_stats() = LaunchStats::default();
+        self.arena.reset_counters();
+    }
+
+    /// The executor's pooled buffer arena — allocate round-lived device
+    /// buffers through it so they are recycled instead of reallocated.
+    pub fn arena(&self) -> &BufferArena {
+        &self.arena
+    }
+
+    /// Opens a new [`Stream`] on this executor. Launches queued on it run
+    /// at its next synchronization point; join several streams with
+    /// [`Executor::join`] to let their launches overlap.
+    pub fn stream<'env>(&self) -> Stream<'_, 'env> {
+        Stream::new(self, self.next_stream.fetch_add(1, Ordering::Relaxed))
     }
 
     fn lock_stats(&self) -> MutexGuard<'_, LaunchStats> {
@@ -284,7 +391,10 @@ impl Executor {
     }
 
     /// Records a launch of width `n` and returns its 1-based ordinal.
-    fn record(&self, n: usize) -> u64 {
+    /// `critical` charges it to the modeled critical path as well (true
+    /// for every eager launch; stream launches are charged per join
+    /// epoch via [`Executor::record_critical_widths`]).
+    fn record(&self, n: usize, critical: bool) -> u64 {
         let mut s = self.lock_stats();
         s.launches += 1;
         s.total_threads += n as u64;
@@ -292,7 +402,26 @@ impl Executor {
         let bucket = (n as u64).ilog2() as usize;
         s.width_counts[bucket] += 1;
         s.width_sums[bucket] += n as u64;
+        if critical {
+            s.critical_launches += 1;
+            s.critical_threads += n as u64;
+            s.critical_counts[bucket] += 1;
+            s.critical_sums[bucket] += n as u64;
+        }
         s.launches
+    }
+
+    /// Charges a set of launch widths to the modeled critical path (the
+    /// heaviest stream of a join epoch).
+    pub(crate) fn record_critical_widths(&self, widths: impl Iterator<Item = usize>) {
+        let mut s = self.lock_stats();
+        for n in widths {
+            let bucket = (n as u64).ilog2() as usize;
+            s.critical_launches += 1;
+            s.critical_threads += n as u64;
+            s.critical_counts[bucket] += 1;
+            s.critical_sums[bucket] += n as u64;
+        }
     }
 
     /// Binds a mutable slice as a labeled device buffer for use inside
@@ -354,18 +483,29 @@ impl Executor {
         if n == 0 {
             return;
         }
-        let ordinal = self.record(n);
+        let ordinal = self.record(n, true);
         if let Some(san) = &self.sanitizer {
             // Sanitized launches run serialized in tid order: hazards are
             // detected from the virtual-tid access log, never physically
-            // raced (the trade compute-sanitizer makes too).
-            san.begin_launch(label, ordinal, coverage_buffer.map(|b| (b, n)));
+            // raced (the trade compute-sanitizer makes too). An eager
+            // launch is its own ordering epoch: it is fully ordered
+            // against everything before and after it.
+            san.begin_epoch();
+            san.begin_launch(label, ordinal, coverage_buffer.map(|b| (b, n)), 0);
             for tid in 0..n {
                 kernel(tid);
             }
             san.end_launch();
             return;
         }
+        self.run_chunked(n, &kernel);
+    }
+
+    /// Runs `kernel` for tids `0..n` chunked over the worker pool.
+    pub(crate) fn run_chunked<F>(&self, n: usize, kernel: &F)
+    where
+        F: Fn(usize) + Sync + ?Sized,
+    {
         let workers = self.num_threads.min(n);
         if workers == 1 {
             for tid in 0..n {
@@ -376,7 +516,6 @@ impl Executor {
         let chunk = n.div_ceil(workers);
         std::thread::scope(|scope| {
             for w in 0..workers {
-                let kernel = &kernel;
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
                 scope.spawn(move || {
@@ -448,9 +587,10 @@ impl Executor {
         if n == 0 {
             return init;
         }
-        let ordinal = self.record(n);
+        let ordinal = self.record(n, true);
         if let Some(san) = &self.sanitizer {
-            san.begin_launch("par.reduce", ordinal, None);
+            san.begin_epoch();
+            san.begin_launch("par.reduce", ordinal, None, 0);
             let result = (0..n).fold(init, |acc, tid| op(acc, f(tid)));
             san.end_launch();
             return result;
@@ -523,6 +663,11 @@ impl<T> DeviceSlice<'_, T> {
     /// Length of the underlying slice.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Sanitizer buffer id (0 on a raw executor).
+    pub(crate) fn buffer_id(&self) -> u32 {
+        self.id
     }
 
     /// True if the underlying slice is empty.

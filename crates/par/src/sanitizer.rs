@@ -17,12 +17,22 @@
 //! * **unwritten slots** — a `map`/`fill` launch that failed to write some
 //!   output slot it promised to initialize.
 //!
+//! With the stream runtime the sanitizer also understands *ordering
+//! edges*: launches queued on one [`Stream`](crate::Stream) are ordered
+//! by program order, and synchronization points (`sync`, `join`, eager
+//! launches) are barriers ordering everything before against everything
+//! after. Launches of *different* streams inside one join epoch have no
+//! ordering edge, so the analysis additionally reports
+//!
+//! * **stream races** — two unordered launches touched one slot and at
+//!   least one wrote it.
+//!
 //! Sanitized launches execute *serialized* in tid order: hazards are
 //! detected from the virtual-tid access log rather than by racing real
 //! threads, so a detected race is never physically exercised as UB —
 //! the same trade (speed for determinism) racecheck makes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Mutex;
 
@@ -58,6 +68,18 @@ pub enum ConflictKind {
     /// written, so reading it afterwards would observe uninitialized or
     /// stale memory.
     UnwrittenSlot,
+    /// Two launches on *different streams* with no ordering edge between
+    /// them (same join epoch) accessed one slot, at least one writing —
+    /// a race even if each launch is internally disciplined. The earlier
+    /// launch (in sanitizer serialization order) comes first in each pair.
+    StreamRace {
+        /// Access kinds of the (earlier, later) launch at this slot.
+        kinds: (AccessKind, AccessKind),
+        /// Stream ids of the (earlier, later) launch.
+        streams: (u64, u64),
+        /// Virtual thread ids of the (earlier, later) access.
+        tids: (usize, usize),
+    },
 }
 
 /// One hazard found by the sanitizer's post-launch analysis.
@@ -73,6 +95,9 @@ pub struct RaceReport {
     pub index: usize,
     /// What went wrong, including the conflicting virtual thread ids.
     pub kind: ConflictKind,
+    /// For stream races: label of the unordered peer launch (the earlier
+    /// one in serialization order). `None` for intra-launch hazards.
+    pub other_kernel: Option<String>,
 }
 
 impl RaceReport {
@@ -80,7 +105,9 @@ impl RaceReport {
     /// involves two threads.
     pub fn conflicting_tids(&self) -> Option<(usize, usize)> {
         match self.kind {
-            ConflictKind::WriteWrite { tids } | ConflictKind::ReadWrite { tids } => Some(tids),
+            ConflictKind::WriteWrite { tids }
+            | ConflictKind::ReadWrite { tids }
+            | ConflictKind::StreamRace { tids, .. } => Some(tids),
             ConflictKind::OutOfBounds { .. } | ConflictKind::UnwrittenSlot => None,
         }
     }
@@ -94,6 +121,7 @@ impl fmt::Display for RaceReport {
             buffer,
             index,
             kind,
+            other_kernel,
         } = self;
         match kind {
             ConflictKind::WriteWrite { tids: (a, b) } => write!(
@@ -116,6 +144,26 @@ impl fmt::Display for RaceReport {
                 "racecheck: slot `{buffer}`[{index}] left unwritten by exclusive-fill \
                  kernel `{kernel}` (launch #{launch})"
             ),
+            ConflictKind::StreamRace {
+                kinds: (a, b),
+                streams: (sa, sb),
+                tids: (ta, tb),
+            } => {
+                let peer = other_kernel.as_deref().unwrap_or("?");
+                let verb = |k: &AccessKind| match k {
+                    AccessKind::Read => "read",
+                    AccessKind::Write => "wrote",
+                };
+                write!(
+                    f,
+                    "racecheck: stream race on `{buffer}`[{index}]: kernel `{peer}` \
+                     (stream {sa}, tid {ta}) {} it and unordered kernel `{kernel}` \
+                     (launch #{launch}, stream {sb}, tid {tb}) {} it — no ordering \
+                     edge between the launches",
+                    verb(a),
+                    verb(b)
+                )
+            }
         }
     }
 }
@@ -158,6 +206,20 @@ struct LaunchCtx {
     /// `(buffer, n)`: the launch promises to write every slot `0..n` of
     /// `buffer` exactly once (`map`/`fill` coverage checking).
     coverage: Option<(u32, usize)>,
+    /// Stream the launch was queued on (0 for eager launches).
+    stream: u64,
+}
+
+/// First accesses of one slot accumulated across the launches of one
+/// ordering epoch, for cross-stream (unordered-launch) race detection.
+#[derive(Clone, Copy, Debug, Default)]
+struct EpochSlot {
+    /// `(epoch launch index, tid)` of the first write, if any.
+    writer: Option<(usize, usize)>,
+    /// `(epoch launch index, tid)` of the first read, if any.
+    reader: Option<(usize, usize)>,
+    /// One stream-race report per slot per epoch.
+    reported: bool,
 }
 
 #[derive(Debug, Default)]
@@ -166,6 +228,10 @@ struct SanState {
     current: Option<LaunchCtx>,
     log: Vec<AccessRecord>,
     reports: Vec<RaceReport>,
+    /// `(label, stream)` of every launch completed in the current epoch.
+    epoch_launches: Vec<(String, u64)>,
+    /// Per-slot first accesses across the current epoch's launches.
+    epoch_slots: HashMap<(u32, usize), EpochSlot>,
 }
 
 /// Shared sanitizer state of one executor. All mutation goes through one
@@ -198,8 +264,26 @@ impl Sanitizer {
         (s.buffers.len() - 1) as u32
     }
 
-    /// Opens the per-launch access log.
-    pub(crate) fn begin_launch(&self, label: &str, ordinal: u64, coverage: Option<(u32, usize)>) {
+    /// Opens a new ordering epoch: everything before is ordered against
+    /// everything after (a synchronization barrier), so cross-launch
+    /// state from the previous epoch is discarded. Called at every eager
+    /// launch and at the start of every stream `sync`/`join`.
+    pub(crate) fn begin_epoch(&self) {
+        let mut s = self.lock();
+        s.epoch_launches.clear();
+        s.epoch_slots.clear();
+    }
+
+    /// Opens the per-launch access log. `stream` is the id of the stream
+    /// the launch was queued on (0 for eager launches); launches of the
+    /// same epoch are mutually ordered only when they share a stream.
+    pub(crate) fn begin_launch(
+        &self,
+        label: &str,
+        ordinal: u64,
+        coverage: Option<(u32, usize)>,
+        stream: u64,
+    ) {
         let mut s = self.lock();
         assert!(
             s.current.is_none(),
@@ -210,6 +294,7 @@ impl Sanitizer {
             label: label.to_string(),
             ordinal,
             coverage,
+            stream,
         });
         s.log.clear();
     }
@@ -261,6 +346,7 @@ impl Sanitizer {
                 buffer: s.buffers[buffer as usize].0.clone(),
                 index,
                 kind: ConflictKind::OutOfBounds { tid },
+                other_kernel: None,
             };
             if s.reports.len() < self.cfg.max_reports {
                 s.reports.push(report.clone());
@@ -276,13 +362,16 @@ impl Sanitizer {
         None
     }
 
-    /// Closes the launch, runs the hazard analysis over the access log,
-    /// and (in `fail_fast` mode) panics on the first hazard found.
+    /// Closes the launch, runs the intra-launch hazard analysis over the
+    /// access log and the cross-launch (stream-ordering) analysis against
+    /// the epoch state, and (in `fail_fast` mode) panics on the first
+    /// hazard found.
     pub(crate) fn end_launch(&self) {
         let mut s = self.lock();
         let ctx = s.current.take().expect("end_launch without begin_launch");
         let log = std::mem::take(&mut s.log);
-        let new_reports = analyze(&ctx, &log, &s.buffers);
+        let mut new_reports = analyze(&ctx, &log, &s.buffers);
+        new_reports.extend(epoch_analyze(&ctx, &log, &mut s));
         let first = new_reports.first().cloned();
         let room = self.cfg.max_reports.saturating_sub(s.reports.len());
         s.reports.extend(new_reports.into_iter().take(room));
@@ -326,6 +415,7 @@ fn analyze(ctx: &LaunchCtx, log: &[AccessRecord], buffers: &[(String, usize)]) -
             buffer: buffers[buffer as usize].0.clone(),
             index,
             kind,
+            other_kernel: None,
         });
     };
     for rec in log {
@@ -379,6 +469,90 @@ fn analyze(ctx: &LaunchCtx, log: &[AccessRecord], buffers: &[(String, usize)]) -
                 .is_some_and(|s| s.writer.is_some());
             if !written {
                 report(buffer, index, ConflictKind::UnwrittenSlot);
+            }
+        }
+    }
+    reports
+}
+
+/// Folds one finished launch into the epoch's cross-launch state and
+/// reports conflicts with *unordered* earlier launches: launches of the
+/// same epoch are ordered only when they share a stream (program order);
+/// an access pair on different streams with at least one write is a
+/// stream race. Epoch boundaries (eager launches, `sync`, `join`) clear
+/// the state, encoding the barrier's happens-before edge.
+fn epoch_analyze(ctx: &LaunchCtx, log: &[AccessRecord], s: &mut SanState) -> Vec<RaceReport> {
+    // Summarize this launch: first writer / first reader per slot
+    // (ordered map so report order is deterministic).
+    let mut summary: BTreeMap<(u32, usize), (Option<usize>, Option<usize>)> = BTreeMap::new();
+    for rec in log {
+        let slot = summary.entry((rec.buffer, rec.index)).or_default();
+        match rec.kind {
+            AccessKind::Write => {
+                if slot.0.is_none() {
+                    slot.0 = Some(rec.tid);
+                }
+            }
+            AccessKind::Read => {
+                if slot.1.is_none() {
+                    slot.1 = Some(rec.tid);
+                }
+            }
+        }
+    }
+    let SanState {
+        buffers,
+        epoch_launches,
+        epoch_slots,
+        ..
+    } = s;
+    let launch_idx = epoch_launches.len();
+    epoch_launches.push((ctx.label.clone(), ctx.stream));
+    let mut reports = Vec::new();
+    for (&(buffer, index), &(wrote, read)) in &summary {
+        let slot = epoch_slots.entry((buffer, index)).or_default();
+        // A conflict needs an earlier access from a *different stream*
+        // with a write on at least one side. Prefer reporting against the
+        // earlier writer, else the earlier reader.
+        let peer = match (wrote, slot.writer, slot.reader) {
+            (Some(_), Some(w), _) => Some((w, AccessKind::Write)),
+            (Some(_), None, Some(r)) => Some((r, AccessKind::Read)),
+            (None, Some(w), _) if read.is_some() => Some((w, AccessKind::Write)),
+            _ => None,
+        };
+        if let Some(((peer_idx, peer_tid), peer_kind)) = peer {
+            let (peer_label, peer_stream) = &epoch_launches[peer_idx];
+            if *peer_stream != ctx.stream && !slot.reported {
+                slot.reported = true;
+                let this_kind = if wrote.is_some() {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let this_tid = wrote.or(read).unwrap_or(0);
+                reports.push(RaceReport {
+                    kernel: ctx.label.clone(),
+                    launch: ctx.ordinal,
+                    buffer: buffers[buffer as usize].0.clone(),
+                    index,
+                    kind: ConflictKind::StreamRace {
+                        kinds: (peer_kind, this_kind),
+                        streams: (*peer_stream, ctx.stream),
+                        tids: (peer_tid, this_tid),
+                    },
+                    other_kernel: Some(peer_label.clone()),
+                });
+            }
+        }
+        // Merge this launch's accesses (first access of the epoch wins).
+        if let Some(tid) = wrote {
+            if slot.writer.is_none() {
+                slot.writer = Some((launch_idx, tid));
+            }
+        }
+        if let Some(tid) = read {
+            if slot.reader.is_none() {
+                slot.reader = Some((launch_idx, tid));
             }
         }
     }

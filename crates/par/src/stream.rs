@@ -1,0 +1,275 @@
+//! Streams: queued kernel launches with explicit synchronization points —
+//! the executor-model analogue of CUDA streams.
+//!
+//! A [`Stream`] queues launches instead of running them eagerly; nothing
+//! executes until [`Stream::sync`]/[`Stream::read_back`] or an
+//! [`Executor::join`] barrier. Launches queued on *one* stream are ordered
+//! (each sees the writes of its predecessors, like kernels on one CUDA
+//! stream); launches on *different* streams joined together are unordered
+//! and may interleave on the worker pool — so they must touch disjoint
+//! data, a discipline the kernel sanitizer verifies (unordered conflicting
+//! accesses are reported as stream races).
+//!
+//! Joining streams is also what teaches the cost model about overlap:
+//! within one join epoch only the heaviest stream's launches are charged
+//! to the modeled critical path (see
+//! [`LaunchStats::modeled_time`](crate::LaunchStats::modeled_time)), while
+//! [`LaunchStats::serialized_time`](crate::LaunchStats::serialized_time)
+//! keeps charging every launch.
+//!
+//! ```
+//! use parsweep_par::Executor;
+//! let exec = Executor::with_threads(2);
+//! let mut a = vec![0u32; 64];
+//! let mut b = vec![0u32; 64];
+//! {
+//!     let ca = exec.bind("a", &mut a);
+//!     let cb = exec.bind("b", &mut b);
+//!     let mut s1 = exec.stream();
+//!     let mut s2 = exec.stream();
+//!     // SAFETY: each tid writes its own slot; the two streams touch
+//!     // disjoint buffers, so their launches may interleave freely.
+//!     s1.launch(64, |tid| unsafe { ca.write(tid, tid, 1) });
+//!     s2.launch(64, |tid| unsafe { cb.write(tid, tid, 2) });
+//!     exec.join(&mut [&mut s1, &mut s2]);
+//! }
+//! assert_eq!((a[7], b[7]), (1, 2));
+//! ```
+
+use crate::{DeviceSlice, Executor};
+
+/// One queued (not yet executed) kernel launch.
+pub(crate) struct Pending<'env> {
+    pub(crate) label: String,
+    pub(crate) n: usize,
+    /// Buffer id the launch promises to fill (coverage checking).
+    pub(crate) coverage: Option<u32>,
+    pub(crate) kernel: Box<dyn Fn(usize) + Send + Sync + 'env>,
+}
+
+/// An ordered queue of kernel launches, executed lazily at explicit
+/// synchronization points — the analogue of a CUDA stream.
+///
+/// Created with [`Executor::stream`]. Launches queue until [`Stream::sync`]
+/// (or [`Stream::read_back`], or an [`Executor::join`] with other
+/// streams) drains them; a stream dropped with work still queued syncs
+/// itself, mirroring how destroying a CUDA stream completes its work.
+pub struct Stream<'exec, 'env> {
+    pub(crate) exec: &'exec Executor,
+    pub(crate) id: u64,
+    pub(crate) queue: Vec<Pending<'env>>,
+}
+
+impl<'exec, 'env> Stream<'exec, 'env> {
+    pub(crate) fn new(exec: &'exec Executor, id: u64) -> Self {
+        Stream {
+            exec,
+            id,
+            queue: Vec::new(),
+        }
+    }
+
+    /// This stream's executor-unique id (used in sanitizer stream-race
+    /// reports).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of launches queued and not yet executed.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queues a kernel over thread ids `0..n`. Nothing runs until the next
+    /// synchronization point.
+    ///
+    /// The kernel must be safe to run concurrently for distinct ids, and —
+    /// unlike an eager [`Executor::launch`] — must only touch data that no
+    /// launch on a *different* stream of the same join epoch touches
+    /// (launches on this stream are ordered and may see each other's
+    /// writes).
+    pub fn launch<F>(&mut self, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Send + Sync + 'env,
+    {
+        self.launch_labeled("kernel", n, kernel);
+    }
+
+    /// Like [`Stream::launch`], with a kernel label used in sanitizer
+    /// reports and launch accounting.
+    pub fn launch_labeled<F>(&mut self, label: &str, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Send + Sync + 'env,
+    {
+        if n == 0 {
+            return; // zero-width launches are not recorded, as with eager launches
+        }
+        self.queue.push(Pending {
+            label: label.to_string(),
+            n,
+            coverage: None,
+            kernel: Box::new(kernel),
+        });
+    }
+
+    /// Queues a kernel that promises to write every slot of `buffer`
+    /// exactly once (see [`Executor::launch_filling`]).
+    pub fn launch_filling<T, F>(&mut self, label: &str, buffer: &DeviceSlice<'_, T>, kernel: F)
+    where
+        F: Fn(usize) + Send + Sync + 'env,
+    {
+        if buffer.is_empty() {
+            return;
+        }
+        self.queue.push(Pending {
+            label: label.to_string(),
+            n: buffer.len(),
+            coverage: Some(buffer.buffer_id()),
+            kernel: Box::new(kernel),
+        });
+    }
+
+    /// Executes all queued launches in order and waits for completion.
+    /// A lone stream gets the executor's full worker pool per launch.
+    pub fn sync(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.queue);
+        self.exec.drain_streams(vec![(self.id, queue)]);
+    }
+
+    /// Consumes the stream, executing all queued launches — the point
+    /// where results become visible to the host, like a stream-ordered
+    /// device-to-host copy.
+    pub fn read_back(mut self) {
+        self.sync();
+    }
+}
+
+impl Drop for Stream<'_, '_> {
+    fn drop(&mut self) {
+        if !self.queue.is_empty() {
+            self.sync();
+        }
+    }
+}
+
+impl Executor {
+    /// Executes the queued launches of one or more streams as one *join
+    /// epoch* and waits for all of them.
+    ///
+    /// Within the epoch each stream's launches run in queue order, but
+    /// launches of different streams are unordered and may interleave on
+    /// the worker pool, so they must touch disjoint data (the sanitizer
+    /// reports violations as stream races). The barrier at the end orders
+    /// the whole epoch before everything that follows.
+    ///
+    /// Cost-model effect: every launch is charged to the serialized
+    /// profile, but only the heaviest joined stream is charged to the
+    /// critical path, so `modeled_time` reflects the overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream belongs to a different executor.
+    pub fn join(&self, streams: &mut [&mut Stream<'_, '_>]) {
+        let batches: Vec<(u64, Vec<Pending<'_>>)> = streams
+            .iter_mut()
+            .map(|s| {
+                assert!(
+                    std::ptr::eq(s.exec, self),
+                    "stream joined on a foreign executor"
+                );
+                (s.id, std::mem::take(&mut s.queue))
+            })
+            .collect();
+        self.drain_streams(batches);
+    }
+
+    /// Runs stream batches: the execution engine behind [`Stream::sync`]
+    /// and [`Executor::join`].
+    pub(crate) fn drain_streams(&self, mut batches: Vec<(u64, Vec<Pending<'_>>)>) {
+        batches.retain(|(_, queue)| !queue.is_empty());
+        if batches.is_empty() {
+            return;
+        }
+        // Accounting is deterministic and up front — widths are known
+        // before anything runs. Every launch lands in the serialized
+        // profile; only the heaviest stream of this epoch lands on the
+        // critical path (the others overlap it).
+        let ordinals: Vec<Vec<u64>> = batches
+            .iter()
+            .map(|(_, queue)| queue.iter().map(|p| self.record(p.n, false)).collect())
+            .collect();
+        let heaviest = batches
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, entry)| {
+                let width: u64 = entry.1.iter().map(|p| p.n as u64).sum();
+                (width, std::cmp::Reverse(*i))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.record_critical_widths(batches[heaviest].1.iter().map(|p| p.n));
+
+        if let Some(san) = &self.sanitizer {
+            // Sanitized epochs run serialized, stream by stream in join
+            // order, logging the stream id of every launch so the
+            // cross-launch analysis can tell ordered (same-stream) from
+            // unordered (cross-stream) access pairs.
+            san.begin_epoch();
+            for ((stream, queue), ords) in batches.iter().zip(&ordinals) {
+                for (pending, &ordinal) in queue.iter().zip(ords) {
+                    san.begin_launch(
+                        &pending.label,
+                        ordinal,
+                        pending.coverage.map(|b| (b, pending.n)),
+                        *stream,
+                    );
+                    for tid in 0..pending.n {
+                        (pending.kernel)(tid);
+                    }
+                    san.end_launch();
+                }
+            }
+            return;
+        }
+        if batches.len() == 1 {
+            // A lone stream is an ordered chain: run each launch over the
+            // full worker pool, exactly like eager launches.
+            for pending in &batches[0].1 {
+                self.run_chunked(pending.n, pending.kernel.as_ref());
+            }
+            return;
+        }
+        // Multiple streams: one driver per stream (capped at the pool
+        // width), each draining its streams' launches in order. Streams
+        // genuinely interleave; launches within a stream stay ordered.
+        let drivers = self.num_threads().min(batches.len());
+        if drivers == 1 {
+            for (_, queue) in &batches {
+                for pending in queue {
+                    for tid in 0..pending.n {
+                        (pending.kernel)(tid);
+                    }
+                }
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for d in 0..drivers {
+                let mine: Vec<&(u64, Vec<Pending<'_>>)> =
+                    batches.iter().skip(d).step_by(drivers).collect();
+                scope.spawn(move || {
+                    for (_, queue) in mine {
+                        for pending in queue {
+                            for tid in 0..pending.n {
+                                (pending.kernel)(tid);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

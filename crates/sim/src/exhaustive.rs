@@ -5,11 +5,19 @@
 //! table holds `E`-word segments of every node's truth table; simulation
 //! proceeds in rounds over segments, with three dimensions of parallelism:
 //! words within a node, nodes within a level, and windows within a batch.
+//!
+//! The multi-round loop is recorded as a [`KernelGraphBuilder`] launch DAG
+//! once per batch — one `inputs → levels → compare` chain per window — and
+//! replayed with fresh round bindings, CUDA-graph style. Chains of
+//! different windows are independent, so their launches overlap at replay;
+//! the simulation table and outcome slots come from the executor's
+//! [`BufferArena`](parsweep_par::BufferArena) and are recycled across
+//! rounds and batches.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::Executor;
+use parsweep_par::{Executor, KernelGraphBuilder};
 
 use crate::tt::projection_word;
 use crate::window::Window;
@@ -105,7 +113,7 @@ pub fn check_windows(
     }
     let rounds = max_tt.div_ceil(entry_words);
 
-    let mut simt = vec![0u64; entry_words * total_entries];
+    let mut simt = exec.arena().take::<u64>(entry_words * total_entries);
     let resolved: Vec<Vec<AtomicBool>> = windows
         .iter()
         .map(|w| (0..w.pairs.len()).map(|_| AtomicBool::new(false)).collect())
@@ -127,159 +135,189 @@ pub fn check_windows(
             .collect()
     };
     let total_pairs: usize = windows.iter().map(|w| w.pairs.len()).sum();
-    let mut outcomes: Vec<Option<PairOutcome>> = vec![None; total_pairs];
-    let words_simulated = AtomicU64::new(0);
+    let mut outcomes = exec.arena().take::<Option<PairOutcome>>(total_pairs);
+    let mut words_simulated = 0u64;
     let mut rounds_run = 0u32;
 
-    for r in 0..rounds {
-        // Windows still needing simulation this round.
-        let active: Vec<usize> = (0..plans.len())
-            .filter(|&i| {
-                plans[i].tt_words > r * entry_words && unresolved[i].load(Ordering::Relaxed) > 0
-            })
-            .collect();
-        if active.is_empty() {
-            break;
-        }
-        rounds_run += 1;
-        let active_words = |p: &WindowPlan| (p.tt_words - r * entry_words).min(entry_words);
-        let cells = exec.bind("sim.exhaustive.table", &mut simt);
-
-        // 1. Write projection truth-table segments for all window inputs.
-        let input_tasks: Vec<(usize, usize)> = active
-            .iter()
-            .flat_map(|&i| (0..plans[i].window.inputs.len()).map(move |j| (i, j)))
-            .collect();
-        exec.launch_labeled("sim.exhaustive.inputs", input_tasks.len(), |t| {
-            let (i, j) = input_tasks[t];
-            let p = &plans[i];
-            let aw = active_words(p);
-            let entry = (p.base + j) * entry_words;
-            for w in 0..aw {
-                // SAFETY: each (window, input) task owns a distinct entry.
-                unsafe { cells.write(t, entry + w, projection_word(j, r * entry_words + w)) };
-            }
-        });
-
-        // 2. Level-wise simulation of interior nodes.
-        let max_level = active
-            .iter()
-            .map(|&i| plans[i].levels.len())
-            .max()
-            .unwrap_or(0);
-        for l in 0..max_level {
-            let tasks: Vec<(usize, usize)> = active
-                .iter()
-                .filter(|&&i| l < plans[i].levels.len())
-                .flat_map(|&i| (0..plans[i].levels[l].len()).map(move |k| (i, k)))
-                .collect();
-            words_simulated.fetch_add(
-                tasks
-                    .iter()
-                    .map(|&(i, _)| active_words(&plans[i]) as u64)
-                    .sum::<u64>(),
-                Ordering::Relaxed,
-            );
-            exec.launch_labeled("sim.exhaustive.level", tasks.len(), |t| {
-                let (i, k) = tasks[t];
-                let p = &plans[i];
-                let aw = active_words(p);
-                let v = p.levels[l][k];
-                let Node::And(fa, fb) = aig.node(v) else {
-                    unreachable!("interior window nodes are AND gates");
-                };
-                let ea = p.index[&fa.var()] as usize;
-                let eb = p.index[&fb.var()] as usize;
-                let ev = p.index[&v] as usize;
-                let ma = if fa.is_complemented() { u64::MAX } else { 0 };
-                let mb = if fb.is_complemented() { u64::MAX } else { 0 };
-                let (ba, bb, bv) = (
-                    (p.base + ea) * entry_words,
-                    (p.base + eb) * entry_words,
-                    (p.base + ev) * entry_words,
-                );
-                for w in 0..aw {
-                    // SAFETY: fanin entries were written by earlier levels
-                    // (previous launches); each node writes only its entry.
-                    unsafe {
-                        let wa = cells.read(t, ba + w) ^ ma;
-                        let wb = cells.read(t, bb + w) ^ mb;
-                        cells.write(t, bv + w, wa & wb);
-                    }
-                }
-            });
-        }
-
-        // 3. Compare root truth-table segments of every unresolved pair.
-        let pair_tasks: Vec<(usize, usize)> = active
-            .iter()
-            .flat_map(|&i| (0..plans[i].window.pairs.len()).map(move |k| (i, k)))
-            .collect();
-        let out_cells = exec.bind("sim.exhaustive.outcomes", &mut outcomes);
-        exec.launch_labeled("sim.exhaustive.compare", pair_tasks.len(), |t| {
-            let (i, k) = pair_tasks[t];
-            if resolved[i][k].load(Ordering::Relaxed) {
-                return;
-            }
-            let p = &plans[i];
-            let aw = active_words(p);
-            let pair = p.window.pairs[k];
-            let cmask = if pair.complement { u64::MAX } else { 0 };
-            let entry_of = |v: Var| -> Option<usize> {
-                if v.is_const() {
-                    None
-                } else {
-                    Some((p.base + p.index[&v] as usize) * entry_words)
-                }
-            };
-            let (ea, eb) = (entry_of(pair.a), entry_of(pair.b));
-            let k_in = p.window.inputs.len();
-            let valid = if k_in < 6 {
-                (1u64 << (1usize << k_in)) - 1
-            } else {
-                u64::MAX
-            };
-            for w in 0..aw {
-                // SAFETY: root entries were written by the level launches.
-                let wa = ea.map_or(0, |e| unsafe { cells.read(t, e + w) });
-                // SAFETY: as above.
-                let wb = eb.map_or(0, |e| unsafe { cells.read(t, e + w) });
-                let diff = (wa ^ wb ^ cmask) & valid;
-                if diff != 0 {
-                    let bit = diff.trailing_zeros() as u64;
-                    let pattern_index = ((r * entry_words + w) as u64) << 6 | bit;
-                    let assignment = (0..k_in).map(|j| pattern_index >> j & 1 == 1).collect();
-                    resolved[i][k].store(true, Ordering::Relaxed);
-                    unresolved[i].fetch_sub(1, Ordering::Relaxed);
-                    // SAFETY: exactly one task exists per (i, k), so the
-                    // flat slot is written by at most one thread.
-                    unsafe {
-                        out_cells.write(
-                            t,
-                            pair_base[i] + k,
-                            Some(PairOutcome::Mismatch {
-                                pattern_index,
-                                assignment,
-                            }),
-                        );
-                    }
-                    return;
-                }
-            }
-        });
+    /// Bindings one graph replay runs against: the round index and the
+    /// per-window activity mask (a window goes inactive when its truth
+    /// table is exhausted or all its pairs resolved).
+    struct Round {
+        r: usize,
+        active: Vec<bool>,
     }
 
-    let mut flat = outcomes.into_iter();
+    {
+        let cells = exec.bind("sim.exhaustive.table", &mut simt);
+        let out_cells = exec.bind("sim.exhaustive.outcomes", &mut outcomes);
+        let cells = &cells;
+        let out_cells = &out_cells;
+        let resolved = &resolved;
+        let unresolved = &unresolved;
+        let pair_base = &pair_base;
+
+        // Record the launch DAG once: per window a chain
+        // `inputs → level 0 → … → compare`. Chains of different windows
+        // carry no edges between them, so at replay each wave runs their
+        // launches on separate streams (windows touch disjoint table
+        // ranges) and only the deepest chain paces the critical path.
+        let mut builder = KernelGraphBuilder::<Round>::new();
+        for (i, p) in plans.iter().enumerate() {
+            let active_words =
+                move |r: usize| -> usize { (p.tt_words - r * entry_words).min(entry_words) };
+            let inputs = builder.kernel(
+                "sim.exhaustive.inputs",
+                &[],
+                move |b: &Round| {
+                    if b.active[i] {
+                        p.window.inputs.len()
+                    } else {
+                        0
+                    }
+                },
+                move |j, b: &Round| {
+                    let aw = active_words(b.r);
+                    let entry = (p.base + j) * entry_words;
+                    for w in 0..aw {
+                        // SAFETY: each (window, input) kernel owns a
+                        // distinct entry.
+                        unsafe {
+                            cells.write(j, entry + w, projection_word(j, b.r * entry_words + w))
+                        };
+                    }
+                },
+            );
+            let mut prev = inputs;
+            for nodes in &p.levels {
+                prev = builder.kernel(
+                    "sim.exhaustive.level",
+                    &[prev],
+                    move |b: &Round| if b.active[i] { nodes.len() } else { 0 },
+                    move |k, b: &Round| {
+                        let aw = active_words(b.r);
+                        let v = nodes[k];
+                        let Node::And(fa, fb) = aig.node(v) else {
+                            unreachable!("interior window nodes are AND gates");
+                        };
+                        let ea = p.index[&fa.var()] as usize;
+                        let eb = p.index[&fb.var()] as usize;
+                        let ev = p.index[&v] as usize;
+                        let ma = if fa.is_complemented() { u64::MAX } else { 0 };
+                        let mb = if fb.is_complemented() { u64::MAX } else { 0 };
+                        let (ba, bb, bv) = (
+                            (p.base + ea) * entry_words,
+                            (p.base + eb) * entry_words,
+                            (p.base + ev) * entry_words,
+                        );
+                        for w in 0..aw {
+                            // SAFETY: fanin entries were written by earlier
+                            // levels (graph-ordered launches); each node
+                            // writes only its own entry.
+                            unsafe {
+                                let wa = cells.read(k, ba + w) ^ ma;
+                                let wb = cells.read(k, bb + w) ^ mb;
+                                cells.write(k, bv + w, wa & wb);
+                            }
+                        }
+                    },
+                );
+            }
+            builder.kernel(
+                "sim.exhaustive.compare",
+                &[prev],
+                move |b: &Round| if b.active[i] { p.window.pairs.len() } else { 0 },
+                move |k, b: &Round| {
+                    if resolved[i][k].load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let aw = active_words(b.r);
+                    let pair = p.window.pairs[k];
+                    let cmask = if pair.complement { u64::MAX } else { 0 };
+                    let entry_of = |v: Var| -> Option<usize> {
+                        if v.is_const() {
+                            None
+                        } else {
+                            Some((p.base + p.index[&v] as usize) * entry_words)
+                        }
+                    };
+                    let (ea, eb) = (entry_of(pair.a), entry_of(pair.b));
+                    let k_in = p.window.inputs.len();
+                    let valid = if k_in < 6 {
+                        (1u64 << (1usize << k_in)) - 1
+                    } else {
+                        u64::MAX
+                    };
+                    for w in 0..aw {
+                        // SAFETY: root entries were written by the level
+                        // launches this chain depends on.
+                        let wa = ea.map_or(0, |e| unsafe { cells.read(k, e + w) });
+                        // SAFETY: as above.
+                        let wb = eb.map_or(0, |e| unsafe { cells.read(k, e + w) });
+                        let diff = (wa ^ wb ^ cmask) & valid;
+                        if diff != 0 {
+                            let bit = diff.trailing_zeros() as u64;
+                            let pattern_index = ((b.r * entry_words + w) as u64) << 6 | bit;
+                            let assignment =
+                                (0..k_in).map(|j| pattern_index >> j & 1 == 1).collect();
+                            resolved[i][k].store(true, Ordering::Relaxed);
+                            unresolved[i].fetch_sub(1, Ordering::Relaxed);
+                            // SAFETY: exactly one kernel thread exists per
+                            // (window, pair), so the flat slot is written
+                            // by at most one thread.
+                            unsafe {
+                                out_cells.write(
+                                    k,
+                                    pair_base[i] + k,
+                                    Some(PairOutcome::Mismatch {
+                                        pattern_index,
+                                        assignment,
+                                    }),
+                                );
+                            }
+                            return;
+                        }
+                    }
+                },
+            );
+        }
+        let graph = builder.build();
+
+        for r in 0..rounds {
+            // Windows still needing simulation this round.
+            let active: Vec<bool> = (0..plans.len())
+                .map(|i| {
+                    plans[i].tt_words > r * entry_words && unresolved[i].load(Ordering::Relaxed) > 0
+                })
+                .collect();
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            rounds_run += 1;
+            for (i, p) in plans.iter().enumerate() {
+                if active[i] {
+                    let aw = (p.tt_words - r * entry_words).min(entry_words) as u64;
+                    words_simulated += aw * p.levels.iter().map(|l| l.len() as u64).sum::<u64>();
+                }
+            }
+            graph.replay(exec, &Round { r, active });
+        }
+    }
+
+    let mut slot = 0usize;
     let results = windows
         .iter()
         .map(|w| {
             (0..w.pairs.len())
-                .map(|_| flat.next().flatten().unwrap_or(PairOutcome::Equal))
+                .map(|_| {
+                    let outcome = outcomes[slot].take();
+                    slot += 1;
+                    outcome.unwrap_or(PairOutcome::Equal)
+                })
                 .collect()
         })
         .collect();
     let effort = SimEffort {
-        words: words_simulated.into_inner(),
+        words: words_simulated,
         rounds: rounds_run,
         entry_words,
     };

@@ -6,7 +6,7 @@
 //! later resimulated to refine the classes (§III-A "partial simulator").
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::Executor;
+use parsweep_par::{Executor, PooledBuf};
 
 use crate::Cex;
 
@@ -160,10 +160,15 @@ impl Patterns {
 }
 
 /// Per-node simulation signatures: `num_words` words per node, node-major.
+///
+/// The backing storage is leased from the executor's [`BufferArena`]
+/// (`parsweep_par::BufferArena`): dropping a `Signatures` returns the
+/// words to the pool, so repeated resimulation rounds recycle one
+/// allocation instead of churning the allocator.
 #[derive(Clone, Debug)]
 pub struct Signatures {
     num_words: usize,
-    data: Vec<u64>,
+    data: PooledBuf<u64>,
 }
 
 impl Signatures {
@@ -208,8 +213,10 @@ impl Signatures {
 /// Simulates all nodes of `aig` on the given patterns, level-parallel.
 ///
 /// The kernel structure mirrors the paper's partial simulator: nodes of
-/// one topological level are one kernel launch; each node computes its
-/// packed words from its fanins' words.
+/// one topological level are one kernel launch. All level launches are
+/// queued on one [`parsweep_par::Stream`] (program order on a stream is
+/// an ordering edge, so each level sees its fanin levels' words) and the
+/// signature table is leased from the executor's buffer arena.
 pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
     assert_eq!(
         patterns.num_pis(),
@@ -217,12 +224,14 @@ pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
         "pattern/PI count mismatch"
     );
     let w = patterns.num_words();
-    let mut data = vec![0u64; aig.num_nodes() * w];
+    let mut data = exec.arena().take::<u64>(aig.num_nodes() * w);
     {
         let cells = exec.bind("sim.partial.signatures", &mut data);
+        let cells = &cells;
         let groups = aig.level_groups();
+        let mut stream = exec.stream();
         for group in &groups {
-            exec.launch_labeled("sim.partial.level", group.len(), |t| {
+            stream.launch_labeled("sim.partial.level", group.len(), move |t| {
                 let v = group[t];
                 match aig.node(v) {
                     Node::Const => {
@@ -241,7 +250,8 @@ pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
                         let mb = if b.is_complemented() { u64::MAX } else { 0 };
                         for k in 0..w {
                             // SAFETY: fanins are in earlier levels (earlier
-                            // launches); each node writes only its words.
+                            // launches on this stream); each node writes only
+                            // its words.
                             unsafe {
                                 let wa = cells.read(t, a.var().index() * w + k) ^ ma;
                                 let wb = cells.read(t, b.var().index() * w + k) ^ mb;
@@ -252,6 +262,7 @@ pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
                 }
             });
         }
+        stream.sync();
     }
     Signatures { num_words: w, data }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Smoke benchmark of the device runtime: runs the engine over the
+# generator suite and emits BENCH_runtime.json (wall time, modeled /
+# serialized cost-model times, arena recycling counters).
+#
+# Usage: scripts/bench.sh [tiny|small|medium] [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-tiny}"
+OUT="${2:-BENCH_runtime.json}"
+
+cargo run --release -p parsweep-bench --bin runtime -- "$SCALE" "$OUT"
+echo "--- $OUT ---"
+cat "$OUT"
