@@ -1,0 +1,245 @@
+//! Output-cone extraction and canonical structural hashing.
+//!
+//! A combinational miter decomposes into independent sub-problems along
+//! its output cones: the miter is proved iff every PO's transitive-fanin
+//! cone is proved constant zero. [`Aig::extract_cone`] cuts a selected set
+//! of POs out into a standalone sub-AIG whose PIs are exactly the cone's
+//! support (with a remap back to the original inputs), and
+//! [`Aig::structural_hash`] gives the extracted cone a canonical identity
+//! so structurally identical sub-problems — ubiquitous in `double`d
+//! benchmarks and repeated service traffic — can share one proof through a
+//! result cache.
+
+use crate::{Aig, Lit, Node, Var};
+
+/// A sub-AIG cut out of a larger network along a set of output cones,
+/// with the maps needed to translate results back.
+#[derive(Clone, Debug)]
+pub struct ConeExtraction {
+    /// The standalone cone: PIs are the cone's support in ascending
+    /// original-variable order, POs are the selected outputs.
+    pub cone: Aig,
+    /// For each cone PI position, the original network's PI variable it
+    /// was cut from (`pi_map[new_pi_position] == old_var`). Counter-example
+    /// assignments over the cone's inputs lift to the original network
+    /// through this map (unlisted original PIs are don't-cares).
+    pub pi_map: Vec<Var>,
+    /// For each cone PO position, the original PO index it carries.
+    pub po_map: Vec<usize>,
+}
+
+impl Aig {
+    /// Extracts the logic cone of the selected POs into a standalone AIG.
+    ///
+    /// The extraction is structure-preserving: every AND gate in the
+    /// selected cones maps to one AND gate in the result (modulo strashing,
+    /// which cannot fire on an already-strashed source), PIs are compacted
+    /// to the cone's support in ascending original-variable order, and the
+    /// result's POs are the selected POs in the given order. Two
+    /// structurally identical cones therefore extract to identical AIGs,
+    /// which is what makes [`Aig::structural_hash`] a usable cache key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a PO index is out of range.
+    ///
+    /// ```
+    /// use parsweep_aig::Aig;
+    /// let mut aig = Aig::new();
+    /// let xs = aig.add_inputs(4);
+    /// let f = aig.and(xs[0], xs[1]);
+    /// let g = aig.and(xs[2], xs[3]);
+    /// aig.add_po(f);
+    /// aig.add_po(g);
+    /// let ext = aig.extract_cone(&[1]);
+    /// assert_eq!(ext.cone.num_pis(), 2);
+    /// assert_eq!(ext.cone.num_ands(), 1);
+    /// assert_eq!(ext.pi_map, vec![xs[2].var(), xs[3].var()]);
+    /// ```
+    pub fn extract_cone(&self, po_indices: &[usize]) -> ConeExtraction {
+        let mut roots: Vec<Var> = Vec::with_capacity(po_indices.len());
+        for &i in po_indices {
+            let v = self.po(i).var();
+            if !v.is_const() && !roots.contains(&v) {
+                roots.push(v);
+            }
+        }
+        // tfi_cone returns ascending variable order, which is a topological
+        // order, so fanins are always mapped before their users.
+        let cone_nodes = self.tfi_cone(&roots);
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.num_nodes()];
+        let mut cone = Aig::with_capacity(cone_nodes.len());
+        let mut pi_map = Vec::new();
+        for &v in &cone_nodes {
+            map[v.index()] = match self.node(v) {
+                Node::Const => Lit::FALSE,
+                Node::Input(_) => {
+                    pi_map.push(v);
+                    cone.add_input()
+                }
+                Node::And(a, b) => {
+                    let fa = map[a.var().index()].xor(a.is_complemented());
+                    let fb = map[b.var().index()].xor(b.is_complemented());
+                    cone.and(fa, fb)
+                }
+            };
+        }
+        for &i in po_indices {
+            let po = self.po(i);
+            cone.add_po(map[po.var().index()].xor(po.is_complemented()));
+        }
+        ConeExtraction {
+            cone,
+            pi_map,
+            po_map: po_indices.to_vec(),
+        }
+    }
+
+    /// A canonical 64-bit hash of this network's structure: the node list
+    /// (kinds and fanin literals), the PO literals, and the PI count.
+    ///
+    /// Two networks built the same way — in particular, two cones produced
+    /// by [`Aig::extract_cone`] from structurally identical sub-problems —
+    /// hash equal; the hash changes with any gate, polarity, or output
+    /// difference. Collisions between structurally different networks are
+    /// possible (it is a 64-bit digest), so exact-match users (e.g. a
+    /// result cache) should verify candidates with [`Aig::same_structure`].
+    pub fn structural_hash(&self) -> u64 {
+        #[inline]
+        fn mix(state: u64, value: u64) -> u64 {
+            // splitmix64 over a running state: cheap, well-distributed.
+            let mut z = state
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(value);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(0x5eed_c0de, self.num_pis() as u64);
+        for node in self.nodes() {
+            h = match node {
+                Node::Const => mix(h, 1),
+                Node::Input(i) => mix(h, 2 | (u64::from(*i) << 2)),
+                Node::And(a, b) => {
+                    let fanins = (u64::from(a.code()) << 32) | u64::from(b.code());
+                    mix(h, 3 | (fanins << 2))
+                }
+            };
+        }
+        for po in self.pos() {
+            h = mix(h, u64::from(po.code()));
+        }
+        h
+    }
+
+    /// True if `other` has exactly the same structure: node list, PO
+    /// literals and PI count. The exactness check behind
+    /// [`Aig::structural_hash`]-keyed caches.
+    pub fn same_structure(&self, other: &Aig) -> bool {
+        self.num_pis() == other.num_pis()
+            && self.nodes() == other.nodes()
+            && self.pos() == other.pos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miter;
+
+    fn two_cone_net() -> (Aig, Vec<Lit>) {
+        // PO0 = (x0 & x1) ^ x2 over {x0,x1,x2}; PO1 = x3 & x4 over {x3,x4}.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(5);
+        let a = aig.and(xs[0], xs[1]);
+        let f = aig.xor(a, xs[2]);
+        let g = aig.and(xs[3], xs[4]);
+        aig.add_po(f);
+        aig.add_po(g);
+        (aig, xs)
+    }
+
+    #[test]
+    fn extraction_compacts_support() {
+        let (aig, xs) = two_cone_net();
+        let e0 = aig.extract_cone(&[0]);
+        assert_eq!(e0.cone.num_pis(), 3);
+        assert_eq!(e0.cone.num_pos(), 1);
+        assert_eq!(
+            e0.pi_map,
+            vec![xs[0].var(), xs[1].var(), xs[2].var()],
+            "ascending original-variable order"
+        );
+        let e1 = aig.extract_cone(&[1]);
+        assert_eq!(e1.cone.num_pis(), 2);
+        assert_eq!(e1.cone.num_ands(), 1);
+        assert_eq!(e1.po_map, vec![1]);
+    }
+
+    #[test]
+    fn extraction_preserves_function() {
+        let (aig, _) = two_cone_net();
+        let e = aig.extract_cone(&[0]);
+        for v in 0..32u32 {
+            let full: Vec<bool> = (0..5).map(|i| (v >> i) & 1 != 0).collect();
+            let cone_in: Vec<bool> = e
+                .pi_map
+                .iter()
+                .map(|pv| {
+                    let pi_pos = aig.pis().iter().position(|p| p == pv).unwrap();
+                    full[pi_pos]
+                })
+                .collect();
+            assert_eq!(aig.eval(&full)[0], e.cone.eval(&cone_in)[0]);
+        }
+    }
+
+    #[test]
+    fn constant_po_extracts_to_constant() {
+        let mut aig = Aig::new();
+        aig.add_inputs(2);
+        aig.add_po(Lit::TRUE);
+        aig.add_po(Lit::FALSE);
+        let e = aig.extract_cone(&[0, 1]);
+        assert_eq!(e.cone.num_pis(), 0);
+        assert_eq!(e.cone.pos(), &[Lit::TRUE, Lit::FALSE]);
+    }
+
+    #[test]
+    fn identical_cones_hash_equal() {
+        // A doubled miter: the two halves are structurally identical, so
+        // their per-PO extractions must agree in hash and structure.
+        let mut a = Aig::new();
+        let xs = a.add_inputs(3);
+        let f = a.maj3(xs[0], xs[1], xs[2]);
+        a.add_po(f);
+        let mut b = Aig::new();
+        let ys = b.add_inputs(3);
+        let t = b.or(ys[1], ys[2]);
+        let u = b.and(ys[1], ys[2]);
+        let g = b.mux(ys[0], t, u);
+        b.add_po(g);
+        let m = miter(&a.double(), &b.double()).unwrap();
+        assert_eq!(m.num_pos(), 2);
+        let e0 = m.extract_cone(&[0]);
+        let e1 = m.extract_cone(&[1]);
+        assert_eq!(e0.cone.structural_hash(), e1.cone.structural_hash());
+        assert!(e0.cone.same_structure(&e1.cone));
+        assert_ne!(e0.pi_map, e1.pi_map, "the cones live on disjoint PIs");
+    }
+
+    #[test]
+    fn hash_distinguishes_polarity_and_outputs() {
+        let mut a = Aig::new();
+        let xs = a.add_inputs(2);
+        let f = a.and(xs[0], xs[1]);
+        a.add_po(f);
+        let mut b = a.clone();
+        b.set_po(0, !b.po(0));
+        assert_ne!(a.structural_hash(), b.structural_hash());
+        assert!(!a.same_structure(&b));
+        let mut c = a.clone();
+        c.add_po(Lit::FALSE);
+        assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+}

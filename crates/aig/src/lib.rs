@@ -38,6 +38,7 @@ pub mod aiger;
 pub mod bench_fmt;
 mod build;
 pub mod dot;
+mod extract;
 mod lit;
 mod miter;
 mod node;
@@ -48,6 +49,7 @@ pub mod verilog;
 
 pub use aig::Aig;
 pub use aiger::{read_aiger, read_aiger_file, write_aiger_file, ParseAigerError};
+pub use extract::ConeExtraction;
 pub use lit::{Lit, Var};
 pub use miter::{is_proved, miter, BuildMiterError};
 pub use node::Node;

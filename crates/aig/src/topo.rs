@@ -136,8 +136,12 @@ impl Aig {
         supports
     }
 
-    /// Computes the exact structural support (sorted PI variables) of a set
-    /// of root nodes by a backward traversal.
+    /// Computes the exact structural support of a set of root nodes by a
+    /// backward traversal.
+    ///
+    /// **Sorted invariant:** the result is strictly ascending in variable
+    /// id (deduplicated); callers may rely on it — e.g. pass it directly
+    /// as pre-sorted window inputs — without re-sorting.
     pub fn support(&self, roots: &[Var]) -> Vec<Var> {
         let mut seen = vec![false; self.num_nodes()];
         let mut stack: Vec<Var> = roots.to_vec();
@@ -161,7 +165,13 @@ impl Aig {
     }
 
     /// Collects the transitive fanin cone of a set of roots (roots
-    /// included), sorted in topological (variable) order.
+    /// included).
+    ///
+    /// **Sorted invariant:** the result is strictly ascending in variable
+    /// id (deduplicated), which is also a valid topological order because
+    /// nodes are created fanins-first. Callers may iterate it as a
+    /// fanins-before-users schedule or binary-search it without
+    /// re-sorting.
     pub fn tfi_cone(&self, roots: &[Var]) -> Vec<Var> {
         let mut seen = vec![false; self.num_nodes()];
         let mut stack: Vec<Var> = roots.to_vec();
@@ -190,8 +200,11 @@ impl Aig {
     /// that is not itself in `inputs`), i.e. `inputs` is not a valid cut of
     /// the roots.
     ///
-    /// The returned interior nodes exclude the inputs and are sorted in
-    /// topological order.
+    /// **Sorted invariant:** the returned interior nodes exclude the
+    /// inputs and are strictly ascending in variable id (deduplicated) —
+    /// a valid topological order, since nodes are created fanins-first.
+    /// Callers (e.g. simulation windows, which evaluate the list in
+    /// order) may rely on this without re-sorting.
     pub fn cone_between(&self, roots: &[Var], inputs: &[Var]) -> Option<Vec<Var>> {
         if roots.len() + inputs.len() < 64 && self.num_nodes() > 4096 {
             // Sparse traversal: avoids O(network) allocations per window,

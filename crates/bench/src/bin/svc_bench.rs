@@ -1,0 +1,129 @@
+//! Service throughput smoke benchmark: submits the generator suite to
+//! the CEC job service twice over — the second pass should settle from
+//! the structural result cache — and emits `BENCH_svc.json` with
+//! jobs/sec, cache hit rate, shard counts and worker utilization.
+//!
+//! Usage: `svc [tiny|small|medium] [output.json]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use parsweep_bench::harness::{suite, Scale};
+use parsweep_sat::Verdict;
+use parsweep_svc::{CecService, SvcConfig};
+
+/// Wall-time bound per job so a hard case cannot stall the smoke run.
+const JOB_DEADLINE: Duration = Duration::from_secs(5);
+
+fn verdict_tag(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Equivalent => "EQ",
+        Verdict::NotEquivalent(_) => "NEQ",
+        Verdict::Undecided => "UNDEC",
+    }
+}
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_svc.json".to_string());
+
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let svc = CecService::new(SvcConfig {
+        workers,
+        default_deadline: Some(JOB_DEADLINE),
+        ..SvcConfig::default()
+    });
+
+    eprintln!("# svc throughput smoke bench ({scale:?}, {workers} workers)");
+    let cases = suite(scale);
+    let start = Instant::now();
+    // Two passes over the whole suite: every second-pass job repeats a
+    // first-pass miter, so its shards should all be cache hits.
+    let jobs: Vec<_> = (0..2)
+        .flat_map(|_| {
+            cases
+                .iter()
+                .map(|c| (c.name.clone(), svc.submit(c.miter.clone())))
+        })
+        .collect();
+
+    let mut cases_json = Vec::new();
+    for (name, id) in jobs {
+        let r = svc.wait(id).expect("job exists");
+        eprintln!(
+            "{:<16} {} shards {} cache {}h/{}m wait {:.3}s total {:.3}s{}",
+            name,
+            verdict_tag(&r.verdict),
+            r.stats.shards,
+            r.stats.cache_hits,
+            r.stats.cache_misses,
+            r.stats.queue_wait.as_secs_f64(),
+            r.stats.total.as_secs_f64(),
+            if r.stats.cancelled { " (deadline)" } else { "" },
+        );
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            concat!(
+                "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"shards\": {}, ",
+                "\"cache_hits\": {}, \"cache_misses\": {}, ",
+                "\"queue_wait_seconds\": {:.6}, \"total_seconds\": {:.6}, ",
+                "\"cancelled\": {}}}"
+            ),
+            name,
+            verdict_tag(&r.verdict),
+            r.stats.shards,
+            r.stats.cache_hits,
+            r.stats.cache_misses,
+            r.stats.queue_wait.as_secs_f64(),
+            r.stats.total.as_secs_f64(),
+            r.stats.cancelled,
+        );
+        cases_json.push(j);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let stats = svc.stats();
+    let jobs_per_sec = if wall > 0.0 {
+        stats.jobs_completed as f64 / wall
+    } else {
+        0.0
+    };
+    eprintln!("{stats}");
+    eprintln!("jobs/sec: {jobs_per_sec:.3}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": \"{:?}\",\n",
+            "  \"workers\": {},\n",
+            "  \"wall_seconds\": {:.6},\n",
+            "  \"jobs_completed\": {},\n",
+            "  \"jobs_per_sec\": {:.6},\n",
+            "  \"shards_total\": {},\n",
+            "  \"cache_hits\": {},\n",
+            "  \"cache_misses\": {},\n",
+            "  \"cache_hit_rate\": {:.6},\n",
+            "  \"worker_utilization\": {:.6},\n",
+            "  \"jobs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        workers,
+        wall,
+        stats.jobs_completed,
+        jobs_per_sec,
+        stats.shards_total,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate(),
+        stats.worker_utilization,
+        cases_json.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

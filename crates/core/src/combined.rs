@@ -2,11 +2,11 @@
 //! (the paper's "Ours (GPU+ABC)" column).
 
 use parsweep_aig::Aig;
-use parsweep_par::Executor;
-use parsweep_sat::{sat_sweep_seeded, SweepConfig, SweepResult, Verdict};
+use parsweep_par::{CancelToken, Executor};
+use parsweep_sat::{sat_sweep_seeded_cancellable, SweepConfig, SweepResult, Verdict};
 
 use crate::config::EngineConfig;
-use crate::engine::{sim_sweep, EngineResult};
+use crate::engine::{sim_sweep_cancellable, EngineResult};
 
 /// Configuration of the combined flow.
 #[derive(Clone, Debug, Default)]
@@ -47,7 +47,21 @@ impl CombinedResult {
 /// Runs the simulation-based engine and, if the miter remains undecided,
 /// hands the reduced miter to the SAT sweeping checker.
 pub fn combined_check(miter: &Aig, exec: &Executor, cfg: &CombinedConfig) -> CombinedResult {
-    let engine = sim_sweep(miter, exec, &cfg.engine);
+    combined_check_cancellable(miter, exec, cfg, &CancelToken::never())
+}
+
+/// Like [`combined_check`], polling `token` at the engine's phase
+/// boundaries and at the SAT fallback's budget checks (between conflict
+/// budgets). On cancellation the flow stops where it is — possibly
+/// between the two checkers — with an `Undecided` verdict and whatever
+/// reduction completed; it never reports a wrong proof or disproof.
+pub fn combined_check_cancellable(
+    miter: &Aig,
+    exec: &Executor,
+    cfg: &CombinedConfig,
+    token: &CancelToken,
+) -> CombinedResult {
+    let engine = sim_sweep_cancellable(miter, exec, &cfg.engine, token);
     let engine_seconds = engine.stats.seconds;
     match engine.verdict {
         Verdict::Undecided => {
@@ -56,7 +70,7 @@ pub fn combined_check(miter: &Aig, exec: &Executor, cfg: &CombinedConfig) -> Com
             } else {
                 &[]
             };
-            let sat = sat_sweep_seeded(&engine.reduced, exec, &cfg.sat, seeds);
+            let sat = sat_sweep_seeded_cancellable(&engine.reduced, exec, &cfg.sat, seeds, token);
             let verdict = sat.verdict.clone();
             let sat_seconds = sat.stats.seconds;
             CombinedResult {

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use parsweep_aig::{is_proved, Aig, Lit, Support, Var};
 use parsweep_cut::Pass;
-use parsweep_par::Executor;
+use parsweep_par::{CancelToken, Executor};
 use parsweep_sat::Verdict;
 use parsweep_sim::{
     find_po_counterexample, merge_windows, Cex, PairCheck, PairOutcome, Patterns, Window,
@@ -42,7 +42,29 @@ pub type PhaseSnapshot = (String, Aig);
 
 /// Runs the simulation-based CEC engine on a miter.
 pub fn sim_sweep(miter: &Aig, exec: &Executor, cfg: &EngineConfig) -> EngineResult {
-    run(miter, exec, cfg, false).0
+    run(miter, exec, cfg, false, &CancelToken::never()).0
+}
+
+/// Like [`sim_sweep`], polling `token` at every phase boundary — between
+/// the P, G and L phases, between G rounds, between L phases, and between
+/// exhaustive-simulation batches inside a phase.
+///
+/// This is the job-service entry point: the caller hands in a
+/// pre-extracted miter (a whole miter, or one output-cone shard from
+/// [`parsweep_aig::Aig::extract_cone`]) plus a deadline- or
+/// service-controlled token. When the token trips, in-flight checks are
+/// abandoned *before* their results are recorded, so every proof and
+/// counter-example in the result is complete and sound; the verdict
+/// degrades to [`Verdict::Undecided`] (with the partially reduced miter)
+/// rather than ever reporting a wrong `Equivalent`/`NotEquivalent`, and
+/// `stats.cancelled` is set.
+pub fn sim_sweep_cancellable(
+    miter: &Aig,
+    exec: &Executor,
+    cfg: &EngineConfig,
+    token: &CancelToken,
+) -> EngineResult {
+    run(miter, exec, cfg, false, token).0
 }
 
 /// Like [`sim_sweep`], additionally returning miter snapshots after the
@@ -52,7 +74,7 @@ pub fn sim_sweep_traced(
     exec: &Executor,
     cfg: &EngineConfig,
 ) -> (EngineResult, Vec<PhaseSnapshot>) {
-    run(miter, exec, cfg, true)
+    run(miter, exec, cfg, true, &CancelToken::never())
 }
 
 fn run(
@@ -60,6 +82,7 @@ fn run(
     exec: &Executor,
     cfg: &EngineConfig,
     traced: bool,
+    token: &CancelToken,
 ) -> (EngineResult, Vec<PhaseSnapshot>) {
     let start = Instant::now();
     let mut stats = EngineStats {
@@ -77,6 +100,7 @@ fn run(
                   mut stats: EngineStats,
                   snapshots: Vec<PhaseSnapshot>,
                   disproofs: Vec<Cex>| {
+        stats.cancelled = token.is_cancelled();
         stats.final_ands = current.num_ands();
         stats.seconds = start.elapsed().as_secs_f64();
         let accounted = stats.phase_times.po + stats.phase_times.global + stats.phase_times.local;
@@ -96,7 +120,7 @@ fn run(
 
     // ---- P: PO checking phase ----
     let t = Instant::now();
-    let po_outcome = po_phase(&mut current, exec, cfg, &mut stats);
+    let po_outcome = po_phase(&mut current, exec, cfg, &mut stats, token);
     stats.phase_times.po = t.elapsed().as_secs_f64();
     if let Err(cex) = po_outcome {
         return finish(
@@ -113,10 +137,16 @@ fn run(
     if is_proved(&current) {
         return finish(Verdict::Equivalent, current, stats, snapshots, disproofs);
     }
+    // Cancellation checks sit *after* the proved/disproved checks: a
+    // verdict reached from completed work stays valid even if the token
+    // tripped while it was being recorded.
+    if token.is_cancelled() {
+        return finish(Verdict::Undecided, current, stats, snapshots, disproofs);
+    }
 
     // ---- G: global function checking phase ----
     let t = Instant::now();
-    let g_outcome = global_phase(&mut current, exec, cfg, &mut stats, &mut disproofs);
+    let g_outcome = global_phase(&mut current, exec, cfg, &mut stats, &mut disproofs, token);
     stats.phase_times.global = t.elapsed().as_secs_f64();
     if let Err(cex) = g_outcome {
         return finish(
@@ -133,11 +163,17 @@ fn run(
     if is_proved(&current) {
         return finish(Verdict::Equivalent, current, stats, snapshots, disproofs);
     }
+    if token.is_cancelled() {
+        return finish(Verdict::Undecided, current, stats, snapshots, disproofs);
+    }
 
     // ---- L: repeated local function checking phases ----
     let t = Instant::now();
     let mut active_passes = cfg.passes.clone();
     for phase in 0..cfg.max_local_phases {
+        if token.is_cancelled() {
+            break;
+        }
         stats.local_phases += 1;
         match local_phase(
             &mut current,
@@ -146,6 +182,7 @@ fn run(
             &active_passes,
             &mut stats,
             phase as u64,
+            token,
         ) {
             Err(cex) => {
                 stats.phase_times.local = t.elapsed().as_secs_f64();
@@ -193,16 +230,25 @@ fn run(
 
 /// Runs a batch of windows through the exhaustive simulator, splitting the
 /// batch so each sub-batch's simulation table fits the memory budget.
+///
+/// Polls `token` between sub-batches; on cancellation the remaining
+/// windows get *empty* outcome vectors, so callers that iterate a
+/// window's outcomes simply record nothing for unprocessed work (no
+/// proof, no counter-example) — the sound degradation.
 pub(crate) fn check_in_batches(
     aig: &Aig,
     exec: &Executor,
     windows: &[Window],
     cfg: &EngineConfig,
     stats: &mut EngineStats,
+    token: &CancelToken,
 ) -> Vec<Vec<PairOutcome>> {
     let mut outcomes = Vec::with_capacity(windows.len());
     let mut batch_start = 0;
     while batch_start < windows.len() {
+        if token.is_cancelled() {
+            break;
+        }
         let mut entries = 0usize;
         let mut end = batch_start;
         while end < windows.len() {
@@ -213,12 +259,20 @@ pub(crate) fn check_in_batches(
             entries += e;
             end += 1;
         }
-        let (res, effort) =
-            parsweep_sim::check_windows(aig, exec, &windows[batch_start..end], cfg.memory_words);
+        let (res, effort) = parsweep_sim::check_windows_cancellable(
+            aig,
+            exec,
+            &windows[batch_start..end],
+            cfg.memory_words,
+            token,
+        );
         stats.sim_words += effort.words;
         outcomes.extend(res);
         batch_start = end;
     }
+    // Pad cancelled-away windows with empty outcomes so indexing by
+    // window position stays valid.
+    outcomes.resize_with(windows.len(), Vec::new);
     outcomes
 }
 
@@ -266,6 +320,7 @@ fn po_phase(
     exec: &Executor,
     cfg: &EngineConfig,
     stats: &mut EngineStats,
+    token: &CancelToken,
 ) -> Result<(), Cex> {
     // Unique (var, complement) targets among the POs.
     let mut targets: Vec<(Var, bool)> = Vec::new();
@@ -306,7 +361,8 @@ fn po_phase(
             b: v,
             complement,
         };
-        if let Some(w) = Window::for_pair(current, pair, sup.to_vec()) {
+        // Bounded supports are ascending by construction (sorted merges).
+        if let Some(w) = Window::for_sorted_inputs(current, pair, sup.to_vec()) {
             windows.push(w);
         }
     }
@@ -314,7 +370,7 @@ fn po_phase(
         return Ok(());
     }
     windows = apply_merging(windows, k_s, cfg.window_merging);
-    let outcomes = check_in_batches(current, exec, &windows, cfg, stats);
+    let outcomes = check_in_batches(current, exec, &windows, cfg, stats, token);
 
     let mut proved: Vec<(Var, bool)> = Vec::new();
     for (w, win) in windows.iter().enumerate() {
@@ -357,12 +413,14 @@ fn global_phase(
     cfg: &EngineConfig,
     stats: &mut EngineStats,
     disproofs: &mut Vec<Cex>,
+    token: &CancelToken,
 ) -> Result<(), Cex> {
-    global_phase_inner(current, exec, cfg, stats, disproofs, true)
+    global_phase_inner(current, exec, cfg, stats, disproofs, true, token)
 }
 
 /// The G phase body; with `miter_mode` off (FRAIG construction), firing
 /// POs are not treated as disproofs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn global_phase_inner(
     current: &mut Cow<'_, Aig>,
     exec: &Executor,
@@ -370,10 +428,11 @@ pub(crate) fn global_phase_inner(
     stats: &mut EngineStats,
     disproofs: &mut Vec<Cex>,
     miter_mode: bool,
+    token: &CancelToken,
 ) -> Result<(), Cex> {
     let mut cex_pool: Vec<Cex> = Vec::new();
     for round in 0..cfg.max_global_rounds {
-        if is_proved(current) {
+        if is_proved(current) || token.is_cancelled() {
             break;
         }
         let mut patterns = Patterns::random(
@@ -411,7 +470,9 @@ pub(crate) fn global_phase_inner(
                 }
                 continue;
             };
-            if let Some(w) = Window::for_pair(current, pair, union) {
+            // `union_support` merges two sorted supports, so the union is
+            // already ascending and deduplicated.
+            if let Some(w) = Window::for_sorted_inputs(current, pair, union) {
                 windows.push(w);
             }
         }
@@ -436,7 +497,7 @@ pub(crate) fn global_phase_inner(
             break;
         }
         windows = apply_merging(windows, cfg.k_g, cfg.window_merging);
-        let outcomes = check_in_batches(current, exec, &windows, cfg, stats);
+        let outcomes = check_in_batches(current, exec, &windows, cfg, stats, token);
 
         let mut subst: Vec<Lit> = (0..current.num_nodes())
             .map(|i| Var::new(i as u32).lit())
@@ -481,6 +542,7 @@ pub(crate) fn global_phase_inner(
 
 /// One L phase: three cut generation and checking passes (Algorithm 2)
 /// followed by miter reduction. Returns whether the miter shrank.
+#[allow(clippy::too_many_arguments)]
 fn local_phase(
     current: &mut Cow<'_, Aig>,
     exec: &Executor,
@@ -488,8 +550,9 @@ fn local_phase(
     passes: &[Pass],
     stats: &mut EngineStats,
     phase: u64,
+    token: &CancelToken,
 ) -> Result<(bool, Vec<u64>), Cex> {
-    local_phase_inner(current, exec, cfg, passes, stats, phase, true)
+    local_phase_inner(current, exec, cfg, passes, stats, phase, true, token)
 }
 
 /// The L phase body; with `miter_mode` off (FRAIG construction), firing
@@ -503,6 +566,7 @@ pub(crate) fn local_phase_inner(
     stats: &mut EngineStats,
     phase: u64,
     miter_mode: bool,
+    token: &CancelToken,
 ) -> Result<(bool, Vec<u64>), Cex> {
     let before = current.num_ands();
     let patterns = Patterns::random(
@@ -523,6 +587,11 @@ pub(crate) fn local_phase_inner(
     let mut proved = vec![false; current.num_nodes()];
     let mut per_pass = Vec::with_capacity(passes.len());
     for &pass in passes {
+        if token.is_cancelled() {
+            // Keep `per_pass` aligned with `passes` for adaptive disabling.
+            per_pass.push(0);
+            continue;
+        }
         let before_pairs = stats.proved_pairs;
         run_cut_pass(
             current,
@@ -534,6 +603,7 @@ pub(crate) fn local_phase_inner(
             &mut subst,
             &mut proved,
             stats,
+            token,
         );
         per_pass.push(stats.proved_pairs - before_pairs);
     }

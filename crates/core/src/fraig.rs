@@ -8,7 +8,7 @@
 //! exhaustive simulation as the prover instead of SAT.
 
 use parsweep_aig::Aig;
-use parsweep_par::Executor;
+use parsweep_par::{CancelToken, Executor};
 
 use crate::config::EngineConfig;
 use crate::engine::{global_phase_inner, local_phase_inner};
@@ -41,9 +41,18 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
     let mut current: std::borrow::Cow<'_, Aig> = std::borrow::Cow::Borrowed(aig);
     let mut disproofs = Vec::new();
 
+    let never = CancelToken::never();
     let t = std::time::Instant::now();
     // In non-miter mode the G phase cannot return a counter-example.
-    let _ = global_phase_inner(&mut current, exec, cfg, &mut stats, &mut disproofs, false);
+    let _ = global_phase_inner(
+        &mut current,
+        exec,
+        cfg,
+        &mut stats,
+        &mut disproofs,
+        false,
+        &never,
+    );
     stats.phase_times.global = t.elapsed().as_secs_f64();
 
     let t = std::time::Instant::now();
@@ -57,6 +66,7 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
             &mut stats,
             phase as u64,
             false,
+            &never,
         ) {
             Ok((reduced, _)) if !reduced => break,
             Ok(_) => {}

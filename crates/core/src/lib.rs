@@ -65,11 +65,11 @@ mod local;
 mod report;
 mod stats;
 
-pub use combined::{combined_check, CombinedConfig, CombinedResult};
+pub use combined::{combined_check, combined_check_cancellable, CombinedConfig, CombinedResult};
 pub use config::{EngineConfig, MergeStrategy};
 pub use diagnose::{diagnose, Diagnosis};
 pub use ec::EcManager;
-pub use engine::{sim_sweep, sim_sweep_traced, EngineResult, PhaseSnapshot};
+pub use engine::{sim_sweep, sim_sweep_cancellable, sim_sweep_traced, EngineResult, PhaseSnapshot};
 pub use fraig::{fraig, FraigResult};
 pub use report::Report;
 pub use stats::{EngineStats, PhaseTimes};

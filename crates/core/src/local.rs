@@ -10,7 +10,7 @@
 
 use parsweep_aig::{Aig, Lit, Var};
 use parsweep_cut::{common_cuts, enumeration_levels, Cut, CutKernel, CutScorer, Pass};
-use parsweep_par::Executor;
+use parsweep_par::{CancelToken, Executor};
 use parsweep_sim::{PairCheck, PairOutcome, Window};
 
 use crate::config::EngineConfig;
@@ -31,6 +31,7 @@ pub(crate) fn run_cut_pass(
     subst: &mut [Lit],
     proved: &mut [bool],
     stats: &mut EngineStats,
+    token: &CancelToken,
 ) {
     let fanouts = aig.fanout_counts();
     let levels = aig.levels();
@@ -67,6 +68,12 @@ pub(crate) fn run_cut_pass(
         if group.is_empty() {
             continue;
         }
+        // Enumeration-level boundary: the natural cancellation point —
+        // cuts for lower levels are complete, higher levels untouched.
+        if token.is_cancelled() {
+            buffer.clear();
+            break;
+        }
         // Parallel priority-cut computation for this enumeration level.
         kernel.compute_level(exec, group, &mut cut_sets);
 
@@ -95,16 +102,17 @@ pub(crate) fn run_cut_pass(
             for cut in cmn {
                 buffer.push((pair, cut));
                 if buffer.len() >= cfg.cut_buffer_capacity {
-                    flush_buffer(aig, exec, cfg, &mut buffer, subst, proved, stats);
+                    flush_buffer(aig, exec, cfg, &mut buffer, subst, proved, stats, token);
                 }
             }
         }
     }
-    flush_buffer(aig, exec, cfg, &mut buffer, subst, proved, stats);
+    flush_buffer(aig, exec, cfg, &mut buffer, subst, proved, stats, token);
 }
 
 /// Checks all buffered (pair, cut) local functions with the exhaustive
 /// simulator and records proved pairs.
+#[allow(clippy::too_many_arguments)]
 fn flush_buffer(
     aig: &Aig,
     exec: &Executor,
@@ -113,6 +121,7 @@ fn flush_buffer(
     subst: &mut [Lit],
     proved: &mut [bool],
     stats: &mut EngineStats,
+    token: &CancelToken,
 ) {
     if buffer.is_empty() {
         return;
@@ -122,25 +131,30 @@ fn flush_buffer(
         if proved[pair.b.index()] {
             continue;
         }
-        if let Some(w) = Window::for_pair(aig, pair, cut.to_vars()) {
+        // Cut leaves are sorted and deduplicated by construction, so the
+        // window can skip its defensive re-sort.
+        if let Some(w) = Window::for_sorted_inputs(aig, pair, cut.to_vars()) {
             windows.push(w);
         }
     }
     if windows.is_empty() {
         return;
     }
-    let outcomes = check_in_batches(aig, exec, &windows, cfg, stats);
+    let outcomes = check_in_batches(aig, exec, &windows, cfg, stats, token);
     for (w, win) in windows.iter().enumerate() {
         let pair = win.pairs[0];
-        match &outcomes[w][0] {
-            PairOutcome::Equal => {
+        // A cancelled batch leaves this window's outcomes empty: record
+        // nothing (no proof is the sound default).
+        match outcomes[w].first() {
+            None => continue,
+            Some(PairOutcome::Equal) => {
                 if !proved[pair.b.index()] {
                     proved[pair.b.index()] = true;
                     subst[pair.b.index()] = pair.a.lit_with(pair.complement);
                     stats.proved_pairs += 1;
                 }
             }
-            PairOutcome::Mismatch { .. } => {
+            Some(PairOutcome::Mismatch { .. }) => {
                 // Local mismatch may be a satisfiability don't-care: the
                 // pair stays inconclusive (§III-C1).
                 stats.inconclusive_checks += 1;
@@ -210,6 +224,7 @@ mod tests {
                 &mut subst,
                 &mut proved,
                 &mut stats,
+                &CancelToken::never(),
             );
         }
         assert!(stats.proved_pairs >= 1, "stats: {stats:?}");

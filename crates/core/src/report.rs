@@ -64,6 +64,9 @@ impl fmt::Display for Report<'_> {
             "phases:  P {:.1}% | G {:.1}% | L {:.1}% | other {:.1}%  ({} local phases)",
             p, g, l, o, s.local_phases
         )?;
+        // Absolute breakdown; `other` is a signed residual and may render
+        // with a minus sign (see `PhaseTimes`'s `Display`).
+        writeln!(f, "times:   {}", s.phase_times)?;
         writeln!(
             f,
             "proofs:  {} POs, {} pairs; {} pairs disproved; {} local checks inconclusive",

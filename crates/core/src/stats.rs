@@ -1,5 +1,7 @@
 //! Engine statistics and phase timing (feeds the Fig. 6 breakdown).
 
+use std::fmt;
+
 /// Wall-clock seconds spent in each phase type of the engine flow.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseTimes {
@@ -38,6 +40,33 @@ impl PhaseTimes {
     }
 }
 
+/// Renders seconds as signed milliseconds (`12.3ms`, `-0.4ms`).
+///
+/// `other` is a *signed* residual: formatting must go through the float
+/// formatter (which carries the sign), never through an unsigned integer
+/// conversion — `(x * 1000.0) as u64` silently saturates a negative
+/// residual to `0` and `as i64`-then-`u64` round trips wrap it into
+/// astronomical garbage in the breakdown table.
+fn fmt_ms(seconds: f64) -> String {
+    format!("{:.1}ms", seconds * 1000.0)
+}
+
+impl fmt::Display for PhaseTimes {
+    /// The phase breakdown as a one-line table in milliseconds. A
+    /// negative `other` residual (phase timers over-covering the total)
+    /// renders with an explicit minus sign, e.g. `other -0.3ms`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P {} | G {} | L {} | other {}",
+            fmt_ms(self.po),
+            fmt_ms(self.global),
+            fmt_ms(self.local),
+            fmt_ms(self.other)
+        )
+    }
+}
+
 /// Counters and timings of one engine run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EngineStats {
@@ -63,6 +92,11 @@ pub struct EngineStats {
     pub phase_times: PhaseTimes,
     /// Total wall-clock seconds.
     pub seconds: f64,
+    /// True if the run was cut short by a
+    /// [`CancelToken`](parsweep_par::CancelToken) (deadline or explicit
+    /// cancellation); the verdict is then partial: `Undecided` unless the
+    /// work finished before the trip was observed.
+    pub cancelled: bool,
 }
 
 impl EngineStats {
@@ -94,6 +128,21 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(full.reduction_pct(), 100.0);
+    }
+
+    #[test]
+    fn negative_residual_renders_signed_ms() {
+        let t = PhaseTimes {
+            po: 0.0012,
+            global: 0.0100,
+            local: 0.0024,
+            other: -0.0003,
+        };
+        let text = t.to_string();
+        assert_eq!(text, "P 1.2ms | G 10.0ms | L 2.4ms | other -0.3ms");
+        // The failure mode this guards against: unsigned conversion of a
+        // negative residual wrapping into garbage.
+        assert!(!text.contains("18446744"), "wrapped u64 leaked: {text}");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property-based tests: cancelling the engine can cost completeness,
+//! never soundness.
+//!
+//! Whatever the token does — already tripped at entry, tripping on a
+//! deadline mid-run, or never tripping — a verdict the engine *does*
+//! return must be correct against brute-force evaluation, and the
+//! submitted miter must come back structurally untouched.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use parsweep_aig::{miter, random::random_aig, Aig};
+use parsweep_core::{sim_sweep_cancellable, EngineConfig};
+use parsweep_par::{CancelToken, Executor};
+use parsweep_sat::Verdict;
+
+/// Brute-force miter check: constant-zero on every input assignment.
+fn brute_equivalent(m: &Aig) -> bool {
+    let pis = m.num_pis();
+    assert!(pis <= 12, "brute force only for small miters");
+    (0..1u32 << pis).all(|mask| {
+        let inputs: Vec<bool> = (0..pis).map(|i| mask >> i & 1 == 1).collect();
+        m.eval(&inputs).iter().all(|&po| !po)
+    })
+}
+
+/// Soundness of a (possibly partial) verdict, plus miter preservation.
+fn assert_sound(m: &Aig, before: &Aig, verdict: &Verdict) {
+    match verdict {
+        Verdict::Equivalent => {
+            prop_assert!(brute_equivalent(m), "cancelled run claimed a wrong proof");
+        }
+        Verdict::NotEquivalent(cex) => {
+            prop_assert!(cex.fires(m), "cancelled run fabricated a counter-example");
+        }
+        Verdict::Undecided => {}
+    }
+    prop_assert!(m.same_structure(before), "engine modified the miter");
+    prop_assert_eq!(m.pos(), before.pos(), "engine rewired the outputs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A token that is already tripped at entry: the engine must return
+    /// promptly with `Undecided` for anything it did not get to prove —
+    /// and must never guess.
+    #[test]
+    fn pre_cancelled_run_is_sound(seed in any::<u64>(), pis in 2usize..7, ands in 2usize..40) {
+        let a = random_aig(pis, ands, 2, seed);
+        let b = random_aig(pis, ands, 2, seed.wrapping_add(1));
+        let m = miter(&a, &b).unwrap();
+        let before = m.clone();
+        let exec = Executor::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let result = sim_sweep_cancellable(&m, &exec, &EngineConfig::default(), &token);
+        prop_assert!(result.stats.cancelled);
+        assert_sound(&m, &before, &result.verdict);
+    }
+
+    /// A deadline that may trip anywhere inside the run (including not at
+    /// all): every outcome must still be sound.
+    #[test]
+    fn deadline_run_is_sound(
+        seed in any::<u64>(),
+        pis in 2usize..7,
+        ands in 2usize..40,
+        deadline_us in 0u64..2000,
+    ) {
+        let a = random_aig(pis, ands, 2, seed);
+        let b = random_aig(pis, ands, 2, seed.wrapping_add(1));
+        let m = miter(&a, &b).unwrap();
+        let before = m.clone();
+        let exec = Executor::new();
+        let token = CancelToken::with_deadline(Duration::from_micros(deadline_us));
+        let result = sim_sweep_cancellable(&m, &exec, &EngineConfig::default(), &token);
+        assert_sound(&m, &before, &result.verdict);
+        // An uncancelled run on these tiny miters always decides; an
+        // Undecided verdict is only ever the price of the deadline.
+        if matches!(result.verdict, Verdict::Undecided) {
+            prop_assert!(result.stats.cancelled, "Undecided without a tripped token");
+        }
+    }
+
+    /// The same miter with a never-tripping token decides exactly like the
+    /// deadline-free entry point — cancellation support costs nothing when
+    /// unused.
+    #[test]
+    fn never_cancelled_run_decides(seed in any::<u64>(), pis in 2usize..7, ands in 2usize..40) {
+        let a = random_aig(pis, ands, 2, seed);
+        let b = random_aig(pis, ands, 2, seed.wrapping_add(1));
+        let m = miter(&a, &b).unwrap();
+        let before = m.clone();
+        let exec = Executor::new();
+        let token = CancelToken::never();
+        let result = sim_sweep_cancellable(&m, &exec, &EngineConfig::default(), &token);
+        prop_assert!(!result.stats.cancelled);
+        prop_assert!(
+            !matches!(result.verdict, Verdict::Undecided),
+            "engine left a tiny miter undecided without cancellation"
+        );
+        assert_sound(&m, &before, &result.verdict);
+    }
+}

@@ -83,6 +83,11 @@ impl Cut {
     }
 
     /// The leaves as a vector of variables.
+    ///
+    /// **Sorted invariant:** strictly ascending and deduplicated (cuts
+    /// store their leaves sorted), so callers can hand the list to
+    /// sorted-input consumers — e.g. simulation windows — without
+    /// re-sorting.
     pub fn to_vars(&self) -> Vec<Var> {
         self.iter().collect()
     }

@@ -1,0 +1,158 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! A [`CancelToken`] is the runtime's unit of *prompt job termination*:
+//! long-running checkers (the simulation engine's P/G/L phases, the SAT
+//! sweeper's per-pair conflict budgets) poll it at their natural
+//! checkpoint boundaries and wind down with a partial — never incorrect —
+//! verdict when it trips. Tokens are cheap to clone and share: a service
+//! hands one token to every sub-job of a larger job, so one `cancel()`
+//! (or an elapsed deadline) stops the whole fan-out.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shareable cancellation token with an optional wall-clock deadline.
+///
+/// The token trips when [`CancelToken::cancel`] is called on any clone or
+/// when its deadline (if set) passes. [`CancelToken::never`] produces a
+/// token that can never trip and whose polling is branch-cheap, so
+/// hot-path code can take a token unconditionally.
+///
+/// ```
+/// use parsweep_par::CancelToken;
+/// use std::time::Duration;
+///
+/// let never = CancelToken::never();
+/// assert!(!never.is_cancelled());
+///
+/// let token = CancelToken::new();
+/// let clone = token.clone();
+/// token.cancel();
+/// assert!(clone.is_cancelled());
+///
+/// let expired = CancelToken::with_deadline(Duration::ZERO);
+/// assert!(expired.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default). Polling it is a single
+    /// `Option` check, so APIs can take `&CancelToken` unconditionally.
+    pub fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A manually-cancellable token with no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that trips `timeout` from now (and is also manually
+    /// cancellable).
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that trips at `deadline` (and is also manually
+    /// cancellable).
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// Trips the token for every clone. A no-op on [`CancelToken::never`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// True once the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                if inner.cancelled.load(Ordering::Acquire) {
+                    return true;
+                }
+                match inner.deadline {
+                    Some(d) if Instant::now() >= d => {
+                        // Latch the deadline so later polls skip the clock.
+                        inner.cancelled.store(true, Ordering::Release);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// The remaining time before the deadline, if one was set and has not
+    /// yet passed (`None` for deadline-free or already-expired tokens).
+    pub fn remaining(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        let deadline = inner.deadline?;
+        deadline.checked_duration_since(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_and_latches() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled(), "latched after first observation");
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn future_deadline_reports_remaining() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn default_is_never() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

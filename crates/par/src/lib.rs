@@ -62,11 +62,13 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod cancel;
 mod graph;
 mod sanitizer;
 mod stream;
 
 pub use arena::{ArenaStats, BufferArena, PooledBuf};
+pub use cancel::CancelToken;
 pub use graph::{KernelGraph, KernelGraphBuilder, NodeId};
 pub use sanitizer::{AccessKind, ConflictKind, RaceReport, SanitizerConfig};
 pub use stream::Stream;
@@ -328,6 +330,23 @@ impl Executor {
             arena: BufferArena::new(),
             next_stream: AtomicU64::new(1),
         }
+    }
+
+    /// Wraps this executor for sharing across concurrently-running
+    /// workers (e.g. a job service's worker pool).
+    ///
+    /// `Executor` is `Send + Sync`: launches synchronize only through the
+    /// internal stats mutex, the arena pool, and the (mutex-guarded)
+    /// sanitizer, so any number of threads may drive launches on one
+    /// shared executor concurrently. Sharing one executor — rather than
+    /// giving each worker its own — pools the buffer arena (cross-worker
+    /// recycling) and aggregates one launch profile for the whole fleet.
+    pub fn into_shared(self) -> std::sync::Arc<Executor> {
+        // Compile-time proof that sharing is sound; the bound is what
+        // makes `Arc<Executor>` usable from many worker threads at once.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Executor>();
+        std::sync::Arc::new(self)
     }
 
     /// Returns the number of worker threads.
@@ -1120,6 +1139,27 @@ mod tests {
         assert_eq!(reports.len(), 1, "{reports:?}");
         assert_eq!(reports[0].index, 2);
         assert_eq!(reports[0].kind, ConflictKind::UnwrittenSlot);
+    }
+
+    #[test]
+    fn shared_executor_serves_concurrent_workers() {
+        // Two "service workers" drive launches on one shared executor at
+        // the same time; stats must aggregate and the arena is common.
+        let exec = Executor::with_threads(2).into_shared();
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let exec = std::sync::Arc::clone(&exec);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let v = exec.map(64, |i| i + w);
+                        assert_eq!(v[0], w);
+                    }
+                });
+            }
+        });
+        let s = exec.stats();
+        assert_eq!(s.launches, 16);
+        assert_eq!(s.total_threads, 16 * 64);
     }
 
     #[test]

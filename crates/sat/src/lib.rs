@@ -51,5 +51,6 @@ pub use portfolio::{portfolio_check, Engine, PortfolioConfig, PortfolioResult};
 pub use slit::{LBool, SatLit, SatVar};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use sweep::{
-    check_equivalence, sat_sweep, sat_sweep_seeded, SweepConfig, SweepResult, SweepStats, Verdict,
+    check_equivalence, sat_sweep, sat_sweep_seeded, sat_sweep_seeded_cancellable, SweepConfig,
+    SweepResult, SweepStats, Verdict,
 };

@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use parsweep_aig::{is_proved, Aig, Lit, Var};
-use parsweep_par::Executor;
+use parsweep_par::{CancelToken, Executor};
 use parsweep_sim::{simulate, Cex, Patterns};
 
 use crate::cnf::CnfEncoder;
@@ -116,13 +116,31 @@ pub fn sat_sweep_seeded(
     cfg: &SweepConfig,
     seed_cexs: &[Cex],
 ) -> SweepResult {
+    sat_sweep_seeded_cancellable(miter, exec, cfg, seed_cexs, &CancelToken::never())
+}
+
+/// Like [`sat_sweep_seeded`], additionally polling `token` wherever the
+/// wall budget is checked: between rounds, between per-pair SAT calls
+/// (i.e. between conflict budgets — a budgeted call itself is bounded),
+/// and between the final PO proofs. On cancellation the verdict degrades
+/// to [`Verdict::Undecided`] with the miter as reduced so far; completed
+/// proofs and counter-examples remain valid.
+pub fn sat_sweep_seeded_cancellable(
+    miter: &Aig,
+    exec: &Executor,
+    cfg: &SweepConfig,
+    seed_cexs: &[Cex],
+    token: &CancelToken,
+) -> SweepResult {
     let start = Instant::now();
     let mut stats = SweepStats::default();
     let mut current = miter.clone();
     let mut pending_cexs: Vec<Cex> = seed_cexs.to_vec();
     let mut round_seed = cfg.seed;
 
-    let out_of_time = |start: &Instant| cfg.wall_budget.is_some_and(|b| start.elapsed() >= b);
+    let out_of_time = |start: &Instant| {
+        cfg.wall_budget.is_some_and(|b| start.elapsed() >= b) || token.is_cancelled()
+    };
 
     for round in 0..cfg.max_rounds {
         if is_proved(&current) {

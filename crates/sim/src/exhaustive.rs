@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::{Executor, KernelGraphBuilder};
+use parsweep_par::{CancelToken, Executor, KernelGraphBuilder};
 
 use crate::tt::projection_word;
 use crate::window::Window;
@@ -85,6 +85,29 @@ pub fn check_windows(
     windows: &[Window],
     memory_words: usize,
 ) -> (Vec<Vec<PairOutcome>>, SimEffort) {
+    check_windows_cancellable(aig, exec, windows, memory_words, &CancelToken::never())
+}
+
+/// [`check_windows`] with a cancellation point between simulation rounds.
+///
+/// When the token trips mid-batch the round loop stops and every window
+/// whose truth table was not fully simulated (and whose pairs were not
+/// all resolved) returns an *empty* outcome vector — no outcome, rather
+/// than a wrong `Equal` for pairs whose remaining segments were never
+/// compared. Mismatches found in completed rounds of such windows are
+/// dropped with them, keeping each window's outcomes index-aligned with
+/// its pairs.
+///
+/// # Panics
+///
+/// Panics if `memory_words == 0`.
+pub fn check_windows_cancellable(
+    aig: &Aig,
+    exec: &Executor,
+    windows: &[Window],
+    memory_words: usize,
+    token: &CancelToken,
+) -> (Vec<Vec<PairOutcome>>, SimEffort) {
     assert!(memory_words > 0, "simulation table needs some memory");
     if windows.is_empty() {
         return (Vec::new(), SimEffort::default());
@@ -138,6 +161,7 @@ pub fn check_windows(
     let mut outcomes = exec.arena().take::<Option<PairOutcome>>(total_pairs);
     let mut words_simulated = 0u64;
     let mut rounds_run = 0u32;
+    let mut completed_rounds = 0usize;
 
     /// Bindings one graph replay runs against: the round index and the
     /// per-window activity mask (a window goes inactive when its truth
@@ -283,6 +307,9 @@ pub fn check_windows(
         let graph = builder.build();
 
         for r in 0..rounds {
+            if token.is_cancelled() {
+                break;
+            }
             // Windows still needing simulation this round.
             let active: Vec<bool> = (0..plans.len())
                 .map(|i| {
@@ -300,20 +327,32 @@ pub fn check_windows(
                 }
             }
             graph.replay(exec, &Round { r, active });
+            completed_rounds = r + 1;
         }
     }
 
     let mut slot = 0usize;
     let results = windows
         .iter()
-        .map(|w| {
-            (0..w.pairs.len())
+        .enumerate()
+        .map(|(i, w)| {
+            // A window's absent outcomes default to `Equal` only once its
+            // entire truth table was simulated (or every pair already
+            // resolved); a cancellation-truncated window reports nothing.
+            let complete = plans[i].tt_words <= completed_rounds * entry_words
+                || unresolved[i].load(Ordering::Relaxed) == 0;
+            let collected: Vec<PairOutcome> = (0..w.pairs.len())
                 .map(|_| {
                     let outcome = outcomes[slot].take();
                     slot += 1;
                     outcome.unwrap_or(PairOutcome::Equal)
                 })
-                .collect()
+                .collect();
+            if complete {
+                collected
+            } else {
+                Vec::new()
+            }
         })
         .collect();
     let effort = SimEffort {

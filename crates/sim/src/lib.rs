@@ -42,7 +42,9 @@ mod window;
 
 pub use cex::Cex;
 pub use classes::{find_po_counterexample, signature_classes};
-pub use exhaustive::{check_windows, PairOutcome, SimEffort, DEFAULT_MEMORY_WORDS};
+pub use exhaustive::{
+    check_windows, check_windows_cancellable, PairOutcome, SimEffort, DEFAULT_MEMORY_WORDS,
+};
 pub use npn::{apply_npn, npn_canonical, npn_equivalent, NpnTransform};
 pub use partial::{simulate, Patterns, Signatures};
 pub use tt::{projection_word, word_len, TruthTable, PROJECTIONS};

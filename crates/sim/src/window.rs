@@ -47,6 +47,26 @@ impl Window {
     pub fn for_pair(aig: &Aig, pair: PairCheck, mut inputs: Vec<Var>) -> Option<Window> {
         inputs.sort_unstable();
         inputs.dedup();
+        Self::for_sorted_inputs(aig, pair, inputs)
+    }
+
+    /// Like [`Window::for_pair`] for inputs that are already sorted and
+    /// deduplicated — the invariant every in-tree producer upholds
+    /// ([`Aig::support`], `Aig::tfi_cone`, support unions, and cut leaf
+    /// lists are all ascending) — skipping the defensive re-sort on the
+    /// per-candidate hot path.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the sorted invariant; release builds trust it
+    /// (an unsorted list would only make `cone_between` reject the cut or
+    /// misorder truth-table variables, both caught by the assert in
+    /// tests).
+    pub fn for_sorted_inputs(aig: &Aig, pair: PairCheck, inputs: Vec<Var>) -> Option<Window> {
+        debug_assert!(
+            inputs.windows(2).all(|w| w[0] < w[1]),
+            "window inputs must be strictly ascending"
+        );
         let mut roots = Vec::with_capacity(2);
         if !pair.a.is_const() {
             roots.push(pair.a);
@@ -68,8 +88,9 @@ impl Window {
             roots.push(pair.a);
         }
         roots.push(pair.b);
+        // `Aig::support` documents the ascending sorted invariant.
         let inputs = aig.support(&roots);
-        Self::for_pair(aig, pair, inputs).expect("support union is always a valid cut")
+        Self::for_sorted_inputs(aig, pair, inputs).expect("support union is always a valid cut")
     }
 
     /// Number of truth-table variables (window inputs).

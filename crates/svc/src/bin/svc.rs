@@ -1,0 +1,243 @@
+//! JSON-lines front-end for the CEC job service.
+//!
+//! Reads one flat JSON request per stdin line, writes one flat JSON event
+//! per stdout line. Requests:
+//!
+//! * `{"op":"submit","miter":"m.aag"}` — check one AIGER miter file;
+//! * `{"op":"submit","left":"a.aag","right":"b.aag"}` — miter two files;
+//! * `{"op":"submit","demo":"adder","width":8}` — built-in demo miter
+//!   (two structurally different `width`-bit adders), handy offline;
+//! * any submit may add `"deadline_ms":N` and `"corrupt":true` (demo
+//!   only: flips a PO so the miter is disproved);
+//! * `{"op":"drain"}` — settle all outstanding jobs, emit their results;
+//! * `{"op":"stats"}` — emit the service counters.
+//!
+//! EOF performs a final drain (with stats) and exits. Flags:
+//! `--workers N`, `--exec-threads N`, `--deadline-ms N` (default for
+//! submits without one), `--sat` (SAT fallback on undecided shards),
+//! `--connected` (shard by connected components instead of per output).
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use parsweep_aig::{miter, read_aiger_file, Aig, Lit};
+use parsweep_sat::Verdict;
+use parsweep_svc::jsonl::{emit_object, get, parse_object, JsonValue};
+use parsweep_svc::{CecService, JobResult, ShardPolicy, SvcConfig};
+
+fn main() {
+    let mut cfg = SvcConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a numeric argument")))
+        };
+        match arg.as_str() {
+            "--workers" => cfg.workers = num("--workers").max(1),
+            "--exec-threads" => cfg.exec_threads = num("--exec-threads").max(1),
+            "--deadline-ms" => {
+                cfg.default_deadline = Some(Duration::from_millis(num("--deadline-ms") as u64));
+            }
+            "--sat" => cfg.sat_fallback = true,
+            "--connected" => cfg.shard_policy = ShardPolicy::Connected,
+            "--help" | "-h" => {
+                println!(
+                    "usage: svc [--workers N] [--exec-threads N] [--deadline-ms N] [--sat] [--connected]"
+                );
+                println!("reads JSON-lines requests on stdin; see module docs");
+                return;
+            }
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+
+    let svc = CecService::new(cfg);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_request(&svc, &line) {
+            Ok(events) => {
+                for event in events {
+                    let _ = writeln!(out, "{event}");
+                }
+            }
+            Err(msg) => {
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    emit_object(&[
+                        ("event", JsonValue::Str("error".into())),
+                        ("message", JsonValue::Str(msg)),
+                    ])
+                );
+            }
+        }
+        let _ = out.flush();
+    }
+
+    // EOF: settle everything still in flight.
+    for result in svc.drain() {
+        let _ = writeln!(out, "{}", result_event(&result));
+    }
+    let _ = writeln!(out, "{}", stats_event(&svc));
+    let _ = out.flush();
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("svc: {msg}");
+    std::process::exit(2);
+}
+
+fn handle_request(svc: &CecService, line: &str) -> Result<Vec<String>, String> {
+    let fields = parse_object(line).map_err(|e| e.to_string())?;
+    let op = get(&fields, "op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing 'op'".to_string())?;
+    match op {
+        "submit" => {
+            let m = load_miter(&fields)?;
+            let deadline = get(&fields, "deadline_ms")
+                .and_then(JsonValue::as_f64)
+                .map(|ms| Duration::from_millis(ms.max(0.0) as u64));
+            let id = match deadline {
+                Some(d) => svc.submit_with_deadline(m, Some(d)),
+                None => svc.submit(m),
+            };
+            Ok(vec![emit_object(&[
+                ("event", JsonValue::Str("submitted".into())),
+                ("job", JsonValue::Num(id.0 as f64)),
+            ])])
+        }
+        "drain" => {
+            let mut events: Vec<String> = svc.drain().iter().map(result_event).collect();
+            events.push(stats_event(svc));
+            Ok(events)
+        }
+        "stats" => Ok(vec![stats_event(svc)]),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+fn load_miter(fields: &[(String, JsonValue)]) -> Result<Aig, String> {
+    if let Some(path) = get(fields, "miter").and_then(JsonValue::as_str) {
+        return read_aiger_file(path).map_err(|e| format!("{path}: {e:?}"));
+    }
+    if let (Some(left), Some(right)) = (
+        get(fields, "left").and_then(JsonValue::as_str),
+        get(fields, "right").and_then(JsonValue::as_str),
+    ) {
+        let a = read_aiger_file(left).map_err(|e| format!("{left}: {e:?}"))?;
+        let b = read_aiger_file(right).map_err(|e| format!("{right}: {e:?}"))?;
+        return miter(&a, &b).map_err(|e| format!("miter: {e:?}"));
+    }
+    if let Some(demo) = get(fields, "demo").and_then(JsonValue::as_str) {
+        let width = get(fields, "width")
+            .and_then(JsonValue::as_f64)
+            .map(|w| w as usize)
+            .unwrap_or(8)
+            .clamp(1, 256);
+        let corrupt = get(fields, "corrupt")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false);
+        return demo_miter(demo, width, corrupt);
+    }
+    Err("submit needs 'miter', 'left'+'right', or 'demo'".into())
+}
+
+/// Two structurally different `width`-bit adders, mitered; `corrupt`
+/// flips one PO so the miter is satisfiable.
+fn demo_miter(kind: &str, width: usize, corrupt: bool) -> Result<Aig, String> {
+    if kind != "adder" {
+        return Err(format!("unknown demo '{kind}' (try \"adder\")"));
+    }
+    let a = demo_adder(width, true);
+    let mut b = demo_adder(width, false);
+    if corrupt {
+        let po0 = b.po(0);
+        b.set_po(0, !po0);
+    }
+    miter(&a, &b).map_err(|e| format!("miter: {e:?}"))
+}
+
+fn demo_adder(width: usize, ripple: bool) -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_inputs(width);
+    let b = aig.add_inputs(width);
+    let mut carry = Lit::FALSE;
+    for i in 0..width {
+        let axb = aig.xor(a[i], b[i]);
+        let sum = aig.xor(axb, carry);
+        carry = if ripple {
+            let t = aig.and(a[i], b[i]);
+            let u = aig.and(axb, carry);
+            aig.or(t, u)
+        } else {
+            aig.maj3(a[i], b[i], carry)
+        };
+        aig.add_po(sum);
+    }
+    aig.add_po(carry);
+    aig
+}
+
+fn result_event(result: &JobResult) -> String {
+    let verdict = match &result.verdict {
+        Verdict::Equivalent => "equivalent",
+        Verdict::NotEquivalent(_) => "not-equivalent",
+        Verdict::Undecided => "undecided",
+    };
+    let mut fields = vec![
+        ("event", JsonValue::Str("result".into())),
+        ("job", JsonValue::Num(result.id.0 as f64)),
+        ("verdict", JsonValue::Str(verdict.into())),
+        ("shards", JsonValue::Num(result.stats.shards as f64)),
+        ("cache_hits", JsonValue::Num(result.stats.cache_hits as f64)),
+        (
+            "cache_misses",
+            JsonValue::Num(result.stats.cache_misses as f64),
+        ),
+        (
+            "queue_wait_ms",
+            JsonValue::Num(result.stats.queue_wait.as_secs_f64() * 1000.0),
+        ),
+        (
+            "total_ms",
+            JsonValue::Num(result.stats.total.as_secs_f64() * 1000.0),
+        ),
+        ("cancelled", JsonValue::Bool(result.stats.cancelled)),
+    ];
+    if let Verdict::NotEquivalent(cex) = &result.verdict {
+        let bits: String = cex
+            .inputs()
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        fields.push(("cex", JsonValue::Str(bits)));
+    }
+    emit_object(&fields)
+}
+
+fn stats_event(svc: &CecService) -> String {
+    let s = svc.stats();
+    emit_object(&[
+        ("event", JsonValue::Str("stats".into())),
+        ("jobs_submitted", JsonValue::Num(s.jobs_submitted as f64)),
+        ("jobs_completed", JsonValue::Num(s.jobs_completed as f64)),
+        ("shards", JsonValue::Num(s.shards_total as f64)),
+        ("cache_hits", JsonValue::Num(s.cache_hits as f64)),
+        ("cache_misses", JsonValue::Num(s.cache_misses as f64)),
+        ("cache_hit_rate", JsonValue::Num(s.cache_hit_rate())),
+        ("worker_utilization", JsonValue::Num(s.worker_utilization)),
+    ])
+}

@@ -1,0 +1,179 @@
+//! Structural-hash result cache: proved cones are proved forever.
+//!
+//! Service traffic repeats itself — regression reruns, `double`d
+//! benchmarks, shared IP blocks — and an extracted cone's verdict depends
+//! only on its structure. The cache keys on
+//! [`Aig::structural_hash`](parsweep_aig::Aig::structural_hash) and
+//! verifies every candidate with
+//! [`Aig::same_structure`](parsweep_aig::Aig::same_structure), so a
+//! 64-bit hash collision can cost a probe but never a wrong verdict.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use parsweep_aig::Aig;
+use parsweep_sat::Verdict;
+
+/// A concurrent map from canonical cone structure to settled verdict.
+///
+/// Only *decided* verdicts are stored: `Equivalent`, or `NotEquivalent`
+/// with a counter-example over the *cone's own* PIs (the caller lifts it
+/// through the extraction's PI map). `Undecided` — including
+/// deadline-cancelled partial runs — is never cached, so an early abort
+/// cannot poison later, better-budgeted attempts.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    buckets: Mutex<HashMap<u64, Vec<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    cone: Aig,
+    verdict: Verdict,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a cone by its structural hash, verifying structure
+    /// exactly. Counts a hit or a miss.
+    pub fn lookup(&self, hash: u64, cone: &Aig) -> Option<Verdict> {
+        let buckets = self.buckets.lock().unwrap();
+        let found = buckets
+            .get(&hash)
+            .and_then(|entries| entries.iter().find(|e| e.cone.same_structure(cone)))
+            .map(|e| e.verdict.clone());
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a settled verdict for a cone. `Undecided` is ignored, as
+    /// is a duplicate of an already-cached structure (first proof wins).
+    pub fn insert(&self, hash: u64, cone: &Aig, verdict: &Verdict) {
+        if matches!(verdict, Verdict::Undecided) {
+            return;
+        }
+        let mut buckets = self.buckets.lock().unwrap();
+        let entries = buckets.entry(hash).or_default();
+        if entries.iter().any(|e| e.cone.same_structure(cone)) {
+            return;
+        }
+        entries.push(CacheEntry {
+            cone: cone.clone(),
+            verdict: verdict.clone(),
+        });
+    }
+
+    /// Lookups that found a verified entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached structures currently held.
+    pub fn len(&self) -> usize {
+        self.buckets.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hits over total lookups; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_cone(extra_po: bool) -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let f = aig.and(xs[0], xs[1]);
+        aig.add_po(f);
+        if extra_po {
+            aig.add_po(!f);
+        }
+        aig
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let cache = ResultCache::new();
+        let cone = and_cone(false);
+        let hash = cone.structural_hash();
+        assert_eq!(cache.lookup(hash, &cone), None);
+        cache.insert(hash, &cone, &Verdict::Equivalent);
+        assert_eq!(cache.lookup(hash, &cone), Some(Verdict::Equivalent));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undecided_is_never_cached() {
+        let cache = ResultCache::new();
+        let cone = and_cone(false);
+        let hash = cone.structural_hash();
+        cache.insert(hash, &cone, &Verdict::Undecided);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(hash, &cone), None);
+    }
+
+    #[test]
+    fn colliding_hash_is_verified_by_structure() {
+        // Force two different structures into one bucket: a lookup for
+        // the second must not return the first's verdict.
+        let cache = ResultCache::new();
+        let a = and_cone(false);
+        let b = and_cone(true);
+        let fake_hash = 42;
+        cache.insert(fake_hash, &a, &Verdict::Equivalent);
+        assert_eq!(cache.lookup(fake_hash, &b), None);
+        cache.insert(fake_hash, &b, &Verdict::Equivalent);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(fake_hash, &b), Some(Verdict::Equivalent));
+    }
+
+    #[test]
+    fn first_proof_wins_on_duplicate_insert() {
+        let cache = ResultCache::new();
+        let cone = and_cone(false);
+        let hash = cone.structural_hash();
+        cache.insert(hash, &cone, &Verdict::Equivalent);
+        cache.insert(
+            hash,
+            &cone,
+            &Verdict::NotEquivalent(parsweep_sim::Cex::new(vec![true, true])),
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(hash, &cone), Some(Verdict::Equivalent));
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal JSON-lines support for the service front-end.
+//!
+//! The service protocol only ever exchanges *flat* JSON objects — string,
+//! number, boolean or null fields, one object per line — so this module
+//! implements exactly that subset by hand (the build environment is
+//! offline; no serde). Nested objects and arrays are rejected.
+
+use std::fmt;
+
+/// A flat JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; the protocol's integers are small).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with a human-readable reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one line holding a flat JSON object into (key, value) pairs in
+/// source order. Duplicate keys are kept (last one wins for lookups via
+/// [`get`]).
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, JsonError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(JsonError(format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError("trailing characters after object".into()));
+    }
+    Ok(fields)
+}
+
+/// Last value under `key`, if present.
+pub fn get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Emits a flat JSON object on one line, fields in the given order.
+pub fn emit_object(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        emit_string(&mut out, key);
+        out.push(':');
+        match value {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Str(s) => emit_string(&mut out, s),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn emit_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), JsonError> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(JsonError(format!(
+                "expected '{}', got {other:?}",
+                want as char
+            ))),
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{' | b'[') => Err(JsonError("nested objects/arrays unsupported".into())),
+            Some(_) => self.number(),
+            None => Err(JsonError("unexpected end of input".into())),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError(format!("invalid literal, expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid number bytes".into()))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| JsonError(format!("invalid number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(JsonError("unterminated string".into())),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(JsonError("truncated \\u escape".into()));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| JsonError("invalid \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError("invalid \\u escape".into()))?;
+                        self.pos += 4;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError("invalid \\u codepoint".into()))?,
+                        );
+                    }
+                    other => return Err(JsonError(format!("bad escape {other:?}"))),
+                },
+                // Multi-byte UTF-8: pass the raw bytes through unchanged.
+                Some(b) if b >= 0x80 => {
+                    let start = self.pos - 1;
+                    while matches!(self.peek(), Some(c) if c >= 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| JsonError("invalid utf-8 in string".into()))?,
+                    );
+                }
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_object() {
+        let fields =
+            parse_object(r#"{"op":"submit","file":"m.aag","deadline_ms":150,"sat":true,"x":null}"#)
+                .unwrap();
+        assert_eq!(get(&fields, "op").unwrap().as_str(), Some("submit"));
+        assert_eq!(get(&fields, "deadline_ms").unwrap().as_f64(), Some(150.0));
+        assert_eq!(get(&fields, "sat").unwrap().as_bool(), Some(true));
+        assert_eq!(get(&fields, "x"), Some(&JsonValue::Null));
+        assert_eq!(get(&fields, "missing"), None);
+    }
+
+    #[test]
+    fn round_trips_escapes() {
+        let line = emit_object(&[
+            ("path", JsonValue::Str("a\\b \"c\"\n\t".into())),
+            ("n", JsonValue::Num(-2.5)),
+        ]);
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(
+            get(&fields, "path").unwrap().as_str(),
+            Some("a\\b \"c\"\n\t")
+        );
+        assert_eq!(get(&fields, "n").unwrap().as_f64(), Some(-2.5));
+    }
+
+    #[test]
+    fn integers_emit_without_fraction() {
+        let line = emit_object(&[("job", JsonValue::Num(3.0))]);
+        assert_eq!(line, r#"{"job":3}"#);
+    }
+
+    #[test]
+    fn rejects_nesting_and_garbage() {
+        assert!(parse_object(r#"{"a":{"b":1}}"#).is_err());
+        assert!(parse_object(r#"{"a":[1]}"#).is_err());
+        assert!(parse_object(r#"{"a":1} trailing"#).is_err());
+        assert!(parse_object(r#"{"a" 1}"#).is_err());
+        assert!(parse_object("").is_err());
+    }
+
+    #[test]
+    fn empty_object_and_unicode() {
+        assert_eq!(parse_object("{}").unwrap(), vec![]);
+        let fields = parse_object(r#"{"s":"été"}"#).unwrap();
+        assert_eq!(get(&fields, "s").unwrap().as_str(), Some("été"));
+    }
+}

@@ -1,0 +1,608 @@
+//! The CEC job service: submit miters, collect verdicts.
+//!
+//! Each submitted miter is sharded into output-cone sub-jobs
+//! ([`crate::shard`]), which a work-stealing pool ([`crate::pool`])
+//! drives through the `parsweep-core` engine on per-worker executors.
+//! Every shard first consults the structural result cache
+//! ([`crate::cache`]); per-job [`CancelToken`]s carry deadlines and
+//! client cancellations into the engine's phase boundaries, so a job
+//! that runs out of time settles promptly on a *partial* — never wrong —
+//! verdict.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use parsweep_aig::{Aig, Var};
+use parsweep_core::{
+    combined_check_cancellable, sim_sweep_cancellable, CombinedConfig, EngineConfig,
+};
+use parsweep_par::{CancelToken, Executor};
+use parsweep_sat::{SweepConfig, Verdict};
+use parsweep_sim::Cex;
+
+use crate::cache::ResultCache;
+use crate::pool::WorkerPool;
+use crate::shard::{shard_miter, ShardPolicy};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct SvcConfig {
+    /// Worker threads proving shards.
+    pub workers: usize,
+    /// Simulation threads of each worker's executor.
+    pub exec_threads: usize,
+    /// Engine parameters for every shard.
+    pub engine: EngineConfig,
+    /// Run the SAT sweeping fallback on shards the engine leaves
+    /// undecided (the combined flow). Off by default: a service usually
+    /// prefers fast partial verdicts over long SAT tails.
+    pub sat_fallback: bool,
+    /// SAT fallback parameters (used only with `sat_fallback`).
+    pub sat: SweepConfig,
+    /// How miters split into shards.
+    pub shard_policy: ShardPolicy,
+    /// Deadline applied to jobs submitted without an explicit one.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            workers: 2,
+            exec_threads: 1,
+            engine: EngineConfig::default(),
+            sat_fallback: false,
+            sat: SweepConfig::default(),
+            shard_policy: ShardPolicy::PerOutput,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Opaque job identifier returned by [`CecService::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Per-job effort statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JobStats {
+    /// Output-cone shards the job split into.
+    pub shards: usize,
+    /// Shards settled from the result cache.
+    pub cache_hits: u64,
+    /// Shards that had to be proved fresh.
+    pub cache_misses: u64,
+    /// Time from submission until a worker first picked up a shard.
+    pub queue_wait: Duration,
+    /// Time from submission until the last shard settled.
+    pub total: Duration,
+    /// True if the job's token tripped (deadline or explicit cancel).
+    pub cancelled: bool,
+}
+
+/// The settled outcome of one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job this verdict belongs to.
+    pub id: JobId,
+    /// Composed verdict: `NotEquivalent` (with a counter-example lifted
+    /// to the submitted miter's PIs) if any shard disproved, `Equivalent`
+    /// if every shard proved, `Undecided` otherwise.
+    pub verdict: Verdict,
+    /// Effort breakdown.
+    pub stats: JobStats,
+}
+
+/// Service-wide counters, snapshot by [`CecService::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SvcStats {
+    /// Jobs submitted so far.
+    pub jobs_submitted: u64,
+    /// Jobs fully settled so far.
+    pub jobs_completed: u64,
+    /// Shards produced across all jobs.
+    pub shards_total: u64,
+    /// Result-cache hits across all jobs.
+    pub cache_hits: u64,
+    /// Result-cache misses across all jobs.
+    pub cache_misses: u64,
+    /// Distinct cone structures currently cached.
+    pub cache_len: usize,
+    /// Worker-pool busy fraction since service start (0.0–1.0).
+    pub worker_utilization: f64,
+}
+
+impl SvcStats {
+    /// Cache hits over total lookups; `0.0` before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SvcStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "jobs {}/{} | shards {} | cache {:.0}% of {} lookups ({} cones) | workers {:.0}% busy",
+            self.jobs_completed,
+            self.jobs_submitted,
+            self.shards_total,
+            100.0 * self.cache_hit_rate(),
+            self.cache_hits + self.cache_misses,
+            self.cache_len,
+            100.0 * self.worker_utilization
+        )
+    }
+}
+
+/// Aggregation state of one in-flight job; `done` (paired with the same
+/// mutex) wakes waiters when `result` settles.
+struct JobAgg {
+    remaining: usize,
+    undecided: usize,
+    cex: Option<Cex>,
+    cache_hits: u64,
+    cache_misses: u64,
+    first_start: Option<Instant>,
+    result: Option<JobResult>,
+}
+
+struct JobShared {
+    id: JobId,
+    token: CancelToken,
+    submitted: Instant,
+    shards: usize,
+    agg: Mutex<JobAgg>,
+    done: Condvar,
+}
+
+impl JobShared {
+    /// Records one settled shard under the aggregation lock; the last
+    /// shard composes the job verdict and wakes waiters.
+    fn settle_shard(&self, local: ShardOutcome, completed_jobs: &AtomicU64) {
+        let mut agg = self.agg.lock().unwrap();
+        match local.verdict {
+            Verdict::Equivalent => {}
+            Verdict::NotEquivalent(cex) => {
+                if agg.cex.is_none() {
+                    agg.cex = Some(cex);
+                }
+                // One disproof settles the whole job: stop sibling shards.
+                self.token.cancel();
+            }
+            Verdict::Undecided => agg.undecided += 1,
+        }
+        agg.cache_hits += u64::from(local.cache_hit);
+        agg.cache_misses += u64::from(!local.cache_hit);
+        agg.remaining -= 1;
+        if agg.remaining == 0 {
+            let verdict = match agg.cex.take() {
+                Some(cex) => Verdict::NotEquivalent(cex),
+                None if agg.undecided > 0 => Verdict::Undecided,
+                None => Verdict::Equivalent,
+            };
+            agg.result = Some(JobResult {
+                id: self.id,
+                verdict,
+                stats: JobStats {
+                    shards: self.shards,
+                    cache_hits: agg.cache_hits,
+                    cache_misses: agg.cache_misses,
+                    queue_wait: agg
+                        .first_start
+                        .map(|t| t.duration_since(self.submitted))
+                        .unwrap_or_default(),
+                    total: self.submitted.elapsed(),
+                    cancelled: self.token.is_cancelled(),
+                },
+            });
+            completed_jobs.fetch_add(1, Ordering::Relaxed);
+            self.done.notify_all();
+        }
+    }
+}
+
+struct ShardOutcome {
+    verdict: Verdict,
+    cache_hit: bool,
+}
+
+/// A multi-client combinational-equivalence-checking job service.
+///
+/// ```
+/// use parsweep_aig::{miter, Aig};
+/// use parsweep_sat::Verdict;
+/// use parsweep_svc::{CecService, SvcConfig};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Aig::new();
+/// let xs = a.add_inputs(2);
+/// let f = a.xor(xs[0], xs[1]);
+/// a.add_po(f);
+/// let m = miter(&a, &a.clone())?;
+/// let svc = CecService::new(SvcConfig::default());
+/// let id = svc.submit(m);
+/// let result = svc.wait(id).expect("job exists");
+/// assert_eq!(result.verdict, Verdict::Equivalent);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CecService {
+    cfg: SvcConfig,
+    pool: WorkerPool,
+    execs: Arc<Vec<Executor>>,
+    cache: Arc<ResultCache>,
+    next_id: AtomicU64,
+    completed_jobs: Arc<AtomicU64>,
+    shards_total: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<JobShared>>>,
+}
+
+impl CecService {
+    /// Starts the worker pool, with one executor per worker: kernel
+    /// launches stay serialized per executor (the device model the kernel
+    /// sanitizer checks) while shards still prove in parallel across
+    /// workers.
+    pub fn new(cfg: SvcConfig) -> Self {
+        let pool = WorkerPool::new(cfg.workers);
+        let execs = Arc::new(
+            (0..pool.workers())
+                .map(|_| Executor::with_threads(cfg.exec_threads.max(1)))
+                .collect::<Vec<_>>(),
+        );
+        CecService {
+            cfg,
+            pool,
+            execs,
+            cache: Arc::new(ResultCache::new()),
+            next_id: AtomicU64::new(1),
+            completed_jobs: Arc::new(AtomicU64::new(0)),
+            shards_total: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Submits a miter under the configured default deadline.
+    pub fn submit(&self, miter: Aig) -> JobId {
+        self.submit_with_deadline(miter, self.cfg.default_deadline)
+    }
+
+    /// Submits a miter; `deadline` (if any) bounds the job's wall time,
+    /// after which it settles with a partial verdict.
+    pub fn submit_with_deadline(&self, miter: Aig, deadline: Option<Duration>) -> JobId {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let token = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let shards = shard_miter(&miter, self.cfg.shard_policy);
+        self.shards_total
+            .fetch_add(shards.len() as u64, Ordering::Relaxed);
+        let shared = Arc::new(JobShared {
+            id,
+            token: token.clone(),
+            submitted: Instant::now(),
+            shards: shards.len(),
+            agg: Mutex::new(JobAgg {
+                remaining: shards.len(),
+                undecided: 0,
+                cex: None,
+                cache_hits: 0,
+                cache_misses: 0,
+                first_start: None,
+                result: None,
+            }),
+            done: Condvar::new(),
+        });
+        self.jobs.lock().unwrap().insert(id.0, Arc::clone(&shared));
+
+        if shards.is_empty() {
+            // Every PO was already constant false: proved as submitted.
+            let mut agg = shared.agg.lock().unwrap();
+            agg.result = Some(JobResult {
+                id,
+                verdict: Verdict::Equivalent,
+                stats: JobStats {
+                    total: shared.submitted.elapsed(),
+                    ..JobStats::default()
+                },
+            });
+            self.completed_jobs.fetch_add(1, Ordering::Relaxed);
+            shared.done.notify_all();
+            return id;
+        }
+
+        // Positions of the parent's PIs, for lifting cone counter-examples.
+        let mut pi_position = vec![usize::MAX; miter.num_nodes()];
+        for (p, pi) in miter.pis().iter().enumerate() {
+            pi_position[pi.index()] = p;
+        }
+        let parent_pis = miter.num_pis();
+
+        for shard in shards {
+            let lift: Vec<usize> = shard
+                .extraction
+                .pi_map
+                .iter()
+                .map(|v: &Var| pi_position[v.index()])
+                .collect();
+            let cone = shard.extraction.cone;
+            let hash = shard.hash;
+            let shared = Arc::clone(&shared);
+            let execs = Arc::clone(&self.execs);
+            let cache = Arc::clone(&self.cache);
+            let completed_jobs = Arc::clone(&self.completed_jobs);
+            let engine_cfg = self.cfg.engine.clone();
+            let sat_cfg = self.cfg.sat.clone();
+            let sat_fallback = self.cfg.sat_fallback;
+            self.pool.spawn(move |worker| {
+                {
+                    let mut agg = shared.agg.lock().unwrap();
+                    if agg.first_start.is_none() {
+                        agg.first_start = Some(Instant::now());
+                    }
+                }
+                let outcome = prove_shard(
+                    &cone,
+                    hash,
+                    &execs[worker],
+                    &cache,
+                    &engine_cfg,
+                    &sat_cfg,
+                    sat_fallback,
+                    &shared.token,
+                );
+                let lifted = ShardOutcome {
+                    verdict: lift_verdict(outcome.verdict, &cone, &lift, parent_pis),
+                    cache_hit: outcome.cache_hit,
+                };
+                shared.settle_shard(lifted, &completed_jobs);
+            });
+        }
+        id
+    }
+
+    /// Cancels a job; in-flight shards stop at their next phase boundary.
+    /// Returns false for an unknown (or already drained) job.
+    pub fn cancel(&self, id: JobId) -> bool {
+        match self.jobs.lock().unwrap().get(&id.0) {
+            Some(shared) => {
+                shared.token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until the job settles; `None` for an unknown (or already
+    /// drained) job.
+    pub fn wait(&self, id: JobId) -> Option<JobResult> {
+        let shared = Arc::clone(self.jobs.lock().unwrap().get(&id.0)?);
+        let mut agg = shared.agg.lock().unwrap();
+        while agg.result.is_none() {
+            agg = shared.done.wait(agg).unwrap();
+        }
+        agg.result.clone()
+    }
+
+    /// Waits for every outstanding job and returns their results in
+    /// submission order, removing them from the service.
+    pub fn drain(&self) -> Vec<JobResult> {
+        let mut ids: Vec<u64> = self.jobs.lock().unwrap().keys().copied().collect();
+        ids.sort_unstable();
+        let mut results = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(result) = self.wait(JobId(id)) {
+                results.push(result);
+            }
+            self.jobs.lock().unwrap().remove(&id);
+        }
+        results
+    }
+
+    /// Snapshot of the service-wide counters.
+    pub fn stats(&self) -> SvcStats {
+        SvcStats {
+            jobs_submitted: self.next_id.load(Ordering::Relaxed) - 1,
+            jobs_completed: self.completed_jobs.load(Ordering::Relaxed),
+            shards_total: self.shards_total.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_len: self.cache.len(),
+            worker_utilization: self.pool.utilization(),
+        }
+    }
+}
+
+/// Settles one cone: cache first, engine (plus optional SAT fallback)
+/// otherwise. The returned verdict is over the *cone's* PIs.
+#[allow(clippy::too_many_arguments)]
+fn prove_shard(
+    cone: &Aig,
+    hash: u64,
+    exec: &Executor,
+    cache: &ResultCache,
+    engine_cfg: &EngineConfig,
+    sat_cfg: &SweepConfig,
+    sat_fallback: bool,
+    token: &CancelToken,
+) -> ShardOutcome {
+    if token.is_cancelled() {
+        // Skipped entirely: no cache lookup, no engine run.
+        return ShardOutcome {
+            verdict: Verdict::Undecided,
+            cache_hit: false,
+        };
+    }
+    if let Some(verdict) = cache.lookup(hash, cone) {
+        return ShardOutcome {
+            verdict,
+            cache_hit: true,
+        };
+    }
+    let verdict = if sat_fallback {
+        let cfg = CombinedConfig {
+            engine: engine_cfg.clone(),
+            sat: sat_cfg.clone(),
+            ec_transfer: true,
+        };
+        combined_check_cancellable(cone, exec, &cfg, token).verdict
+    } else {
+        sim_sweep_cancellable(cone, exec, engine_cfg, token).verdict
+    };
+    cache.insert(hash, cone, &verdict);
+    ShardOutcome {
+        verdict,
+        cache_hit: false,
+    }
+}
+
+/// Lifts a cone-local verdict to the submitted miter: counter-example
+/// bits move from cone-PI positions to the parent-PI positions recorded
+/// at extraction (unlisted parent PIs are don't-cares, left false).
+fn lift_verdict(verdict: Verdict, cone: &Aig, lift: &[usize], parent_pis: usize) -> Verdict {
+    match verdict {
+        Verdict::NotEquivalent(cex) => {
+            let dense = cex.to_dense(cone);
+            let mut bits = vec![false; parent_pis];
+            for (i, &p) in lift.iter().enumerate() {
+                if p != usize::MAX {
+                    bits[p] = dense[i];
+                }
+            }
+            Verdict::NotEquivalent(Cex::new(bits))
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsweep_aig::miter;
+
+    /// `width` independent XOR bits over disjoint PI pairs; the two
+    /// variants build XOR differently so a miter of them does not strash
+    /// to constants.
+    fn xor_net(width: usize, variant: bool) -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(width * 2);
+        for i in 0..width {
+            let (a, b) = (xs[2 * i], xs[2 * i + 1]);
+            let f = if variant {
+                let o = aig.or(a, b);
+                let n = aig.and(a, b);
+                aig.and(o, !n)
+            } else {
+                aig.xor(a, b)
+            };
+            aig.add_po(f);
+        }
+        aig
+    }
+
+    #[test]
+    fn equivalent_miter_is_proved() {
+        let m = miter(&xor_net(3, false), &xor_net(3, true)).unwrap();
+        let svc = CecService::new(SvcConfig::default());
+        let id = svc.submit(m);
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert_eq!(r.stats.shards, 3);
+        assert!(!r.stats.cancelled);
+    }
+
+    #[test]
+    fn disproof_lifts_a_firing_cex() {
+        let a = xor_net(3, false);
+        let mut b = xor_net(3, true);
+        let po1 = b.po(1);
+        b.set_po(1, !po1);
+        let m = miter(&a, &b).unwrap();
+        let svc = CecService::new(SvcConfig::default());
+        let id = svc.submit(m.clone());
+        match svc.wait(id).unwrap().verdict {
+            Verdict::NotEquivalent(cex) => assert!(cex.fires(&m), "lifted cex must fire"),
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_shards_within_one_job_hit_the_cache() {
+        // Three identical XOR cones on disjoint PIs: the first one proved
+        // settles the other two from the cache.
+        let m = miter(&xor_net(3, false), &xor_net(3, true)).unwrap();
+        let svc = CecService::new(SvcConfig {
+            workers: 1, // serialize so later shards see the first's proof
+            ..SvcConfig::default()
+        });
+        let id = svc.submit(m);
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert_eq!(r.stats.cache_hits, 2, "stats: {:?}", r.stats);
+        assert_eq!(r.stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn no_po_job_settles_equivalent_immediately() {
+        let mut aig = Aig::new();
+        aig.add_inputs(2);
+        aig.add_po(parsweep_aig::Lit::FALSE);
+        let svc = CecService::new(SvcConfig::default());
+        let id = svc.submit(aig);
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert_eq!(r.stats.shards, 0);
+    }
+
+    #[test]
+    fn unknown_job_wait_and_cancel() {
+        let svc = CecService::new(SvcConfig::default());
+        assert!(svc.wait(JobId(999)).is_none());
+        assert!(!svc.cancel(JobId(999)));
+    }
+
+    #[test]
+    fn drain_returns_submission_order_and_clears() {
+        let svc = CecService::new(SvcConfig::default());
+        let m = miter(&xor_net(2, false), &xor_net(2, true)).unwrap();
+        let a = svc.submit(m.clone());
+        let b = svc.submit(m);
+        let results = svc.drain();
+        assert_eq!(results.iter().map(|r| r.id).collect::<Vec<_>>(), vec![a, b]);
+        assert!(svc.wait(a).is_none(), "drained jobs are gone");
+        let stats = svc.stats();
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.jobs_completed, 2);
+        assert!(stats.cache_hits > 0, "duplicate job must hit the cache");
+    }
+
+    #[test]
+    fn stats_display_is_humane() {
+        let s = SvcStats {
+            jobs_submitted: 4,
+            jobs_completed: 3,
+            shards_total: 12,
+            cache_hits: 6,
+            cache_misses: 6,
+            cache_len: 6,
+            worker_utilization: 0.5,
+        };
+        let text = s.to_string();
+        assert!(text.contains("jobs 3/4"), "{text}");
+        assert!(text.contains("cache 50%"), "{text}");
+    }
+}

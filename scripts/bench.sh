@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
 # Smoke benchmark of the device runtime: runs the engine over the
 # generator suite and emits BENCH_runtime.json (wall time, modeled /
-# serialized cost-model times, arena recycling counters).
+# serialized cost-model times, arena recycling counters). Also runs the
+# job-service throughput bench, emitting BENCH_svc.json (jobs/sec, cache
+# hit rate); that step is non-blocking — a service-bench failure must not
+# fail the engine smoke run.
 #
-# Usage: scripts/bench.sh [tiny|small|medium] [output.json]
+# Usage: scripts/bench.sh [tiny|small|medium] [output.json] [svc-output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-tiny}"
 OUT="${2:-BENCH_runtime.json}"
+SVC_OUT="${3:-BENCH_svc.json}"
 
 cargo run --release -p parsweep-bench --bin runtime -- "$SCALE" "$OUT"
 echo "--- $OUT ---"
 cat "$OUT"
+
+if cargo run --release -p parsweep-bench --bin svc_bench -- "$SCALE" "$SVC_OUT"; then
+    echo "--- $SVC_OUT ---"
+    cat "$SVC_OUT"
+else
+    echo "svc bench failed (non-blocking)" >&2
+fi

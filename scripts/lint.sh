@@ -23,9 +23,10 @@ cargo test -q
 
 echo "==> sanitizer-enabled tests (feature)"
 cargo test -p parsweep-par --features sanitize -q
+cargo test -p parsweep-svc --features sanitize -q
 
 echo "==> sanitizer-enabled tests (PARSWEEP_SANITIZE=1)"
-PARSWEEP_SANITIZE=1 cargo test -p parsweep-par -p parsweep-sim -p parsweep-core -q
+PARSWEEP_SANITIZE=1 cargo test -p parsweep-par -p parsweep-sim -p parsweep-core -p parsweep-svc -q
 PARSWEEP_SANITIZE=1 cargo test --test sanitizer_engine --test edge_cases -q
 
 echo "lint.sh: all green"

@@ -14,7 +14,9 @@
 //! * [`synth`] — `resyn2`-equivalent optimization (balance / rewrite /
 //!   refactor);
 //! * [`engine`] — the paper's simulation-based CEC engine and the
-//!   combined engine + SAT flow.
+//!   combined engine + SAT flow;
+//! * [`svc`] — the multi-client CEC job service (cone sharding, worker
+//!   pool, result cache, deadlines).
 //!
 //! ## Quickstart
 //!
@@ -58,4 +60,5 @@ pub use parsweep_cut as cut;
 pub use parsweep_par as par;
 pub use parsweep_sat as sat;
 pub use parsweep_sim as sim;
+pub use parsweep_svc as svc;
 pub use parsweep_synth as synth;
