@@ -11,8 +11,10 @@ use parsweep_bench::harness::{suite, Scale};
 use parsweep_core::{sim_sweep, EngineConfig, Report};
 use parsweep_par::Executor;
 
-/// Modeled device width used for the time estimates (threads).
-const MODEL_CORES: u64 = 4096;
+/// Modeled device width used for the time estimates (threads) — the
+/// tracing subsystem's canonical width, so bench numbers and span
+/// `modeled_time` arguments stay comparable.
+const MODEL_CORES: u64 = parsweep_trace::MODEL_CORES;
 
 fn main() {
     let scale = std::env::args()

@@ -4,6 +4,7 @@
 use parsweep_aig::Aig;
 use parsweep_par::{CancelToken, Executor};
 use parsweep_sat::{sat_sweep_seeded_cancellable, SweepConfig, SweepResult, Verdict};
+use parsweep_trace as trace;
 
 use crate::config::EngineConfig;
 use crate::engine::{sim_sweep_cancellable, EngineResult};
@@ -70,7 +71,12 @@ pub fn combined_check_cancellable(
             } else {
                 &[]
             };
-            let sat = sat_sweep_seeded_cancellable(&engine.reduced, exec, &cfg.sat, seeds, token);
+            let sat = {
+                let mut span = trace::span("engine", "engine.sat_fallback");
+                span.arg_u64("seeds", seeds.len() as u64);
+                span.arg_u64("ands", engine.reduced.num_ands() as u64);
+                sat_sweep_seeded_cancellable(&engine.reduced, exec, &cfg.sat, seeds, token)
+            };
             let verdict = sat.verdict.clone();
             let sat_seconds = sat.stats.seconds;
             CombinedResult {

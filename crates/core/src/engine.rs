@@ -12,6 +12,7 @@ use parsweep_sat::Verdict;
 use parsweep_sim::{
     find_po_counterexample, merge_windows, Cex, PairCheck, PairOutcome, Patterns, Window,
 };
+use parsweep_trace as trace;
 
 use crate::config::{EngineConfig, MergeStrategy};
 use crate::ec::EcManager;
@@ -77,6 +78,18 @@ pub fn sim_sweep_traced(
     run(miter, exec, cfg, true, &CancelToken::never())
 }
 
+/// The modeled serialized time of everything the executor has run so far,
+/// sampled only while tracing is live — phase spans report the *delta*
+/// across the phase as their deterministic `modeled_time` argument (the
+/// serialized profile is additive; the critical-path model is not).
+pub(crate) fn modeled_mark(exec: &Executor) -> u64 {
+    if trace::active() {
+        exec.stats().serialized_time(trace::MODEL_CORES)
+    } else {
+        0
+    }
+}
+
 fn run(
     miter: &Aig,
     exec: &Executor,
@@ -85,6 +98,8 @@ fn run(
     token: &CancelToken,
 ) -> (EngineResult, Vec<PhaseSnapshot>) {
     let start = Instant::now();
+    let mut run_span = trace::span("engine", "engine.run");
+    run_span.arg_u64("ands", miter.num_ands() as u64);
     let mut stats = EngineStats {
         initial_ands: miter.num_ands(),
         ..Default::default()
@@ -120,7 +135,11 @@ fn run(
 
     // ---- P: PO checking phase ----
     let t = Instant::now();
+    let mark = modeled_mark(exec);
+    let mut span = trace::span("engine", "engine.phase.P");
     let po_outcome = po_phase(&mut current, exec, cfg, &mut stats, token);
+    span.arg_u64("modeled_time", modeled_mark(exec).saturating_sub(mark));
+    drop(span);
     stats.phase_times.po = t.elapsed().as_secs_f64();
     if let Err(cex) = po_outcome {
         return finish(
@@ -146,7 +165,11 @@ fn run(
 
     // ---- G: global function checking phase ----
     let t = Instant::now();
+    let mark = modeled_mark(exec);
+    let mut span = trace::span("engine", "engine.phase.G");
     let g_outcome = global_phase(&mut current, exec, cfg, &mut stats, &mut disproofs, token);
+    span.arg_u64("modeled_time", modeled_mark(exec).saturating_sub(mark));
+    drop(span);
     stats.phase_times.global = t.elapsed().as_secs_f64();
     if let Err(cex) = g_outcome {
         return finish(
@@ -169,6 +192,8 @@ fn run(
 
     // ---- L: repeated local function checking phases ----
     let t = Instant::now();
+    let mark = modeled_mark(exec);
+    let mut l_span = trace::span("engine", "engine.phase.L");
     let mut active_passes = cfg.passes.clone();
     for phase in 0..cfg.max_local_phases {
         if token.is_cancelled() {
@@ -215,6 +240,8 @@ fn run(
             }
         }
     }
+    l_span.arg_u64("modeled_time", modeled_mark(exec).saturating_sub(mark));
+    drop(l_span);
     stats.phase_times.local = t.elapsed().as_secs_f64();
     if traced {
         snapshots.push(("PGL".into(), current.as_ref().clone()));
@@ -435,6 +462,9 @@ pub(crate) fn global_phase_inner(
         if is_proved(current) || token.is_cancelled() {
             break;
         }
+        let mut round_span = trace::span("engine", "engine.round.G");
+        round_span.arg_u64("round", round as u64);
+        round_span.arg_u64("ands", current.num_ands() as u64);
         let mut patterns = Patterns::random(
             current.num_pis(),
             cfg.sim_words,
@@ -568,7 +598,10 @@ pub(crate) fn local_phase_inner(
     miter_mode: bool,
     token: &CancelToken,
 ) -> Result<(bool, Vec<u64>), Cex> {
+    let mut round_span = trace::span("engine", "engine.round.L");
+    round_span.arg_u64("phase", phase);
     let before = current.num_ands();
+    round_span.arg_u64("ands", before as u64);
     let patterns = Patterns::random(
         current.num_pis(),
         cfg.sim_words,

@@ -10,8 +10,10 @@
 use parsweep_aig::Aig;
 use parsweep_par::{CancelToken, Executor};
 
+use parsweep_trace as trace;
+
 use crate::config::EngineConfig;
-use crate::engine::{global_phase_inner, local_phase_inner};
+use crate::engine::{global_phase_inner, local_phase_inner, modeled_mark};
 use crate::stats::EngineStats;
 
 /// The result of FRAIG construction.
@@ -32,6 +34,9 @@ pub struct FraigResult {
 /// PI/PO interface with reduced internal logic.
 pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
     let start = std::time::Instant::now();
+    let mark = modeled_mark(exec);
+    let mut span = trace::span("engine", "engine.fraig");
+    span.arg_u64("ands", aig.num_ands() as u64);
     let mut stats = EngineStats {
         initial_ands: aig.num_ands(),
         ..Default::default()
@@ -77,6 +82,7 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
 
     stats.final_ands = current.num_ands();
     stats.seconds = start.elapsed().as_secs_f64();
+    span.arg_u64("modeled_time", modeled_mark(exec).saturating_sub(mark));
     FraigResult {
         reduced: current.into_owned(),
         stats,

@@ -42,6 +42,7 @@
 //! ```
 
 use crate::{Executor, Stream};
+use parsweep_trace as trace;
 
 /// Handle to a node of a [`KernelGraphBuilder`] / [`KernelGraph`], used to
 /// declare dependencies.
@@ -141,6 +142,9 @@ impl<B: Sync> KernelGraph<'_, B> {
     /// path. Nodes whose width evaluates to 0 are skipped entirely (no
     /// launch is recorded).
     pub fn replay(&self, exec: &Executor, bindings: &B) {
+        let mut span = trace::span("graph", "graph.replay");
+        span.arg_u64("nodes", self.num_nodes() as u64);
+        span.arg_u64("waves", self.num_waves() as u64);
         for wave in &self.waves {
             let mut streams: Vec<Stream<'_, '_>> = Vec::with_capacity(wave.len());
             for &id in wave {

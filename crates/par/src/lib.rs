@@ -73,6 +73,7 @@ pub use graph::{KernelGraph, KernelGraphBuilder, NodeId};
 pub use sanitizer::{AccessKind, ConflictKind, RaceReport, SanitizerConfig};
 pub use stream::Stream;
 
+use parsweep_trace as trace;
 use sanitizer::Sanitizer;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -237,6 +238,27 @@ impl LaunchStats {
         } else {
             self.total_threads as f64 / self.launches as f64
         }
+    }
+
+    /// Accumulates another profile into this one — used to aggregate the
+    /// per-worker executors of a service fleet into one metrics source.
+    /// Counters and histograms add; `widest` and the arena high-water
+    /// mark take the max (the arenas are independent pools).
+    pub fn merge(&mut self, other: &LaunchStats) {
+        self.launches += other.launches;
+        self.total_threads += other.total_threads;
+        self.widest = self.widest.max(other.widest);
+        self.critical_launches += other.critical_launches;
+        self.critical_threads += other.critical_threads;
+        for b in 0..WIDTH_BUCKETS {
+            self.width_counts[b] += other.width_counts[b];
+            self.width_sums[b] += other.width_sums[b];
+            self.critical_counts[b] += other.critical_counts[b];
+            self.critical_sums[b] += other.critical_sums[b];
+        }
+        self.arena_hits += other.arena_hits;
+        self.arena_misses += other.arena_misses;
+        self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
     }
 }
 
@@ -503,6 +525,7 @@ impl Executor {
             return;
         }
         let ordinal = self.record(n, true);
+        let _span = trace::kernel_span(label, n);
         if let Some(san) = &self.sanitizer {
             // Sanitized launches run serialized in tid order: hazards are
             // detected from the virtual-tid access log, never physically
@@ -607,6 +630,7 @@ impl Executor {
             return init;
         }
         let ordinal = self.record(n, true);
+        let _span = trace::kernel_span("par.reduce", n);
         if let Some(san) = &self.sanitizer {
             san.begin_epoch();
             san.begin_launch("par.reduce", ordinal, None, 0);

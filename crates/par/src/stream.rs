@@ -37,6 +37,7 @@
 //! ```
 
 use crate::{DeviceSlice, Executor};
+use parsweep_trace as trace;
 
 /// One queued (not yet executed) kernel launch.
 pub(crate) struct Pending<'env> {
@@ -193,6 +194,12 @@ impl Executor {
         if batches.is_empty() {
             return;
         }
+        let mut epoch = trace::span("stream", "stream.epoch");
+        epoch.arg_u64("streams", batches.len() as u64);
+        epoch.arg_u64(
+            "launches",
+            batches.iter().map(|(_, q)| q.len() as u64).sum(),
+        );
         // Accounting is deterministic and up front — widths are known
         // before anything runs. Every launch lands in the serialized
         // profile; only the heaviest stream of this epoch lands on the
@@ -220,6 +227,7 @@ impl Executor {
             san.begin_epoch();
             for ((stream, queue), ords) in batches.iter().zip(&ordinals) {
                 for (pending, &ordinal) in queue.iter().zip(ords) {
+                    let _span = trace::kernel_span(&pending.label, pending.n);
                     san.begin_launch(
                         &pending.label,
                         ordinal,
@@ -238,6 +246,7 @@ impl Executor {
             // A lone stream is an ordered chain: run each launch over the
             // full worker pool, exactly like eager launches.
             for pending in &batches[0].1 {
+                let _span = trace::kernel_span(&pending.label, pending.n);
                 self.run_chunked(pending.n, pending.kernel.as_ref());
             }
             return;
@@ -249,6 +258,7 @@ impl Executor {
         if drivers == 1 {
             for (_, queue) in &batches {
                 for pending in queue {
+                    let _span = trace::kernel_span(&pending.label, pending.n);
                     for tid in 0..pending.n {
                         (pending.kernel)(tid);
                     }
@@ -261,8 +271,13 @@ impl Executor {
                 let mine: Vec<&(u64, Vec<Pending<'_>>)> =
                     batches.iter().skip(d).step_by(drivers).collect();
                 scope.spawn(move || {
+                    // Spans recorded here land on the driver thread's own
+                    // trace lane, so overlapped streams show up as
+                    // genuinely parallel tracks in the viewer.
+                    trace::set_thread_label(&format!("stream-driver-{d}"));
                     for (_, queue) in mine {
                         for pending in queue {
+                            let _span = trace::kernel_span(&pending.label, pending.n);
                             for tid in 0..pending.n {
                                 (pending.kernel)(tid);
                             }

@@ -47,7 +47,9 @@ mod sweep;
 
 pub use cnf::CnfEncoder;
 pub use dimacs::{read_dimacs, write_dimacs, Cnf, ParseDimacsError};
-pub use portfolio::{portfolio_check, Engine, PortfolioConfig, PortfolioResult};
+pub use portfolio::{
+    portfolio_check, portfolio_check_clocked, Engine, PortfolioConfig, PortfolioResult,
+};
 pub use slit::{LBool, SatLit, SatVar};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use sweep::{

@@ -7,11 +7,10 @@
 //! truth-table PO proving (effective on small-support control logic), and
 //! finally SAT sweeping.
 
-use std::time::Instant;
-
 use parsweep_aig::{is_proved, Aig, Var};
 use parsweep_par::Executor;
 use parsweep_sim::{check_windows, simulate, PairCheck, PairOutcome, Patterns, Window};
+use parsweep_trace::{Clock, WallClock};
 
 use crate::sweep::{sat_sweep, SweepConfig, SweepResult, SweepStats, Verdict};
 
@@ -70,9 +69,21 @@ pub struct PortfolioResult {
     pub seconds: f64,
 }
 
-/// Runs the engine portfolio on a miter.
+/// Runs the engine portfolio on a miter, timed by the wall clock.
 pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> PortfolioResult {
-    let start = Instant::now();
+    portfolio_check_clocked(miter, exec, cfg, &WallClock::new())
+}
+
+/// Runs the engine portfolio on a miter with an injected [`Clock`] — the
+/// single time source for the reported `seconds`, so tests (and the
+/// service's deterministic mode) can fix it.
+pub fn portfolio_check_clocked(
+    miter: &Aig,
+    exec: &Executor,
+    cfg: &PortfolioConfig,
+    clock: &dyn Clock,
+) -> PortfolioResult {
+    let start = clock.now();
 
     // Engine 1: structural.
     if is_proved(miter) {
@@ -80,7 +91,7 @@ pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> P
             verdict: Verdict::Equivalent,
             engine: Engine::Structural,
             stats: SweepStats::default(),
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: clock.since(start).as_secs_f64(),
         };
     }
 
@@ -92,7 +103,7 @@ pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> P
             verdict: Verdict::NotEquivalent(cex),
             engine: Engine::RandomSim,
             stats: SweepStats::default(),
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: clock.since(start).as_secs_f64(),
         };
     }
 
@@ -143,7 +154,7 @@ pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> P
             verdict,
             engine: Engine::ExhaustivePo,
             stats: SweepStats::default(),
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: clock.since(start).as_secs_f64(),
         };
     }
 
@@ -153,7 +164,7 @@ pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> P
         verdict,
         engine: Engine::SatSweep,
         stats,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: clock.since(start).as_secs_f64(),
     }
 }
 
@@ -173,6 +184,20 @@ mod tests {
         let r = portfolio_check(&m, &exec(), &PortfolioConfig::default());
         assert_eq!(r.engine, Engine::Structural);
         assert!(r.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn injected_clock_is_the_only_time_source() {
+        use parsweep_trace::ManualClock;
+        let a = parsweep_aig::random::random_aig(6, 40, 2, 5);
+        let m = miter(&a, &a).unwrap();
+        let clock = ManualClock::new();
+        let r = portfolio_check_clocked(&m, &exec(), &PortfolioConfig::default(), &clock);
+        assert_eq!(r.seconds, 0.0, "unadvanced manual clock must report zero");
+        clock.advance(std::time::Duration::from_millis(1500));
+        let r = portfolio_check_clocked(&m, &exec(), &PortfolioConfig::default(), &clock);
+        // The whole run happens at one frozen instant: still zero.
+        assert_eq!(r.seconds, 0.0);
     }
 
     #[test]

@@ -10,12 +10,19 @@
 //! * any submit may add `"deadline_ms":N` and `"corrupt":true` (demo
 //!   only: flips a PO so the miter is disproved);
 //! * `{"op":"drain"}` — settle all outstanding jobs, emit their results;
-//! * `{"op":"stats"}` — emit the service counters.
+//! * `{"op":"stats"}` — emit the service counters;
+//! * `{"op":"metrics"}` — emit a Prometheus-style text snapshot of the
+//!   service counters and latency histograms (as the `text` field of the
+//!   response event).
 //!
 //! EOF performs a final drain (with stats) and exits. Flags:
 //! `--workers N`, `--exec-threads N`, `--deadline-ms N` (default for
 //! submits without one), `--sat` (SAT fallback on undecided shards),
-//! `--connected` (shard by connected components instead of per output).
+//! `--connected` (shard by connected components instead of per output),
+//! `--cache-capacity N` (result-cache LRU bound, 0 disables caching),
+//! `--trace PATH` (write a Chrome-trace JSON of the whole run at exit;
+//! also honoured from the `PARSWEEP_TRACE` environment variable; needs a
+//! build with the `trace` feature to record anything).
 
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -24,15 +31,21 @@ use parsweep_aig::{miter, read_aiger_file, Aig, Lit};
 use parsweep_sat::Verdict;
 use parsweep_svc::jsonl::{emit_object, get, parse_object, JsonValue};
 use parsweep_svc::{CecService, JobResult, ShardPolicy, SvcConfig};
+use parsweep_trace as trace;
 
 fn main() {
     let mut cfg = SvcConfig::default();
+    let mut trace_path = trace::env_trace_path();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut num = |name: &str| -> usize {
+        let mut next = |name: &str| -> String {
             args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| die(&format!("{name} needs a numeric argument")))
+                .unwrap_or_else(|| die(&format!("{name} needs an argument")))
+        };
+        let mut num = |name: &str| -> usize {
+            next(name)
+                .parse()
+                .unwrap_or_else(|_| die(&format!("{name} needs a numeric argument")))
         };
         match arg.as_str() {
             "--workers" => cfg.workers = num("--workers").max(1),
@@ -42,14 +55,27 @@ fn main() {
             }
             "--sat" => cfg.sat_fallback = true,
             "--connected" => cfg.shard_policy = ShardPolicy::Connected,
+            "--cache-capacity" => cfg.cache_capacity = num("--cache-capacity"),
+            "--trace" => trace_path = Some(next("--trace")),
             "--help" | "-h" => {
                 println!(
-                    "usage: svc [--workers N] [--exec-threads N] [--deadline-ms N] [--sat] [--connected]"
+                    "usage: svc [--workers N] [--exec-threads N] [--deadline-ms N] [--sat] \
+                     [--connected] [--cache-capacity N] [--trace PATH]"
                 );
                 println!("reads JSON-lines requests on stdin; see module docs");
                 return;
             }
             other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    if trace_path.is_some() {
+        if trace::compiled() {
+            trace::enable();
+        } else {
+            eprintln!(
+                "svc: --trace requested but this build lacks the 'trace' feature; \
+                 no spans will be recorded"
+            );
         }
     }
 
@@ -92,6 +118,14 @@ fn main() {
     }
     let _ = writeln!(out, "{}", stats_event(&svc));
     let _ = out.flush();
+
+    if let Some(path) = trace_path.filter(|_| trace::compiled()) {
+        trace::disable();
+        match trace::write_chrome_trace(&path) {
+            Ok(()) => eprintln!("svc: wrote Chrome trace to {path}"),
+            Err(e) => eprintln!("svc: failed to write trace {path}: {e}"),
+        }
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -125,6 +159,10 @@ fn handle_request(svc: &CecService, line: &str) -> Result<Vec<String>, String> {
             Ok(events)
         }
         "stats" => Ok(vec![stats_event(svc)]),
+        "metrics" => Ok(vec![emit_object(&[
+            ("event", JsonValue::Str("metrics".into())),
+            ("text", JsonValue::Str(svc.metrics_text())),
+        ])]),
         other => Err(format!("unknown op '{other}'")),
     }
 }
@@ -238,6 +276,8 @@ fn stats_event(svc: &CecService) -> String {
         ("cache_hits", JsonValue::Num(s.cache_hits as f64)),
         ("cache_misses", JsonValue::Num(s.cache_misses as f64)),
         ("cache_hit_rate", JsonValue::Num(s.cache_hit_rate())),
+        ("cache_evictions", JsonValue::Num(s.cache_evictions as f64)),
+        ("cancellations", JsonValue::Num(s.cancellations as f64)),
         ("worker_utilization", JsonValue::Num(s.worker_utilization)),
     ])
 }

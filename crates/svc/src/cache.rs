@@ -1,4 +1,5 @@
-//! Structural-hash result cache: proved cones are proved forever.
+//! Structural-hash result cache: proved cones are proved forever — but
+//! not *kept* forever.
 //!
 //! Service traffic repeats itself — regression reruns, `double`d
 //! benchmarks, shared IP blocks — and an extracted cone's verdict depends
@@ -7,52 +8,197 @@
 //! verifies every candidate with
 //! [`Aig::same_structure`](parsweep_aig::Aig::same_structure), so a
 //! 64-bit hash collision can cost a probe but never a wrong verdict.
+//!
+//! Two properties matter for a long-lived service:
+//!
+//! * **Bounded residency.** Entries beyond [`ResultCache::capacity`] are
+//!   evicted least-recently-used (lazily: a recency queue of
+//!   `(entry, stamp)` records is popped until a record matches its
+//!   entry's latest stamp — touched entries leave stale records behind
+//!   instead of paying an O(n) scan per touch). Evictions are counted and
+//!   surfaced in the service stats and metrics snapshot.
+//! * **Verification outside the lock.** `same_structure` is O(cone); the
+//!   old implementation ran it *inside* the single bucket mutex, so two
+//!   workers probing one hot bucket serialized on each other's structural
+//!   walks. Now `lookup`/`insert` clone the candidate `Arc`s under the
+//!   lock, release it, verify, and re-lock only for the O(1) bookkeeping
+//!   (`insert` re-checks entries that raced in since the snapshot, so
+//!   duplicate proofs still collapse to one entry — first proof wins).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use parsweep_aig::Aig;
 use parsweep_sat::Verdict;
 
-/// A concurrent map from canonical cone structure to settled verdict.
+/// Default [`ResultCache::capacity`]: distinct cone structures retained.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// A concurrent, capacity-bounded map from canonical cone structure to
+/// settled verdict.
 ///
 /// Only *decided* verdicts are stored: `Equivalent`, or `NotEquivalent`
 /// with a counter-example over the *cone's own* PIs (the caller lifts it
 /// through the extraction's PI map). `Undecided` — including
 /// deadline-cancelled partial runs — is never cached, so an early abort
 /// cannot poison later, better-budgeted attempts.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ResultCache {
-    buckets: Mutex<HashMap<u64, Vec<CacheEntry>>>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    next_id: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Set when a structural verification began while the bucket lock was
+    /// held — the timing-insensitive regression probe for the
+    /// verify-outside-the-lock contract (meaningful in single-threaded
+    /// tests only; under concurrency another thread's bookkeeping can
+    /// hold the lock legitimately).
+    #[cfg(test)]
+    verified_under_lock: std::sync::atomic::AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    buckets: HashMap<u64, Vec<Arc<CacheEntry>>>,
+    /// Total entries across buckets (kept incrementally; `buckets` values
+    /// are never empty).
+    len: usize,
+    /// Logical recency clock; bumped on every insert and touch.
+    tick: u64,
+    /// Lazy LRU queue, oldest first. A record is live only while its
+    /// `stamp` equals the entry's `last_used`.
+    recency: VecDeque<RecencyRecord>,
+}
+
+#[derive(Debug)]
+struct RecencyRecord {
+    hash: u64,
+    id: u64,
+    stamp: u64,
 }
 
 #[derive(Debug)]
 struct CacheEntry {
+    id: u64,
     cone: Aig,
     verdict: Verdict,
+    last_used: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty cache with the [`DEFAULT_CACHE_CAPACITY`].
     pub fn new() -> Self {
-        ResultCache::default()
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache retaining at most `capacity` cone structures
+    /// (capacity 0 disables caching: inserts are dropped).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+            next_id: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            #[cfg(test)]
+            verified_under_lock: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Structural verification of bucket candidates, run with the bucket
+    /// lock *released* — this is the O(cone) part of every probe, and the
+    /// reason hot buckets no longer serialize workers.
+    fn verify(&self, candidates: &[Arc<CacheEntry>], cone: &Aig) -> Option<Arc<CacheEntry>> {
+        #[cfg(test)]
+        if !candidates.is_empty() && self.inner.try_lock().is_err() {
+            self.verified_under_lock
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        candidates
+            .iter()
+            .find(|e| e.cone.same_structure(cone))
+            .cloned()
+    }
+
+    /// Bumps an entry's recency (O(1) under the lock; stale queue records
+    /// are skipped lazily at eviction time).
+    fn touch(&self, hash: u64, entry: &CacheEntry) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let stamp = inner.tick;
+        entry.last_used.store(stamp, Ordering::Relaxed);
+        inner.recency.push_back(RecencyRecord {
+            hash,
+            id: entry.id,
+            stamp,
+        });
+        Self::compact(&mut inner);
+    }
+
+    /// Drops stale recency records once the queue outgrows the live set,
+    /// keeping queue memory O(len) amortized.
+    fn compact(inner: &mut CacheInner) {
+        if inner.recency.len() <= inner.len * 2 + 64 {
+            return;
+        }
+        let live: HashMap<u64, u64> = inner
+            .buckets
+            .values()
+            .flatten()
+            .map(|e| (e.id, e.last_used.load(Ordering::Relaxed)))
+            .collect();
+        inner.recency.retain(|r| live.get(&r.id) == Some(&r.stamp));
+    }
+
+    /// Evicts the least-recently-used entry; false when nothing is left.
+    fn evict_one(inner: &mut CacheInner) -> bool {
+        while let Some(rec) = inner.recency.pop_front() {
+            let Some(bucket) = inner.buckets.get_mut(&rec.hash) else {
+                continue;
+            };
+            let Some(pos) = bucket.iter().position(|e| e.id == rec.id) else {
+                continue;
+            };
+            if bucket[pos].last_used.load(Ordering::Relaxed) != rec.stamp {
+                continue; // touched since this record: a fresher one exists
+            }
+            bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                inner.buckets.remove(&rec.hash);
+            }
+            inner.len -= 1;
+            return true;
+        }
+        false
     }
 
     /// Looks up a cone by its structural hash, verifying structure
-    /// exactly. Counts a hit or a miss.
+    /// exactly (outside the bucket lock). Counts a hit or a miss; a hit
+    /// refreshes the entry's recency.
     pub fn lookup(&self, hash: u64, cone: &Aig) -> Option<Verdict> {
-        let buckets = self.buckets.lock().unwrap();
-        let found = buckets
-            .get(&hash)
-            .and_then(|entries| entries.iter().find(|e| e.cone.same_structure(cone)))
-            .map(|e| e.verdict.clone());
-        match found {
-            Some(v) => {
+        let candidates: Vec<Arc<CacheEntry>> = {
+            let inner = self.lock();
+            inner.buckets.get(&hash).cloned().unwrap_or_default()
+        };
+        match self.verify(&candidates, cone) {
+            Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
+                self.touch(hash, &entry);
+                Some(entry.verdict.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -61,21 +207,64 @@ impl ResultCache {
         }
     }
 
-    /// Records a settled verdict for a cone. `Undecided` is ignored, as
-    /// is a duplicate of an already-cached structure (first proof wins).
+    /// Records a settled verdict for a cone, evicting least-recently-used
+    /// entries beyond capacity. `Undecided` is ignored, as is a duplicate
+    /// of an already-cached structure (first proof wins; the duplicate
+    /// counts as a recency touch).
     pub fn insert(&self, hash: u64, cone: &Aig, verdict: &Verdict) {
-        if matches!(verdict, Verdict::Undecided) {
+        if matches!(verdict, Verdict::Undecided) || self.capacity == 0 {
             return;
         }
-        let mut buckets = self.buckets.lock().unwrap();
-        let entries = buckets.entry(hash).or_default();
-        if entries.iter().any(|e| e.cone.same_structure(cone)) {
+        let candidates: Vec<Arc<CacheEntry>> = {
+            let inner = self.lock();
+            inner.buckets.get(&hash).cloned().unwrap_or_default()
+        };
+        // O(cone) duplicate detection runs unlocked, like lookup.
+        if let Some(existing) = self.verify(&candidates, cone) {
+            self.touch(hash, &existing);
             return;
         }
-        entries.push(CacheEntry {
+        let seen: HashSet<u64> = candidates.iter().map(|e| e.id).collect();
+        let entry = Arc::new(CacheEntry {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
             cone: cone.clone(),
             verdict: verdict.clone(),
+            last_used: AtomicU64::new(0),
         });
+        let mut inner = self.lock();
+        // Entries that raced in since the snapshot are re-checked under
+        // the lock; racing duplicates are rare, so this set is tiny.
+        if let Some(bucket) = inner.buckets.get(&hash) {
+            if bucket
+                .iter()
+                .any(|e| !seen.contains(&e.id) && e.cone.same_structure(cone))
+            {
+                return;
+            }
+        }
+        inner.tick += 1;
+        let stamp = inner.tick;
+        entry.last_used.store(stamp, Ordering::Relaxed);
+        inner.recency.push_back(RecencyRecord {
+            hash,
+            id: entry.id,
+            stamp,
+        });
+        inner.buckets.entry(hash).or_default().push(entry);
+        inner.len += 1;
+        while inner.len > self.capacity {
+            if Self::evict_one(&mut inner) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break; // unreachable: every live entry has a live record
+            }
+        }
+        Self::compact(&mut inner);
+    }
+
+    /// The retention bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Lookups that found a verified entry.
@@ -88,9 +277,14 @@ impl ResultCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries dropped by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Cached structures currently held.
     pub fn len(&self) -> usize {
-        self.buckets.lock().unwrap().values().map(Vec::len).sum()
+        self.lock().len
     }
 
     /// True if nothing is cached yet.
@@ -107,6 +301,14 @@ impl ResultCache {
             h / (h + m)
         }
     }
+
+    /// True when a structural verification observed the bucket lock held
+    /// (see the field docs; single-threaded tests only).
+    #[cfg(test)]
+    fn saw_verification_under_lock(&self) -> bool {
+        self.verified_under_lock
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +322,24 @@ mod tests {
         aig.add_po(f);
         if extra_po {
             aig.add_po(!f);
+        }
+        aig
+    }
+
+    /// A distinct structure per `i`: a 14-gate chain whose step `b` is an
+    /// AND or an OR depending on bit `b` of `i`.
+    fn coded_cone(i: u64) -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let mut acc = xs[0];
+        for b in 0..14 {
+            acc = if (i >> b) & 1 == 1 {
+                aig.and(acc, xs[1])
+            } else {
+                aig.or(acc, !xs[1])
+            };
+            // Keep every step alive so strash can't collapse the chain.
+            aig.add_po(acc);
         }
         aig
     }
@@ -175,5 +395,107 @@ mod tests {
         );
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.lookup(hash, &cone), Some(Verdict::Equivalent));
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_churn() {
+        // 10k distinct cones through a 64-entry cache: the bound must
+        // hold at every step and evictions must account for the rest.
+        let capacity = 64;
+        let total = 10_000u64;
+        let cache = ResultCache::with_capacity(capacity);
+        for i in 0..total {
+            let cone = coded_cone(i);
+            cache.insert(cone.structural_hash(), &cone, &Verdict::Equivalent);
+            if i % 512 == 0 {
+                assert!(cache.len() <= capacity, "len {} at i={i}", cache.len());
+            }
+        }
+        assert_eq!(cache.len(), capacity);
+        assert_eq!(cache.evictions(), total - capacity as u64);
+        // Pure insert churn is FIFO = LRU: the last `capacity` cones are
+        // resident, the one before them is not.
+        let evicted = coded_cone(total - capacity as u64 - 1);
+        assert_eq!(cache.lookup(evicted.structural_hash(), &evicted), None);
+        for i in (total - capacity as u64)..total {
+            let cone = coded_cone(i);
+            assert!(
+                cache.lookup(cone.structural_hash(), &cone).is_some(),
+                "recent cone {i} must be resident"
+            );
+        }
+    }
+
+    #[test]
+    fn lru_prefers_recently_touched() {
+        let cache = ResultCache::with_capacity(2);
+        let (a, b, c) = (coded_cone(1), coded_cone(2), coded_cone(3));
+        cache.insert(a.structural_hash(), &a, &Verdict::Equivalent);
+        cache.insert(b.structural_hash(), &b, &Verdict::Equivalent);
+        // Touch a: b becomes the LRU victim.
+        assert!(cache.lookup(a.structural_hash(), &a).is_some());
+        cache.insert(c.structural_hash(), &c, &Verdict::Equivalent);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(a.structural_hash(), &a).is_some());
+        assert_eq!(cache.lookup(b.structural_hash(), &b), None);
+        assert!(cache.lookup(c.structural_hash(), &c).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::with_capacity(0);
+        let cone = and_cone(false);
+        cache.insert(cone.structural_hash(), &cone, &Verdict::Equivalent);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(cone.structural_hash(), &cone), None);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn hot_bucket_probe_verifies_outside_lock() {
+        // The lock-contention regression check, timing-insensitive: every
+        // structural verification asserts (via try_lock) that the bucket
+        // mutex is free when verification begins. Deterministic in a
+        // single-threaded test — if lookup or insert ever moves
+        // `same_structure` back under the lock, the probe trips.
+        let cache = ResultCache::new();
+        let fake_hash = 7; // one hot bucket with several entries
+        for i in 0..8 {
+            cache.insert(fake_hash, &coded_cone(i), &Verdict::Equivalent);
+        }
+        for i in 0..8 {
+            assert!(cache.lookup(fake_hash, &coded_cone(i)).is_some());
+        }
+        // Duplicate inserts verify too.
+        cache.insert(fake_hash, &coded_cone(3), &Verdict::Equivalent);
+        assert!(
+            !cache.saw_verification_under_lock(),
+            "same_structure ran while the bucket lock was held"
+        );
+    }
+
+    #[test]
+    fn concurrent_churn_keeps_bound_and_verdicts() {
+        let capacity = 32;
+        let cache = ResultCache::with_capacity(capacity);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let cone = coded_cone((t * 500 + i) % 96);
+                        let hash = cone.structural_hash();
+                        if let Some(v) = cache.lookup(hash, &cone) {
+                            assert_eq!(v, Verdict::Equivalent);
+                        } else {
+                            cache.insert(hash, &cone, &Verdict::Equivalent);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= capacity, "len {}", cache.len());
+        assert!(cache.hits() + cache.misses() >= 2000);
     }
 }

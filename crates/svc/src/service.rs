@@ -13,17 +13,20 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parsweep_aig::{Aig, Var};
 use parsweep_core::{
     combined_check_cancellable, sim_sweep_cancellable, CombinedConfig, EngineConfig,
 };
-use parsweep_par::{CancelToken, Executor};
+use parsweep_par::{CancelToken, Executor, LaunchStats};
 use parsweep_sat::{SweepConfig, Verdict};
 use parsweep_sim::Cex;
+use parsweep_trace as trace;
+use parsweep_trace::metrics::{render_counter, render_gauge, render_histogram, Histogram};
+use parsweep_trace::Clock;
 
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::pool::WorkerPool;
 use crate::shard::{shard_miter, ShardPolicy};
 
@@ -46,6 +49,13 @@ pub struct SvcConfig {
     pub shard_policy: ShardPolicy,
     /// Deadline applied to jobs submitted without an explicit one.
     pub default_deadline: Option<Duration>,
+    /// Cone structures the result cache retains before evicting
+    /// least-recently-used entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Time source for every duration the service reports (queue waits,
+    /// job totals). Inject a [`parsweep_trace::ManualClock`] for
+    /// deterministic timing in tests; defaults to the wall clock.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for SvcConfig {
@@ -58,6 +68,8 @@ impl Default for SvcConfig {
             sat: SweepConfig::default(),
             shard_policy: ShardPolicy::PerOutput,
             default_deadline: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            clock: Arc::new(trace::WallClock::new()),
         }
     }
 }
@@ -117,6 +129,11 @@ pub struct SvcStats {
     pub cache_misses: u64,
     /// Distinct cone structures currently cached.
     pub cache_len: usize,
+    /// Cache entries dropped by the LRU capacity bound.
+    pub cache_evictions: u64,
+    /// Jobs that settled with their cancel token tripped (deadline or
+    /// explicit cancellation).
+    pub cancellations: u64,
     /// Worker-pool busy fraction since service start (0.0–1.0).
     pub worker_utilization: f64,
 }
@@ -137,13 +154,16 @@ impl fmt::Display for SvcStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "jobs {}/{} | shards {} | cache {:.0}% of {} lookups ({} cones) | workers {:.0}% busy",
+            "jobs {}/{} | shards {} | cache {:.0}% of {} lookups ({} cones, {} evicted) | \
+             {} cancelled | workers {:.0}% busy",
             self.jobs_completed,
             self.jobs_submitted,
             self.shards_total,
             100.0 * self.cache_hit_rate(),
             self.cache_hits + self.cache_misses,
             self.cache_len,
+            self.cache_evictions,
+            self.cancellations,
             100.0 * self.worker_utilization
         )
     }
@@ -157,14 +177,37 @@ struct JobAgg {
     cex: Option<Cex>,
     cache_hits: u64,
     cache_misses: u64,
-    first_start: Option<Instant>,
+    /// Clock reading when a worker first picked up a shard.
+    first_start: Option<Duration>,
     result: Option<JobResult>,
+}
+
+/// Service-lifetime counters and latency histograms shared by every job's
+/// settle path — the backing store of [`CecService::metrics_text`].
+struct SvcShared {
+    completed_jobs: AtomicU64,
+    cancellations: AtomicU64,
+    queue_wait: Histogram,
+    job_latency: Histogram,
+}
+
+impl SvcShared {
+    fn new() -> Self {
+        SvcShared {
+            completed_jobs: AtomicU64::new(0),
+            cancellations: AtomicU64::new(0),
+            queue_wait: Histogram::latency_default(),
+            job_latency: Histogram::latency_default(),
+        }
+    }
 }
 
 struct JobShared {
     id: JobId,
     token: CancelToken,
-    submitted: Instant,
+    clock: Arc<dyn Clock>,
+    /// Clock reading at submission.
+    submitted: Duration,
     shards: usize,
     agg: Mutex<JobAgg>,
     done: Condvar,
@@ -172,8 +215,9 @@ struct JobShared {
 
 impl JobShared {
     /// Records one settled shard under the aggregation lock; the last
-    /// shard composes the job verdict and wakes waiters.
-    fn settle_shard(&self, local: ShardOutcome, completed_jobs: &AtomicU64) {
+    /// shard composes the job verdict, feeds the service counters and
+    /// histograms, and wakes waiters.
+    fn settle_shard(&self, local: ShardOutcome, svc: &SvcShared) {
         let mut agg = self.agg.lock().unwrap();
         match local.verdict {
             Verdict::Equivalent => {}
@@ -195,6 +239,12 @@ impl JobShared {
                 None if agg.undecided > 0 => Verdict::Undecided,
                 None => Verdict::Equivalent,
             };
+            let queue_wait = agg
+                .first_start
+                .map(|t| t.saturating_sub(self.submitted))
+                .unwrap_or_default();
+            let total = self.clock.since(self.submitted);
+            let cancelled = self.token.is_cancelled();
             agg.result = Some(JobResult {
                 id: self.id,
                 verdict,
@@ -202,15 +252,25 @@ impl JobShared {
                     shards: self.shards,
                     cache_hits: agg.cache_hits,
                     cache_misses: agg.cache_misses,
-                    queue_wait: agg
-                        .first_start
-                        .map(|t| t.duration_since(self.submitted))
-                        .unwrap_or_default(),
-                    total: self.submitted.elapsed(),
-                    cancelled: self.token.is_cancelled(),
+                    queue_wait,
+                    total,
+                    cancelled,
                 },
             });
-            completed_jobs.fetch_add(1, Ordering::Relaxed);
+            svc.completed_jobs.fetch_add(1, Ordering::Relaxed);
+            if cancelled {
+                svc.cancellations.fetch_add(1, Ordering::Relaxed);
+            }
+            svc.queue_wait.observe(queue_wait.as_secs_f64());
+            svc.job_latency.observe(total.as_secs_f64());
+            trace::instant(
+                "svc",
+                "job.settled",
+                vec![
+                    ("job", trace::ArgValue::U64(self.id.0)),
+                    ("cancelled", trace::ArgValue::U64(u64::from(cancelled))),
+                ],
+            );
             self.done.notify_all();
         }
     }
@@ -246,7 +306,7 @@ pub struct CecService {
     execs: Arc<Vec<Executor>>,
     cache: Arc<ResultCache>,
     next_id: AtomicU64,
-    completed_jobs: Arc<AtomicU64>,
+    shared: Arc<SvcShared>,
     shards_total: AtomicU64,
     jobs: Mutex<HashMap<u64, Arc<JobShared>>>,
 }
@@ -263,13 +323,14 @@ impl CecService {
                 .map(|_| Executor::with_threads(cfg.exec_threads.max(1)))
                 .collect::<Vec<_>>(),
         );
+        let cache = Arc::new(ResultCache::with_capacity(cfg.cache_capacity));
         CecService {
             cfg,
             pool,
             execs,
-            cache: Arc::new(ResultCache::new()),
+            cache,
             next_id: AtomicU64::new(1),
-            completed_jobs: Arc::new(AtomicU64::new(0)),
+            shared: Arc::new(SvcShared::new()),
             shards_total: AtomicU64::new(0),
             jobs: Mutex::new(HashMap::new()),
         }
@@ -291,10 +352,19 @@ impl CecService {
         let shards = shard_miter(&miter, self.cfg.shard_policy);
         self.shards_total
             .fetch_add(shards.len() as u64, Ordering::Relaxed);
+        trace::instant(
+            "svc",
+            "job.submitted",
+            vec![
+                ("job", trace::ArgValue::U64(id.0)),
+                ("shards", trace::ArgValue::U64(shards.len() as u64)),
+            ],
+        );
         let shared = Arc::new(JobShared {
             id,
             token: token.clone(),
-            submitted: Instant::now(),
+            clock: Arc::clone(&self.cfg.clock),
+            submitted: self.cfg.clock.now(),
             shards: shards.len(),
             agg: Mutex::new(JobAgg {
                 remaining: shards.len(),
@@ -316,11 +386,11 @@ impl CecService {
                 id,
                 verdict: Verdict::Equivalent,
                 stats: JobStats {
-                    total: shared.submitted.elapsed(),
+                    total: self.cfg.clock.since(shared.submitted),
                     ..JobStats::default()
                 },
             });
-            self.completed_jobs.fetch_add(1, Ordering::Relaxed);
+            self.shared.completed_jobs.fetch_add(1, Ordering::Relaxed);
             shared.done.notify_all();
             return id;
         }
@@ -344,17 +414,23 @@ impl CecService {
             let shared = Arc::clone(&shared);
             let execs = Arc::clone(&self.execs);
             let cache = Arc::clone(&self.cache);
-            let completed_jobs = Arc::clone(&self.completed_jobs);
+            let svc_shared = Arc::clone(&self.shared);
             let engine_cfg = self.cfg.engine.clone();
             let sat_cfg = self.cfg.sat.clone();
             let sat_fallback = self.cfg.sat_fallback;
             self.pool.spawn(move |worker| {
-                {
+                let queue_wait = {
+                    let now = shared.clock.now();
                     let mut agg = shared.agg.lock().unwrap();
                     if agg.first_start.is_none() {
-                        agg.first_start = Some(Instant::now());
+                        agg.first_start = Some(now);
                     }
-                }
+                    now.saturating_sub(shared.submitted)
+                };
+                trace::set_thread_label(&format!("svc-worker-{worker}"));
+                let mut span = trace::span("svc", "job.shard");
+                span.arg_u64("job", shared.id.0);
+                span.arg_f64("queue_wait", queue_wait.as_secs_f64());
                 let outcome = prove_shard(
                     &cone,
                     hash,
@@ -365,11 +441,13 @@ impl CecService {
                     sat_fallback,
                     &shared.token,
                 );
+                span.arg_u64("cache_hit", u64::from(outcome.cache_hit));
+                drop(span);
                 let lifted = ShardOutcome {
                     verdict: lift_verdict(outcome.verdict, &cone, &lift, parent_pis),
                     cache_hit: outcome.cache_hit,
                 };
-                shared.settle_shard(lifted, &completed_jobs);
+                shared.settle_shard(lifted, &svc_shared);
             });
         }
         id
@@ -417,13 +495,131 @@ impl CecService {
     pub fn stats(&self) -> SvcStats {
         SvcStats {
             jobs_submitted: self.next_id.load(Ordering::Relaxed) - 1,
-            jobs_completed: self.completed_jobs.load(Ordering::Relaxed),
+            jobs_completed: self.shared.completed_jobs.load(Ordering::Relaxed),
             shards_total: self.shards_total.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_len: self.cache.len(),
+            cache_evictions: self.cache.evictions(),
+            cancellations: self.shared.cancellations.load(Ordering::Relaxed),
             worker_utilization: self.pool.utilization(),
         }
+    }
+
+    /// The launch profile of the whole worker fleet: every per-worker
+    /// executor's [`LaunchStats`] merged into one.
+    pub fn launch_stats(&self) -> LaunchStats {
+        let mut merged = LaunchStats::default();
+        for exec in self.execs.iter() {
+            merged.merge(&exec.stats());
+        }
+        merged
+    }
+
+    /// Renders the service's counters and latency histograms in the
+    /// Prometheus text exposition format — the payload of the JSON-lines
+    /// protocol's `metrics` op.
+    pub fn metrics_text(&self) -> String {
+        let stats = self.stats();
+        let launch = self.launch_stats();
+        let mut out = String::new();
+        render_counter(
+            &mut out,
+            "parsweep_jobs_submitted_total",
+            "Jobs submitted to the service.",
+            stats.jobs_submitted,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_jobs_completed_total",
+            "Jobs fully settled.",
+            stats.jobs_completed,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_shards_total",
+            "Output-cone shards produced across all jobs.",
+            stats.shards_total,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_cancellations_total",
+            "Jobs settled with a tripped cancel token.",
+            stats.cancellations,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_cache_hits_total",
+            "Result-cache lookups settled from a verified entry.",
+            stats.cache_hits,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_cache_misses_total",
+            "Result-cache lookups that found nothing.",
+            stats.cache_misses,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_cache_evictions_total",
+            "Result-cache entries dropped by the LRU capacity bound.",
+            stats.cache_evictions,
+        );
+        render_gauge(
+            &mut out,
+            "parsweep_cache_entries",
+            "Distinct cone structures currently cached.",
+            stats.cache_len as f64,
+        );
+        render_gauge(
+            &mut out,
+            "parsweep_worker_utilization",
+            "Worker-pool busy fraction since service start.",
+            stats.worker_utilization,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_kernel_launches_total",
+            "Kernel launches across the worker fleet's executors.",
+            launch.launches,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_kernel_threads_total",
+            "Kernel work items (launch widths summed) across the fleet.",
+            launch.total_threads,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_arena_hits_total",
+            "Buffer-arena takes served from the pool.",
+            launch.arena_hits,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_arena_misses_total",
+            "Buffer-arena takes that allocated fresh.",
+            launch.arena_misses,
+        );
+        render_gauge(
+            &mut out,
+            "parsweep_arena_peak_bytes",
+            "High-water mark of any one worker's arena footprint.",
+            launch.arena_peak_bytes as f64,
+        );
+        render_histogram(
+            &mut out,
+            "parsweep_queue_wait_seconds",
+            "Time from job submission until a worker first picked up a shard.",
+            &self.shared.queue_wait.snapshot(),
+        );
+        render_histogram(
+            &mut out,
+            "parsweep_job_latency_seconds",
+            "Time from job submission until the last shard settled.",
+            &self.shared.job_latency.snapshot(),
+        );
+        out
     }
 }
 
@@ -447,7 +643,16 @@ fn prove_shard(
             cache_hit: false,
         };
     }
-    if let Some(verdict) = cache.lookup(hash, cone) {
+    let cached = {
+        let _span = trace::span("svc", "job.cache_probe");
+        cache.lookup(hash, cone)
+    };
+    if let Some(verdict) = cached {
+        trace::instant(
+            "svc",
+            "job.verdict",
+            vec![("source", trace::ArgValue::Str("cache".into()))],
+        );
         return ShardOutcome {
             verdict,
             cache_hit: true,
@@ -464,6 +669,11 @@ fn prove_shard(
         sim_sweep_cancellable(cone, exec, engine_cfg, token).verdict
     };
     cache.insert(hash, cone, &verdict);
+    trace::instant(
+        "svc",
+        "job.verdict",
+        vec![("source", trace::ArgValue::Str("engine".into()))],
+    );
     ShardOutcome {
         verdict,
         cache_hit: false,
@@ -599,10 +809,89 @@ mod tests {
             cache_hits: 6,
             cache_misses: 6,
             cache_len: 6,
+            cache_evictions: 2,
+            cancellations: 1,
             worker_utilization: 0.5,
         };
         let text = s.to_string();
         assert!(text.contains("jobs 3/4"), "{text}");
         assert!(text.contains("cache 50%"), "{text}");
+        assert!(text.contains("2 evicted"), "{text}");
+        assert!(text.contains("1 cancelled"), "{text}");
+    }
+
+    #[test]
+    fn manual_clock_makes_job_timing_deterministic() {
+        // With an unadvanced manual clock every reported duration is
+        // exactly zero — proof that job timing flows through the injected
+        // clock and nothing falls back to the wall.
+        let clock = Arc::new(parsweep_trace::ManualClock::new());
+        let svc = CecService::new(SvcConfig {
+            clock: clock.clone(),
+            ..SvcConfig::default()
+        });
+        let m = miter(&xor_net(2, false), &xor_net(2, true)).unwrap();
+        let id = svc.submit(m);
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.stats.queue_wait, Duration::ZERO);
+        assert_eq!(r.stats.total, Duration::ZERO);
+
+        // Advance the clock between submissions: the next job's total
+        // reflects only manual time.
+        clock.advance(Duration::from_secs(3));
+        let m = miter(&xor_net(1, false), &xor_net(1, true)).unwrap();
+        let id = svc.submit(m);
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.stats.total, Duration::ZERO, "frozen clock, zero total");
+    }
+
+    #[test]
+    fn evictions_reach_stats_and_metrics() {
+        let svc = CecService::new(SvcConfig {
+            workers: 1,
+            cache_capacity: 1,
+            ..SvcConfig::default()
+        });
+        // Two distinct cone structures through a single-entry cache: the
+        // second insert evicts the first.
+        let m1 = miter(&xor_net(1, false), &xor_net(1, true)).unwrap();
+        let mut and_a = Aig::new();
+        let xs = and_a.add_inputs(2);
+        let f = and_a.and(xs[0], xs[1]);
+        and_a.add_po(f);
+        let mut and_b = Aig::new();
+        let ys = and_b.add_inputs(2);
+        let both = and_b.and(ys[0], ys[1]);
+        let either = and_b.or(ys[0], ys[1]);
+        let g = and_b.and(both, either);
+        and_b.add_po(g);
+        let m2 = miter(&and_a, &and_b).unwrap();
+        svc.submit(m1);
+        svc.submit(m2);
+        svc.drain();
+        let stats = svc.stats();
+        assert!(stats.cache_evictions >= 1, "stats: {stats:?}");
+        assert_eq!(stats.cache_len, 1);
+        let text = svc.metrics_text();
+        assert!(text.contains("parsweep_cache_evictions_total 1"), "{text}");
+        assert!(text.contains("# TYPE parsweep_job_latency_seconds histogram"));
+    }
+
+    #[test]
+    fn metrics_text_renders_fleet_counters() {
+        let svc = CecService::new(SvcConfig::default());
+        let m = miter(&xor_net(2, false), &xor_net(2, true)).unwrap();
+        svc.submit(m);
+        svc.drain();
+        let text = svc.metrics_text();
+        assert!(text.contains("parsweep_jobs_completed_total 1"), "{text}");
+        assert!(
+            !text.contains("parsweep_kernel_launches_total 0"),
+            "fleet executors must have recorded launches: {text}"
+        );
+        assert!(
+            text.contains("parsweep_queue_wait_seconds_count 1"),
+            "{text}"
+        );
     }
 }

@@ -1,0 +1,205 @@
+//! Chrome-trace export: serializes the collector's events into the
+//! `chrome://tracing` / Perfetto JSON array format, plus a structural
+//! validator used by tests and CI.
+
+use crate::span::{snapshot_events, ArgValue, Phase, TraceEvent};
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn arg_value_into(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => out.push_str(&n.to_string()),
+        ArgValue::F64(f) if f.is_finite() => out.push_str(&f.to_string()),
+        ArgValue::F64(_) => out.push_str("null"),
+        ArgValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn event_into(out: &mut String, e: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, &e.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, e.cat);
+    out.push_str("\",\"ph\":\"");
+    out.push_str(e.ph.as_str());
+    out.push_str("\",\"ts\":");
+    out.push_str(&e.ts_us.to_string());
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&e.tid.to_string());
+    if e.ph == Phase::I {
+        // Thread-scoped instant, so the viewer draws it in its lane.
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(out, k);
+            out.push_str("\":");
+            arg_value_into(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Serializes events to a Chrome-trace JSON array string.
+pub fn events_to_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 4);
+    out.push_str("[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        event_into(&mut out, e);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serializes everything recorded so far (without draining the collector)
+/// to a Chrome-trace JSON array. Empty (`[]`) when the collector is not
+/// compiled in or nothing was recorded.
+pub fn chrome_trace_json() -> String {
+    events_to_json(&snapshot_events())
+}
+
+/// Writes the current trace to `path` as Chrome-trace JSON, validating
+/// the event stream first (an unbalanced or out-of-order stream is a bug
+/// in the instrumentation, better caught at export than in the viewer).
+pub fn write_chrome_trace(path: &str) -> std::io::Result<()> {
+    let events = snapshot_events();
+    if let Err(msg) = validate_events(&events) {
+        return Err(std::io::Error::other(format!("invalid trace: {msg}")));
+    }
+    std::fs::write(path, events_to_json(&events))
+}
+
+/// Checks structural well-formedness: per thread, every `B` is closed by
+/// a matching `E` in LIFO order and timestamps never go backwards.
+pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+    let mut last_ts: HashMap<u64, u64> = HashMap::new();
+    for e in events {
+        let last = last_ts.entry(e.tid).or_insert(0);
+        if e.ts_us < *last {
+            return Err(format!(
+                "timestamp regression on tid {}: {} after {} ({})",
+                e.tid, e.ts_us, last, e.name
+            ));
+        }
+        *last = e.ts_us;
+        match e.ph {
+            Phase::B => stacks.entry(e.tid).or_default().push(&e.name),
+            Phase::E => match stacks.entry(e.tid).or_default().pop() {
+                Some(open) if open == e.name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "tid {}: E \"{}\" closes open span \"{}\"",
+                        e.tid, e.name, open
+                    ))
+                }
+                None => return Err(format!("tid {}: E \"{}\" without a B", e.tid, e.name)),
+            },
+            Phase::I | Phase::M => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: span \"{open}\" never closed"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ph: Phase, ts: u64, tid: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "test",
+            ph,
+            ts_us: ts,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn valid_stream_passes() {
+        let events = vec![
+            ev("a", Phase::B, 0, 1),
+            ev("b", Phase::B, 1, 1),
+            ev("b", Phase::E, 2, 1),
+            ev("x", Phase::B, 0, 2),
+            ev("tick", Phase::I, 3, 1),
+            ev("a", Phase::E, 4, 1),
+            ev("x", Phase::E, 9, 2),
+        ];
+        assert_eq!(validate_events(&events), Ok(()));
+        let json = events_to_json(&events);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn mismatched_close_fails() {
+        let events = vec![ev("a", Phase::B, 0, 1), ev("b", Phase::E, 1, 1)];
+        assert!(validate_events(&events)
+            .unwrap_err()
+            .contains("closes open"));
+    }
+
+    #[test]
+    fn unclosed_span_fails() {
+        let events = vec![ev("a", Phase::B, 0, 1)];
+        assert!(validate_events(&events)
+            .unwrap_err()
+            .contains("never closed"));
+    }
+
+    #[test]
+    fn timestamp_regression_fails() {
+        let events = vec![ev("a", Phase::B, 5, 1), ev("a", Phase::E, 3, 1)];
+        assert!(validate_events(&events).unwrap_err().contains("regression"));
+    }
+
+    #[test]
+    fn args_are_escaped_json() {
+        let mut e = ev("quote\"and\\slash", Phase::B, 0, 1);
+        e.args = vec![
+            ("count", ArgValue::U64(3)),
+            ("rate", ArgValue::F64(0.5)),
+            ("label", ArgValue::Str("line\nbreak".into())),
+        ];
+        let json = events_to_json(&[e]);
+        assert!(json.contains("quote\\\"and\\\\slash"));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"rate\":0.5"));
+        assert!(json.contains("line\\nbreak"));
+    }
+}

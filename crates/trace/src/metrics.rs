@@ -1,0 +1,204 @@
+//! Prometheus-style text metrics: atomic histograms plus exposition-format
+//! rendering helpers.
+//!
+//! These are always compiled (no feature gate): metric updates sit on
+//! per-job paths, not per-kernel paths, and the service's `metrics` op
+//! must answer even in builds without the span collector.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket latency histogram, safe to observe from many threads.
+///
+/// Values are in seconds; the running sum is kept in integer microseconds
+/// so concurrent observes need no compare-and-swap loop.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+/// A point-in-time copy of a [`Histogram`], with *cumulative* bucket
+/// counts as the Prometheus exposition format expects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds (seconds) of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Cumulative count of observations `<=` each bound.
+    pub cumulative: Vec<u64>,
+    /// Total observations (the implicit `+Inf` bucket).
+    pub count: u64,
+    /// Sum of all observed values, in seconds.
+    pub sum_seconds: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending finite bucket bounds (in
+    /// seconds). An implicit `+Inf` bucket catches the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Default bounds for service latencies: 100µs to 10s, roughly
+    /// logarithmic.
+    pub fn latency_default() -> Self {
+        Self::new(&[
+            0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+            2.5, 5.0, 10.0,
+        ])
+    }
+
+    /// Records one observation (in seconds; negative values clamp to 0).
+    pub fn observe(&self, seconds: f64) {
+        let v = seconds.max(0.0);
+        // Non-cumulative per-bucket counts internally; snapshot cumulates.
+        if let Some(i) = self.bounds.iter().position(|&b| v <= b) {
+            self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state with cumulative bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.buckets.len());
+        let mut running = 0u64;
+        for b in &self.buckets {
+            running += b.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            cumulative,
+            count: self.count.load(Ordering::Relaxed),
+            sum_seconds: self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// Formats a number the way Prometheus expects: integral values without a
+/// trailing `.0`, everything else in plain decimal.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Appends a `counter` metric in exposition format.
+pub fn render_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+/// Appends a `gauge` metric in exposition format.
+pub fn render_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
+        fmt_value(value)
+    ));
+}
+
+/// Appends a `histogram` metric (cumulative `_bucket` series plus `_sum`
+/// and `_count`) in exposition format.
+pub fn render_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    for (bound, cum) in snap.bounds.iter().zip(&snap.cumulative) {
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+            fmt_value(*bound)
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+        snap.count,
+        fmt_value(snap.sum_seconds),
+        snap.count
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cumulate() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.005);
+        h.observe(0.005);
+        h.observe(5.0); // tail: +Inf only
+        let s = h.snapshot();
+        assert_eq!(s.cumulative, vec![1, 3, 3]);
+        assert_eq!(s.count, 4);
+        assert!((s.sum_seconds - 5.0105).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = Histogram::latency_default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        h.observe(0.002);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[0.1, 0.01]);
+    }
+
+    #[test]
+    fn exposition_format_shape() {
+        let mut out = String::new();
+        render_counter(&mut out, "parsweep_jobs", "Jobs.", 3);
+        render_gauge(&mut out, "parsweep_util", "Busy fraction.", 0.5);
+        let h = Histogram::new(&[0.01, 0.1]);
+        h.observe(0.05);
+        render_histogram(&mut out, "parsweep_wait_seconds", "Wait.", &h.snapshot());
+        assert!(out.contains("# TYPE parsweep_jobs counter"));
+        assert!(out.contains("parsweep_jobs 3"));
+        assert!(out.contains("parsweep_util 0.5"));
+        assert!(out.contains("parsweep_wait_seconds_bucket{le=\"0.01\"} 0"));
+        assert!(out.contains("parsweep_wait_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(out.contains("parsweep_wait_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(out.contains("parsweep_wait_seconds_count 1"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in out.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+}

@@ -14,6 +14,11 @@ SCALE="${1:-tiny}"
 OUT="${2:-BENCH_runtime.json}"
 SVC_OUT="${3:-BENCH_svc.json}"
 
+# Keep the previous run around so the delta report below has a baseline.
+for f in "$OUT" "$SVC_OUT"; do
+    [ -f "$f" ] && cp "$f" "$f.prev"
+done
+
 cargo run --release -p parsweep-bench --bin runtime -- "$SCALE" "$OUT"
 echo "--- $OUT ---"
 cat "$OUT"
@@ -24,3 +29,11 @@ if cargo run --release -p parsweep-bench --bin svc_bench -- "$SCALE" "$SVC_OUT";
 else
     echo "svc bench failed (non-blocking)" >&2
 fi
+
+for f in "$OUT" "$SVC_OUT"; do
+    if [ -f "$f.prev" ]; then
+        echo "--- delta vs previous $f ---"
+        python3 scripts/bench_delta.py "$f.prev" "$f" || true
+        rm -f "$f.prev"
+    fi
+done

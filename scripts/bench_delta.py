@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Print per-field deltas between two benchmark JSON files.
+
+Usage: bench_delta.py PREV.json CURR.json
+
+Walks both objects recursively; for every numeric leaf present in both,
+prints ``path: prev -> curr (delta, pct)``. Fields present in only one
+file are listed as added/removed. Exits 0 always — the delta is a report,
+not a gate.
+"""
+
+import json
+import sys
+
+
+def flatten(obj, prefix=""):
+    out = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            out.update(flatten(v, f"{prefix}{k}."))
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            out.update(flatten(v, f"{prefix}{i}."))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix[:-1]] = obj
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1]) as f:
+            prev = flatten(json.load(f))
+        with open(sys.argv[2]) as f:
+            curr = flatten(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_delta: {e}", file=sys.stderr)
+        return 0  # missing/corrupt previous run is not an error
+    keys = sorted(set(prev) | set(curr))
+    for key in keys:
+        if key not in prev:
+            print(f"  {key}: (new) {curr[key]}")
+        elif key not in curr:
+            print(f"  {key}: {prev[key]} (removed)")
+        elif prev[key] != curr[key]:
+            delta = curr[key] - prev[key]
+            pct = f" ({delta / prev[key] * +100.0:+.1f}%)" if prev[key] else ""
+            print(f"  {key}: {prev[key]} -> {curr[key]} ({delta:+g}){pct}")
+    if prev == curr:
+        print("  no numeric changes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

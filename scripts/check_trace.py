@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file produced by parsweep-trace.
+
+Usage: check_trace.py TRACE.json
+
+Checks:
+  * the file parses as a JSON array of event objects;
+  * every duration-begin (``ph == "B"``) has a matching ``"E"`` on the
+    same ``tid``, nested LIFO with matching names;
+  * timestamps are monotonically non-decreasing per ``tid``;
+  * the trace contains at least one span.
+
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py TRACE.json")
+    try:
+        with open(sys.argv[1]) as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {sys.argv[1]}: {e}")
+    if not isinstance(events, list):
+        fail("top level must be a JSON array")
+
+    stacks = {}  # tid -> [names]
+    last_ts = {}  # tid -> ts
+    spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        tid = ev.get("tid")
+        name = ev.get("name", "?")
+        if ph in ("B", "E", "I"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                fail(f"event {i} ({name}): missing numeric ts")
+            if ts < last_ts.get(tid, 0):
+                fail(
+                    f"event {i} ({name}): ts {ts} goes backwards on tid {tid} "
+                    f"(last {last_ts[tid]})"
+                )
+            last_ts[tid] = ts
+        if ph == "B":
+            stacks.setdefault(tid, []).append(name)
+            spans += 1
+        elif ph == "E":
+            stack = stacks.get(tid) or []
+            if not stack:
+                fail(f"event {i} ({name}): E without matching B on tid {tid}")
+            top = stack.pop()
+            if top != name:
+                fail(
+                    f"event {i}: E '{name}' does not match open span "
+                    f"'{top}' on tid {tid}"
+                )
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"unclosed spans on tid {tid}: {stack}")
+    if spans == 0:
+        fail("trace contains no spans")
+    print(f"check_trace: OK — {spans} spans over {len(last_ts)} threads")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy -D warnings (trace feature)"
+cargo clippy --workspace --all-targets --features trace -- -D warnings
+
 echo "==> tier-1 build + test"
 cargo build --release
 cargo test -q
@@ -24,6 +27,10 @@ cargo test -q
 echo "==> sanitizer-enabled tests (feature)"
 cargo test -p parsweep-par --features sanitize -q
 cargo test -p parsweep-svc --features sanitize -q
+
+echo "==> trace-enabled tests (feature)"
+cargo test -p parsweep-trace --features enabled -q
+cargo test -p parsweep-svc --features trace -q
 
 echo "==> sanitizer-enabled tests (PARSWEEP_SANITIZE=1)"
 PARSWEEP_SANITIZE=1 cargo test -p parsweep-par -p parsweep-sim -p parsweep-core -p parsweep-svc -q
