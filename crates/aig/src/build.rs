@@ -71,6 +71,15 @@ impl Aig {
     /// All PIs are kept (in order) even if unreferenced, so the PI
     /// interface is stable. Returns the cleaned AIG.
     pub fn clean(&self) -> Aig {
+        self.clean_with_map().0
+    }
+
+    /// Like [`Aig::clean`], additionally returning the map from this
+    /// network's variables to literals of the cleaned network. Variables
+    /// whose logic was unreachable from the POs map to the [`Lit::FALSE`]
+    /// sentinel (only the constant variable itself maps there
+    /// legitimately).
+    pub fn clean_with_map(&self) -> (Aig, Vec<Lit>) {
         let mut reachable = vec![false; self.num_nodes()];
         let mut stack: Vec<Var> = self.pos().iter().map(|po| po.var()).collect();
         while let Some(v) = stack.pop() {
@@ -102,7 +111,7 @@ impl Aig {
             let lit = map[po.var().index()].xor(po.is_complemented());
             out.add_po(lit);
         }
-        out
+        (out, map)
     }
 
     /// Rebuilds the network while substituting nodes by equivalent
@@ -115,7 +124,12 @@ impl Aig {
     /// smaller variable indices than the node they replace (guaranteed when
     /// representatives are minimum-id class members).
     ///
-    /// Returns the reduced AIG and a map from old variables to new literals.
+    /// Returns the reduced AIG and a map from old variables to literals
+    /// *of the returned (cleaned) AIG*: `map[v]` implements old variable
+    /// `v` in the result. Old variables whose logic is absent from the
+    /// result — substituted to a constant, or left dangling by the
+    /// clean-up — map to a constant literal (the [`Lit::FALSE`] sentinel
+    /// for dangling nodes).
     ///
     /// # Panics
     ///
@@ -155,7 +169,13 @@ impl Aig {
             let lit = map[po.var().index()].xor(po.is_complemented());
             out.add_po(lit);
         }
-        (out.clean(), map)
+        // Compose the substitution map through the clean-up's renumbering
+        // so the returned map is valid over the returned AIG.
+        let (cleaned, clean_map) = out.clean_with_map();
+        for lit in &mut map {
+            *lit = clean_map[lit.var().index()].xor(lit.is_complemented());
+        }
+        (cleaned, map)
     }
 }
 
@@ -317,6 +337,41 @@ mod tests {
         for v in 0..4u32 {
             let bits = [(v & 1) != 0, (v & 2) != 0];
             assert_eq!(reduced.eval(&bits), aig.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn substitution_map_is_valid_over_the_cleaned_result() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let x1 = aig.xor(xs[0], xs[1]);
+        let t0 = aig.and(xs[0], xs[1]);
+        let t1 = aig.and(!xs[0], !xs[1]);
+        let xnor = aig.or(t0, t1);
+        aig.add_po(x1);
+        aig.add_po(!xnor);
+        let eq = !xnor;
+        let mut subst: Vec<Lit> = (0..aig.num_nodes())
+            .map(|i| Var::new(i as u32).lit())
+            .collect();
+        subst[eq.var().index()] = x1.xor(eq.is_complemented());
+        let (reduced, map) = aig.rebuild_with_substitution(&subst);
+        assert_eq!(map.len(), aig.num_nodes());
+        // Every mapped literal indexes the *returned* AIG and implements
+        // the old variable's function; nodes the clean-up dropped map to
+        // a constant literal instead.
+        for v in 0..4u32 {
+            let bits = [(v & 1) != 0, (v & 2) != 0];
+            let old_vals = aig.eval_nodes(&bits);
+            let new_vals = reduced.eval_nodes(&bits);
+            for (i, lit) in map.iter().enumerate() {
+                assert!(lit.var().index() < reduced.num_nodes());
+                if lit.is_const() && i != 0 && subst[i] == Var::new(i as u32).lit() {
+                    continue; // dangling node dropped by the clean-up
+                }
+                let got = lit.eval(new_vals[lit.var().index()]);
+                assert_eq!(got, old_vals[i], "map wrong for old var {i}");
+            }
         }
     }
 }

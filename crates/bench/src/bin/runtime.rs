@@ -1,20 +1,60 @@
 //! Device-runtime smoke benchmark: runs the engine over the generator
 //! suite and emits `BENCH_runtime.json` with wall time, the cost model's
-//! critical-path (`modeled_time`) and serialized estimates, and the
-//! buffer-arena recycling counters.
+//! critical-path (`modeled_time`) and serialized estimates, the launch
+//! split (pool-dispatched vs inline), the incremental-simulation counters
+//! (pruned rounds, dirty-cone resim node counts), and the buffer-arena
+//! recycling counters.
+//!
+//! Besides the nine sweep cases, two *deep-FRAIG* rows
+//! (`multiplier_fraig`, `log2_fraig`) run [`fraig`] over the arithmetic
+//! miters: FRAIG skips the PO-exhaustive phase entirely, so these rows
+//! exercise the incremental G/L machinery — support-pruned rounds,
+//! in-place refinement, and dirty-cone resimulation after merges — that
+//! the sweep rows (which resolve exhaustively at tiny scale) do not.
 //!
 //! Usage: `runtime [tiny|small|medium] [output.json]`
 
 use std::fmt::Write as _;
 
 use parsweep_bench::harness::{suite, Scale};
-use parsweep_core::{sim_sweep, EngineConfig, Report};
-use parsweep_par::Executor;
+use parsweep_core::{fraig, sim_sweep, EngineConfig, EngineStats, Report};
+use parsweep_par::{Executor, LaunchStats};
 
 /// Modeled device width used for the time estimates (threads) — the
 /// tracing subsystem's canonical width, so bench numbers and span
 /// `modeled_time` arguments stay comparable.
 const MODEL_CORES: u64 = parsweep_trace::MODEL_CORES;
+
+/// The suite cases FRAIG'ed for the resim-heavy rows.
+const FRAIG_CASES: [&str; 2] = ["multiplier", "log2"];
+
+fn case_json(name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats) -> String {
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        concat!(
+            "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"seconds\": {:.6}, ",
+            "\"modeled_time\": {}, \"serialized_time\": {}, \"launches\": {}, ",
+            "\"inline_launches\": {}, \"pruned_rounds\": {}, ",
+            "\"resim_clean\": {}, \"resim_dirty\": {}, ",
+            "\"arena_hits\": {}, \"arena_misses\": {}, \"arena_peak_bytes\": {}}}"
+        ),
+        name,
+        verdict,
+        stats.seconds,
+        s.modeled_time(MODEL_CORES),
+        s.serialized_time(MODEL_CORES),
+        s.launches,
+        s.inline_launches,
+        stats.pruned_sim_rounds,
+        stats.resim_clean_nodes,
+        stats.resim_dirty_nodes,
+        s.arena_hits,
+        s.arena_misses,
+        s.arena_peak_bytes,
+    );
+    j
+}
 
 fn main() {
     let scale = std::env::args()
@@ -29,49 +69,65 @@ fn main() {
     let mut cases_json = Vec::new();
     let mut total_seconds = 0.0f64;
     let (mut total_modeled, mut total_serialized) = (0u64, 0u64);
+    let (mut total_launches, mut total_inline) = (0u64, 0u64);
     let mut peak_bytes = 0u64;
+    let mut report = |name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats| {
+        let modeled = s.modeled_time(MODEL_CORES);
+        total_seconds += stats.seconds;
+        total_modeled += modeled;
+        total_serialized += s.serialized_time(MODEL_CORES);
+        total_launches += s.launches;
+        total_inline += s.inline_launches;
+        peak_bytes = peak_bytes.max(s.arena_peak_bytes);
+        eprintln!(
+            "{:<16} {} wall {:.3}s modeled {} launches {}p+{}i resim {}c/{}d arena {}h/{}m peak {}B",
+            name,
+            verdict,
+            stats.seconds,
+            modeled,
+            s.launches,
+            s.inline_launches,
+            stats.resim_clean_nodes,
+            stats.resim_dirty_nodes,
+            s.arena_hits,
+            s.arena_misses,
+            s.arena_peak_bytes,
+        );
+        cases_json.push(case_json(name, verdict, stats, s));
+    };
 
     eprintln!("# device-runtime smoke bench ({scale:?}, modeled cores = {MODEL_CORES})");
-    for case in suite(scale) {
+    let cases = suite(scale);
+    for case in &cases {
         exec.reset_stats();
         let r = sim_sweep(&case.miter, &exec, &EngineConfig::scaled());
         let s = exec.stats();
-        let modeled = s.modeled_time(MODEL_CORES);
-        let serialized = s.serialized_time(MODEL_CORES);
-        total_seconds += r.stats.seconds;
-        total_modeled += modeled;
-        total_serialized += serialized;
-        peak_bytes = peak_bytes.max(s.arena_peak_bytes);
-        eprintln!(
-            "{:<16} {} wall {:.3}s modeled {} serialized {} arena {}h/{}m peak {}B",
-            case.name,
-            Report::new(&r).verdict_tag(),
-            r.stats.seconds,
-            modeled,
-            serialized,
-            s.arena_hits,
-            s.arena_misses,
-            s.arena_peak_bytes,
-        );
-        let mut j = String::new();
-        let _ = write!(
-            j,
-            concat!(
-                "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"seconds\": {:.6}, ",
-                "\"modeled_time\": {}, \"serialized_time\": {}, \"launches\": {}, ",
-                "\"arena_hits\": {}, \"arena_misses\": {}, \"arena_peak_bytes\": {}}}"
-            ),
-            case.name,
-            Report::new(&r).verdict_tag(),
-            r.stats.seconds,
-            modeled,
-            serialized,
-            s.launches,
-            s.arena_hits,
-            s.arena_misses,
-            s.arena_peak_bytes,
-        );
-        cases_json.push(j);
+        report(&case.name, Report::new(&r).verdict_tag(), &r.stats, &s);
+    }
+    for base in FRAIG_CASES {
+        let case = cases
+            .iter()
+            .find(|c| c.name.starts_with(base))
+            .expect("fraig case names come from the suite");
+        exec.reset_stats();
+        // A tighter global support bound and fewer random words than the
+        // sweep rows: wide pairs fall through to later rounds and the
+        // local phases, and coarse initial classes need several refine
+        // rounds — together they keep the dirty-cone resim and in-place
+        // refinement paths busy. Local phases are capped so the row stays
+        // smoke-bench-sized (full reduction is not the point here).
+        let mut cfg = EngineConfig::scaled().with_support_bounds(18, 14, 7);
+        cfg.sim_words = 2;
+        cfg.max_local_phases = 2;
+        let fr = fraig(&case.miter, &exec, &cfg);
+        let s = exec.stats();
+        let name = format!("{base}_fraig");
+        let verdict = if fr.stats.final_ands < fr.stats.initial_ands {
+            "reduced"
+        } else {
+            "unchanged"
+        };
+        report(&name, verdict, &fr.stats, &s);
     }
 
     let json = format!(
@@ -82,6 +138,8 @@ fn main() {
             "  \"total_wall_seconds\": {:.6},\n",
             "  \"total_modeled_time\": {},\n",
             "  \"total_serialized_time\": {},\n",
+            "  \"total_launches\": {},\n",
+            "  \"total_inline_launches\": {},\n",
             "  \"max_arena_peak_bytes\": {},\n",
             "  \"cases\": [\n{}\n  ]\n",
             "}}\n"
@@ -91,6 +149,8 @@ fn main() {
         total_seconds,
         total_modeled,
         total_serialized,
+        total_launches,
+        total_inline,
         peak_bytes,
         cases_json.join(",\n"),
     );

@@ -171,15 +171,18 @@ fn run(
     span.arg_u64("modeled_time", modeled_mark(exec).saturating_sub(mark));
     drop(span);
     stats.phase_times.global = t.elapsed().as_secs_f64();
-    if let Err(cex) = g_outcome {
-        return finish(
-            Verdict::NotEquivalent(cex),
-            current,
-            stats,
-            snapshots,
-            disproofs,
-        );
-    }
+    let mut live = match g_outcome {
+        Err(cex) => {
+            return finish(
+                Verdict::NotEquivalent(cex),
+                current,
+                stats,
+                snapshots,
+                disproofs,
+            );
+        }
+        Ok(live) => live,
+    };
     if traced {
         snapshots.push(("PG".into(), current.as_ref().clone()));
     }
@@ -207,6 +210,7 @@ fn run(
             &active_passes,
             &mut stats,
             phase as u64,
+            live.as_deref(),
             token,
         ) {
             Err(cex) => {
@@ -219,7 +223,8 @@ fn run(
                     disproofs,
                 );
             }
-            Ok((reduced, per_pass)) => {
+            Ok((reduced, per_pass, next_live)) => {
+                live = next_live;
                 if is_proved(&current) || !reduced {
                     break;
                 }
@@ -431,9 +436,29 @@ fn po_phase(
     Ok(())
 }
 
+/// The non-constant PO variables, sorted and deduplicated — kept live in
+/// pruned simulation rounds so the counter-example scan reads real words,
+/// never a dead node's zeroed buffer (which would false-fire on a
+/// complemented PO).
+fn po_vars(aig: &Aig) -> Vec<Var> {
+    let mut out: Vec<Var> = aig
+        .pos()
+        .iter()
+        .filter(|po| !po.is_const())
+        .map(|po| po.var())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// The G phase: initialize ECs by random simulation, then prove/disprove
 /// candidate pairs whose support union fits `k_g`, refining classes with
 /// counter-examples and reducing the miter (§III-D).
+///
+/// Returns the surviving live set (undecided class members, in the final
+/// miter's coordinates) for the L phases to prune against, or `None` if
+/// the phase never built EC state.
 fn global_phase(
     current: &mut Cow<'_, Aig>,
     exec: &Executor,
@@ -441,12 +466,18 @@ fn global_phase(
     stats: &mut EngineStats,
     disproofs: &mut Vec<Cex>,
     token: &CancelToken,
-) -> Result<(), Cex> {
+) -> Result<Option<Vec<Var>>, Cex> {
     global_phase_inner(current, exec, cfg, stats, disproofs, true, token)
 }
 
 /// The G phase body; with `miter_mode` off (FRAIG construction), firing
 /// POs are not treated as disproofs.
+///
+/// Round 0 simulates every node once and keeps both the patterns and the
+/// signature table. Later rounds are incremental: fresh patterns simulate
+/// only the live cone ([`parsweep_sim::simulate_pruned`]) and refine the
+/// classes in place; when proved pairs rewrite the miter, the base table
+/// is carried over by dirty-cone resimulation instead of a full rerun.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn global_phase_inner(
     current: &mut Cow<'_, Aig>,
@@ -456,8 +487,11 @@ pub(crate) fn global_phase_inner(
     disproofs: &mut Vec<Cex>,
     miter_mode: bool,
     token: &CancelToken,
-) -> Result<(), Cex> {
+) -> Result<Option<Vec<Var>>, Cex> {
+    let counters = trace::metrics::sim_counters();
     let mut cex_pool: Vec<Cex> = Vec::new();
+    let mut base_patterns: Option<Patterns> = None;
+    let mut ec: Option<EcManager> = None;
     for round in 0..cfg.max_global_rounds {
         if is_proved(current) || token.is_cancelled() {
             break;
@@ -476,20 +510,51 @@ pub(crate) fn global_phase_inner(
             Patterns::from_cexs(current, &cex_pool)
         };
         if let Some(cex_patterns) = cex_patterns {
-            patterns = patterns.concat(&cex_patterns);
+            patterns.extend(&cex_patterns);
         }
         cex_pool.clear();
-        let ec = EcManager::from_patterns(current, exec, &patterns);
-        if miter_mode {
-            if let Some(cex) = find_po_counterexample(current, ec.signatures(), &patterns) {
-                return Err(cex);
+        match ec.as_mut() {
+            None => {
+                let m = EcManager::from_patterns(current, exec, &patterns);
+                if miter_mode {
+                    if let Some(cex) = find_po_counterexample(current, m.signatures(), &patterns)
+                    {
+                        return Err(cex);
+                    }
+                }
+                ec = Some(m);
+                base_patterns = Some(patterns);
+            }
+            Some(m) => {
+                let extra = if miter_mode {
+                    po_vars(current)
+                } else {
+                    Vec::new()
+                };
+                let (fresh, refined, covered) = m.refine_with(current, exec, &patterns, &extra);
+                stats.pruned_sim_rounds += 1;
+                stats.classes_refined += refined as u64;
+                trace::metrics::SimCounters::add(&counters.pruned_rounds, 1);
+                trace::metrics::SimCounters::add(&counters.classes_refined, refined as u64);
+                trace::metrics::SimCounters::add(
+                    &counters.pruned_nodes_skipped,
+                    current.num_nodes().saturating_sub(covered) as u64,
+                );
+                if miter_mode {
+                    if let Some(cex) = find_po_counterexample(current, &fresh, &patterns) {
+                        return Err(cex);
+                    }
+                }
             }
         }
-
         let supports = current.bounded_supports(cfg.k_g);
         let mut windows: Vec<Window> = Vec::new();
         let mut skipped_const: Vec<PairCheck> = Vec::new();
-        for pair in ec.pairs(current) {
+        let candidate_pairs = ec
+            .as_ref()
+            .expect("EC state initialized above")
+            .pairs(current);
+        for pair in candidate_pairs {
             let Some(union) = union_support(
                 &supports[pair.a.index()],
                 &supports[pair.b.index()],
@@ -560,18 +625,35 @@ pub(crate) fn global_phase_inner(
             }
         }
         if proved_any {
-            let (reduced, _) = current.rebuild_with_substitution(&subst);
+            let (reduced, map) = current.rebuild_with_substitution(&subst);
+            // Carry the EC state across the rewrite: dirty-cone resim of
+            // the base table instead of a full round-0 rerun.
+            let (clean, dirty) = ec.as_mut().expect("EC state initialized above").rebuild(
+                current,
+                &reduced,
+                &map,
+                &subst,
+                exec,
+                base_patterns
+                    .as_ref()
+                    .expect("base patterns kept with EC state"),
+            );
+            stats.resim_clean_nodes += clean as u64;
+            stats.resim_dirty_nodes += dirty as u64;
+            trace::metrics::SimCounters::add(&counters.resim_clean_nodes, clean as u64);
+            trace::metrics::SimCounters::add(&counters.resim_dirty_nodes, dirty as u64);
             *current = Cow::Owned(reduced);
         }
         if !proved_any && cex_pool.is_empty() {
             break;
         }
     }
-    Ok(())
+    Ok(ec.map(|m| m.live_vars()))
 }
 
 /// One L phase: three cut generation and checking passes (Algorithm 2)
-/// followed by miter reduction. Returns whether the miter shrank.
+/// followed by miter reduction. Returns whether the miter shrank, the
+/// per-pass proof counts, and the next phase's live set.
 #[allow(clippy::too_many_arguments)]
 fn local_phase(
     current: &mut Cow<'_, Aig>,
@@ -580,13 +662,21 @@ fn local_phase(
     passes: &[Pass],
     stats: &mut EngineStats,
     phase: u64,
+    live: Option<&[Var]>,
     token: &CancelToken,
-) -> Result<(bool, Vec<u64>), Cex> {
-    local_phase_inner(current, exec, cfg, passes, stats, phase, true, token)
+) -> Result<(bool, Vec<u64>, Option<Vec<Var>>), Cex> {
+    local_phase_inner(current, exec, cfg, passes, stats, phase, true, live, token)
 }
 
 /// The L phase body; with `miter_mode` off (FRAIG construction), firing
 /// POs are not treated as disproofs.
+///
+/// With `live` set (the previous phase's undecided class members),
+/// simulation is support-pruned to their TFI cone and cut enumeration is
+/// restricted to it; without it (cold entry, e.g. after a cancelled G
+/// phase) the phase falls back to full simulation. Returns the next
+/// phase's live set — the surviving class members mapped through this
+/// phase's rewrite.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn local_phase_inner(
     current: &mut Cow<'_, Aig>,
@@ -596,8 +686,10 @@ pub(crate) fn local_phase_inner(
     stats: &mut EngineStats,
     phase: u64,
     miter_mode: bool,
+    live: Option<&[Var]>,
     token: &CancelToken,
-) -> Result<(bool, Vec<u64>), Cex> {
+) -> Result<(bool, Vec<u64>, Option<Vec<Var>>), Cex> {
+    let counters = trace::metrics::sim_counters();
     let mut round_span = trace::span("engine", "engine.round.L");
     round_span.arg_u64("phase", phase);
     let before = current.num_ands();
@@ -607,12 +699,33 @@ pub(crate) fn local_phase_inner(
         cfg.sim_words,
         cfg.seed ^ 0x10ca1 ^ (phase.wrapping_mul(0x9e37_79b9)),
     );
-    let ec = EcManager::from_patterns(current, exec, &patterns);
+    let ec = match live {
+        Some(candidates) => {
+            let extra = if miter_mode {
+                po_vars(current)
+            } else {
+                Vec::new()
+            };
+            let m = EcManager::from_patterns_pruned(current, exec, &patterns, candidates, &extra);
+            stats.pruned_sim_rounds += 1;
+            trace::metrics::SimCounters::add(&counters.pruned_rounds, 1);
+            if let Some(covered) = m.simulated_nodes() {
+                trace::metrics::SimCounters::add(
+                    &counters.pruned_nodes_skipped,
+                    current.num_nodes().saturating_sub(covered) as u64,
+                );
+            }
+            m
+        }
+        None => EcManager::from_patterns(current, exec, &patterns),
+    };
     if miter_mode {
         if let Some(cex) = find_po_counterexample(current, ec.signatures(), &patterns) {
             return Err(cex);
         }
     }
+    // Cut enumeration only needs nodes inside the candidates' cones.
+    let live_cone = live.map(|_| current.tfi_cone(&ec.live_vars()));
     let repr_map = ec.repr_map(current.num_nodes());
     let mut subst: Vec<Lit> = (0..current.num_nodes())
         .map(|i| Var::new(i as u32).lit())
@@ -633,6 +746,7 @@ pub(crate) fn local_phase_inner(
             pass,
             &ec,
             &repr_map,
+            live_cone.as_deref(),
             &mut subst,
             &mut proved,
             stats,
@@ -640,11 +754,35 @@ pub(crate) fn local_phase_inner(
         );
         per_pass.push(stats.proved_pairs - before_pairs);
     }
-    if proved.iter().any(|&p| p) {
-        let (reduced, _) = current.rebuild_with_substitution(&subst);
+    let rewrite_map = if proved.iter().any(|&p| p) {
+        let (reduced, map) = current.rebuild_with_substitution(&subst);
         *current = Cow::Owned(reduced);
-    }
-    Ok((current.num_ands() < before, per_pass))
+        Some(map)
+    } else {
+        None
+    };
+    // The next phase's live set: this phase's undecided members, renamed
+    // through the rewrite (merged members collapse onto their
+    // representative's image; members folded to a constant drop out).
+    let mut next_live: Vec<Var> = ec
+        .classes()
+        .iter()
+        .flatten()
+        .filter_map(|&m| match &rewrite_map {
+            Some(map) => {
+                let lit = map[m.index()];
+                if lit.is_const() {
+                    m.is_const().then_some(Var::FALSE)
+                } else {
+                    Some(lit.var())
+                }
+            }
+            None => Some(m),
+        })
+        .collect();
+    next_live.sort_unstable();
+    next_live.dedup();
+    Ok((current.num_ands() < before, per_pass, Some(next_live)))
 }
 
 #[cfg(test)]
@@ -711,6 +849,22 @@ mod tests {
         let m = miter(&adder(20, true), &adder(20, false)).unwrap();
         let r = sim_sweep(&m, &exec(), &EngineConfig::default());
         assert_eq!(r.verdict, Verdict::Equivalent, "stats: {:?}", r.stats);
+    }
+
+    #[test]
+    fn incremental_rounds_prune_and_refine() {
+        // 20-bit adders run G rounds plus L phases; everything after the
+        // first EC build must go through the pruned/refined path.
+        let m = miter(&adder(20, true), &adder(20, false)).unwrap();
+        let r = sim_sweep(&m, &exec(), &EngineConfig::default());
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert!(r.stats.pruned_sim_rounds > 0, "stats: {:?}", r.stats);
+        // Merges happened, so the dirty-cone resimulator carried words.
+        assert!(
+            r.stats.resim_clean_nodes + r.stats.resim_dirty_nodes > 0,
+            "stats: {:?}",
+            r.stats
+        );
     }
 
     #[test]

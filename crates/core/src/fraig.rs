@@ -49,7 +49,7 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
     let never = CancelToken::never();
     let t = std::time::Instant::now();
     // In non-miter mode the G phase cannot return a counter-example.
-    let _ = global_phase_inner(
+    let mut live = global_phase_inner(
         &mut current,
         exec,
         cfg,
@@ -57,7 +57,8 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
         &mut disproofs,
         false,
         &never,
-    );
+    )
+    .unwrap_or_default();
     stats.phase_times.global = t.elapsed().as_secs_f64();
 
     let t = std::time::Instant::now();
@@ -71,10 +72,15 @@ pub fn fraig(aig: &Aig, exec: &Executor, cfg: &EngineConfig) -> FraigResult {
             &mut stats,
             phase as u64,
             false,
+            live.as_deref(),
             &never,
         ) {
-            Ok((reduced, _)) if !reduced => break,
-            Ok(_) => {}
+            Ok((reduced, _, next_live)) => {
+                live = next_live;
+                if !reduced {
+                    break;
+                }
+            }
             Err(_) => unreachable!("non-miter mode produces no counter-examples"),
         }
     }

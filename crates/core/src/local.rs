@@ -9,7 +9,9 @@
 //! proved pairs are recorded for the end-of-phase miter reduction.
 
 use parsweep_aig::{Aig, Lit, Var};
-use parsweep_cut::{common_cuts, enumeration_levels, Cut, CutKernel, CutScorer, Pass};
+use parsweep_cut::{
+    common_cuts, enumeration_groups, enumeration_levels, Cut, CutKernel, CutScorer, Pass,
+};
 use parsweep_par::{CancelToken, Executor};
 use parsweep_sim::{PairCheck, PairOutcome, Window};
 
@@ -20,6 +22,11 @@ use crate::stats::EngineStats;
 
 /// Runs one cut generation and checking pass with the given Table-I
 /// criteria, accumulating proved pairs into `subst`/`proved`.
+///
+/// With `live_cone` set (the TFI cone of the undecided class members),
+/// cut enumeration skips every node outside it: cuts are only ever read
+/// inside a candidate pair's window cone, so dead regions of the miter
+/// cost nothing.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_cut_pass(
     aig: &Aig,
@@ -28,6 +35,7 @@ pub(crate) fn run_cut_pass(
     pass: Pass,
     ec: &EcManager,
     repr_map: &[Option<Var>],
+    live_cone: Option<&[Var]>,
     subst: &mut [Lit],
     proved: &mut [bool],
     stats: &mut EngineStats,
@@ -36,13 +44,7 @@ pub(crate) fn run_cut_pass(
     let fanouts = aig.fanout_counts();
     let levels = aig.levels();
     let el = enumeration_levels(aig, repr_map);
-
-    // Group AND nodes by enumeration level.
-    let max_el = el.iter().copied().max().unwrap_or(0) as usize;
-    let mut groups: Vec<Vec<Var>> = vec![Vec::new(); max_el + 1];
-    for v in aig.and_vars() {
-        groups[el[v.index()] as usize].push(v);
-    }
+    let groups = enumeration_groups(aig, &el, live_cone);
 
     // Priority cut sets, leased from the executor's arena so successive
     // passes recycle one table; PIs seed with their trivial cut
@@ -221,6 +223,7 @@ mod tests {
                 pass,
                 &ec,
                 &repr_map,
+                None,
                 &mut subst,
                 &mut proved,
                 &mut stats,

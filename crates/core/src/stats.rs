@@ -86,6 +86,18 @@ pub struct EngineStats {
     pub local_phases: u32,
     /// Total node-words simulated by the exhaustive simulator.
     pub sim_words: u64,
+    /// Support-pruned partial-simulation rounds: G refinement rounds and
+    /// L phases that simulated only the live cones instead of every node.
+    pub pruned_sim_rounds: u32,
+    /// Equivalence classes split in place by fresh-pattern refinement
+    /// (instead of rebucketing every node from scratch each round).
+    pub classes_refined: u64,
+    /// Nodes whose signature words were carried across a miter rewrite by
+    /// the dirty-cone resimulator (memoized in one copy launch).
+    pub resim_clean_nodes: u64,
+    /// Nodes re-launched by the dirty-cone resimulator (the TFO of merged
+    /// nodes).
+    pub resim_dirty_nodes: u64,
     /// Common cuts generated for local checking.
     pub common_cuts: u64,
     /// Per-phase wall-clock breakdown.

@@ -122,6 +122,38 @@ pub fn enumeration_levels(aig: &parsweep_aig::Aig, repr: &[Option<Var>]) -> Vec<
     el
 }
 
+/// Groups the AND nodes to enumerate by enumeration level, optionally
+/// restricted to a *live cone* (a TFI-closed, ascending node set — e.g.
+/// `Aig::tfi_cone` of the undecided class members).
+///
+/// Cut sets are only ever read for a candidate pair's window cone, so
+/// nodes outside the live cone need no cuts at all; a TFI-closed set
+/// guarantees every grouped node's fanins are grouped at a lower level
+/// (or are PIs), preserving the bottom-up enumeration contract.
+pub fn enumeration_groups(
+    aig: &parsweep_aig::Aig,
+    el: &[u32],
+    live_cone: Option<&[Var]>,
+) -> Vec<Vec<Var>> {
+    let max_el = el.iter().copied().max().unwrap_or(0) as usize;
+    let mut groups: Vec<Vec<Var>> = vec![Vec::new(); max_el + 1];
+    match live_cone {
+        Some(cone) => {
+            for &v in cone {
+                if aig.node(v).is_and() {
+                    groups[el[v.index()] as usize].push(v);
+                }
+            }
+        }
+        None => {
+            for v in aig.and_vars() {
+                groups[el[v.index()] as usize].push(v);
+            }
+        }
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

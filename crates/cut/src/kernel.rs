@@ -166,6 +166,6 @@ mod tests {
         }
 
         assert_eq!(kernel_sets, ref_sets);
-        assert!(exec.stats().launches > 0);
+        assert!(exec.stats().total_launches() > 0);
     }
 }

@@ -30,7 +30,7 @@ mod kernel;
 pub use criteria::{compare_with_similarity, similarity, CutMetrics, CutScorer, Pass};
 pub use cut::{Cut, MAX_CUT_SIZE};
 pub use enumerate::{
-    common_cuts, enumerate_cuts, enumeration_levels, filter_dominated, select_priority_cuts,
-    CutParams,
+    common_cuts, enumerate_cuts, enumeration_groups, enumeration_levels, filter_dominated,
+    select_priority_cuts, CutParams,
 };
 pub use kernel::CutKernel;

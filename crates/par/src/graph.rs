@@ -38,7 +38,7 @@
 //! graph.replay(&exec, &Round { scale: 2, acc: &acc });
 //! graph.replay(&exec, &Round { scale: 0, acc: &acc });
 //! assert_eq!(acc.load(Ordering::Relaxed), 2 * 28 + 4 + 4);
-//! assert_eq!(exec.stats().launches, 4);
+//! assert_eq!(exec.stats().total_launches(), 4);
 //! ```
 
 use crate::{Executor, Stream};
@@ -222,9 +222,9 @@ mod tests {
         let graph = g.build();
         let exec = Executor::with_threads(2);
         graph.replay(&exec, &0);
-        assert_eq!(exec.stats().launches, 0);
+        assert_eq!(exec.stats().total_launches(), 0);
         graph.replay(&exec, &5);
-        assert_eq!(exec.stats().launches, 1);
+        assert_eq!(exec.stats().total_launches(), 1);
         assert_eq!(exec.stats().total_threads, 5);
     }
 }

@@ -19,9 +19,30 @@
 //! let squares = exec.map(8, |i| i * i);
 //! assert_eq!(squares[3], 9);
 //! let stats = exec.stats();
-//! assert_eq!(stats.launches, 1);
+//! // Width 8 is below the inline threshold: the launch ran on the
+//! // calling thread instead of being dispatched to the pool, and is
+//! // counted in `inline_launches` rather than `launches`.
+//! assert_eq!(stats.launches, 0);
+//! assert_eq!(stats.inline_launches, 1);
+//! assert_eq!(stats.total_launches(), 1);
 //! assert_eq!(stats.total_threads, 8);
 //! ```
+//!
+//! ## Small-launch fast path
+//!
+//! Dispatching a launch to the worker pool costs a `thread::scope`
+//! spawn/join — hundreds of microseconds of fixed overhead, which for
+//! the narrow per-level launches of a sweeping round dwarfs the work
+//! itself (the launch-bound cases of `BENCH_runtime.json`). Launches
+//! below [`Executor::inline_threshold`] (default
+//! [`DEFAULT_INLINE_THRESHOLD`], override with the `PARSWEEP_INLINE`
+//! environment variable or [`Executor::with_inline_threshold`]) therefore
+//! run *inline* on the issuing thread. They are counted separately in
+//! [`LaunchStats::inline_launches`] — `launches` counts pool dispatches —
+//! but remain full launches everywhere else: the sanitizer instruments
+//! them, and they are charged to the width histograms and the modeled
+//! critical path exactly like dispatched launches (inlining changes where
+//! a kernel runs on the *host*, not the modeled device cost).
 //!
 //! ## Kernel sanitizer
 //!
@@ -86,16 +107,24 @@ pub const WIDTH_BUCKETS: usize = 64;
 
 /// Aggregate statistics over all kernel launches of an [`Executor`].
 ///
-/// `launches` is the critical-path length in kernels (each launch is a
-/// global synchronization point, as on a GPU stream); `total_threads` is
-/// the total data-parallel work; `widest` is the largest single launch.
-/// The per-launch widths are additionally retained in a bounded log2
+/// `launches` counts launches dispatched to the worker pool and
+/// `inline_launches` those run inline on the issuing thread (the
+/// small-launch fast path); their sum [`LaunchStats::total_launches`] is
+/// the sequential dependency chain length. `total_threads` is the total
+/// data-parallel work; `widest` is the largest single launch. The
+/// per-launch widths are additionally retained in a bounded log2
 /// histogram so [`LaunchStats::modeled_time`] can cost non-uniform launch
-/// profiles accurately.
+/// profiles accurately; inline launches land in the same histograms (the
+/// fast path changes host dispatch, not modeled device cost).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaunchStats {
-    /// Number of kernel launches (sequential dependency chain length).
+    /// Kernel launches dispatched to the worker pool (widths at or above
+    /// the executor's inline threshold).
     pub launches: u64,
+    /// Kernel launches below the inline threshold, run on the issuing
+    /// thread instead of the pool. Same modeled cost, no dispatch
+    /// overhead.
+    pub inline_launches: u64,
     /// Sum of the widths of all launches (total parallel work items).
     pub total_threads: u64,
     /// Width of the widest launch.
@@ -126,6 +155,7 @@ impl Default for LaunchStats {
     fn default() -> Self {
         LaunchStats {
             launches: 0,
+            inline_launches: 0,
             total_threads: 0,
             widest: 0,
             width_counts: [0; WIDTH_BUCKETS],
@@ -224,19 +254,25 @@ impl LaunchStats {
         histogram_cost(
             &self.width_counts,
             &self.width_sums,
-            self.launches,
+            self.total_launches(),
             self.total_threads,
             cores,
         )
     }
 
+    /// Total launches regardless of dispatch path: pool-dispatched
+    /// (`launches`) plus inline (`inline_launches`).
+    pub fn total_launches(&self) -> u64 {
+        self.launches + self.inline_launches
+    }
+
     /// The maximum speedup this profile admits (Amdahl-style): total work
     /// divided by the launch-count critical path.
     pub fn max_speedup(&self) -> f64 {
-        if self.launches == 0 {
+        if self.total_launches() == 0 {
             1.0
         } else {
-            self.total_threads as f64 / self.launches as f64
+            self.total_threads as f64 / self.total_launches() as f64
         }
     }
 
@@ -246,6 +282,7 @@ impl LaunchStats {
     /// mark take the max (the arenas are independent pools).
     pub fn merge(&mut self, other: &LaunchStats) {
         self.launches += other.launches;
+        self.inline_launches += other.inline_launches;
         self.total_threads += other.total_threads;
         self.widest = self.widest.max(other.widest);
         self.critical_launches += other.critical_launches;
@@ -277,6 +314,7 @@ impl LaunchStats {
 #[derive(Debug)]
 pub struct Executor {
     num_threads: usize,
+    inline_threshold: usize,
     stats: Mutex<LaunchStats>,
     sanitizer: Option<Sanitizer>,
     arena: BufferArena,
@@ -295,6 +333,22 @@ impl Default for Executor {
 fn ambient_sanitize() -> bool {
     cfg!(feature = "sanitize")
         || std::env::var_os("PARSWEEP_SANITIZE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Default width below which a launch runs inline on the issuing thread
+/// instead of being dispatched to the worker pool. At typical pool sizes
+/// a dispatch costs a `thread::scope` spawn/join; below a couple hundred
+/// work items the per-item work never amortizes it.
+pub const DEFAULT_INLINE_THRESHOLD: usize = 256;
+
+/// Reads the `PARSWEEP_INLINE` environment override for the inline
+/// threshold. Unset or unparsable values fall back to the default; `0`
+/// disables the fast path (every launch dispatches to the pool).
+fn ambient_inline_threshold() -> usize {
+    std::env::var("PARSWEEP_INLINE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_INLINE_THRESHOLD)
 }
 
 impl Executor {
@@ -320,6 +374,7 @@ impl Executor {
         assert!(num_threads > 0, "executor needs at least one thread");
         Executor {
             num_threads,
+            inline_threshold: ambient_inline_threshold(),
             stats: Mutex::new(LaunchStats::default()),
             sanitizer: ambient_sanitize().then(|| Sanitizer::new(SanitizerConfig::default())),
             arena: BufferArena::new(),
@@ -347,11 +402,29 @@ impl Executor {
         assert!(num_threads > 0, "executor needs at least one thread");
         Executor {
             num_threads,
+            inline_threshold: ambient_inline_threshold(),
             stats: Mutex::new(LaunchStats::default()),
             sanitizer: Some(Sanitizer::new(config)),
             arena: BufferArena::new(),
             next_stream: AtomicU64::new(1),
         }
+    }
+
+    /// Overrides the small-launch inline threshold: launches of width
+    /// strictly below `threshold` run on the issuing thread instead of
+    /// dispatching to the worker pool (and are counted in
+    /// [`LaunchStats::inline_launches`]). `0` disables the fast path.
+    ///
+    /// The ambient default is [`DEFAULT_INLINE_THRESHOLD`], overridable
+    /// process-wide with the `PARSWEEP_INLINE` environment variable.
+    pub fn with_inline_threshold(mut self, threshold: usize) -> Self {
+        self.inline_threshold = threshold;
+        self
+    }
+
+    /// Width below which launches run inline on the issuing thread.
+    pub fn inline_threshold(&self) -> usize {
+        self.inline_threshold
     }
 
     /// Wraps this executor for sharing across concurrently-running
@@ -434,10 +507,17 @@ impl Executor {
     /// Records a launch of width `n` and returns its 1-based ordinal.
     /// `critical` charges it to the modeled critical path as well (true
     /// for every eager launch; stream launches are charged per join
-    /// epoch via [`Executor::record_critical_widths`]).
+    /// epoch via [`Executor::record_critical_widths`]). Widths below the
+    /// inline threshold count toward `inline_launches` instead of
+    /// `launches`; everything else (histograms, critical path, widest) is
+    /// dispatch-agnostic.
     fn record(&self, n: usize, critical: bool) -> u64 {
         let mut s = self.lock_stats();
-        s.launches += 1;
+        if n < self.inline_threshold {
+            s.inline_launches += 1;
+        } else {
+            s.launches += 1;
+        }
         s.total_threads += n as u64;
         s.widest = s.widest.max(n as u64);
         let bucket = (n as u64).ilog2() as usize;
@@ -449,7 +529,7 @@ impl Executor {
             s.critical_counts[bucket] += 1;
             s.critical_sums[bucket] += n as u64;
         }
-        s.launches
+        s.total_launches()
     }
 
     /// Charges a set of launch widths to the modeled critical path (the
@@ -544,11 +624,17 @@ impl Executor {
     }
 
     /// Runs `kernel` for tids `0..n` chunked over the worker pool.
+    /// Widths below the inline threshold run on the calling thread — the
+    /// fixed cost of a `thread::scope` dispatch dwarfs that little work.
     pub(crate) fn run_chunked<F>(&self, n: usize, kernel: &F)
     where
         F: Fn(usize) + Sync + ?Sized,
     {
-        let workers = self.num_threads.min(n);
+        let workers = if n < self.inline_threshold {
+            1
+        } else {
+            self.num_threads.min(n)
+        };
         if workers == 1 {
             for tid in 0..n {
                 kernel(tid);
@@ -982,11 +1068,57 @@ mod tests {
         exec.launch(10, |_| {});
         exec.launch(5, |_| {});
         let s = exec.stats();
-        assert_eq!(s.launches, 2);
+        // Both launches are below the inline threshold: counted in
+        // inline_launches, zero pool dispatches.
+        assert_eq!(s.launches, 0);
+        assert_eq!(s.inline_launches, 2);
+        assert_eq!(s.total_launches(), 2);
         assert_eq!(s.total_threads, 15);
         assert_eq!(s.widest, 10);
         exec.reset_stats();
         assert_eq!(exec.stats(), LaunchStats::default());
+    }
+
+    #[test]
+    fn inline_threshold_splits_the_launch_counters() {
+        let exec = Executor::with_threads(2).with_inline_threshold(100);
+        exec.launch(99, |_| {});
+        exec.launch(100, |_| {});
+        exec.launch(5000, |_| {});
+        let s = exec.stats();
+        assert_eq!(s.inline_launches, 1);
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.total_launches(), 3);
+        // The cost model is dispatch-agnostic: the histograms carry all
+        // three launches.
+        assert_eq!(s.serialized_time(1), 99 + 100 + 5000);
+        assert_eq!(s.modeled_time(10_000), 3);
+    }
+
+    #[test]
+    fn inline_launches_run_on_the_calling_thread() {
+        let exec = Executor::with_threads(4).with_inline_threshold(64);
+        let caller = std::thread::current().id();
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        exec.launch(63, |_| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "sub-threshold launch left the issuing thread"
+            );
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 63);
+        assert_eq!(exec.stats().inline_launches, 1);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_fast_path() {
+        let exec = Executor::with_threads(2).with_inline_threshold(0);
+        exec.launch(1, |_| {});
+        let s = exec.stats();
+        assert_eq!(s.launches, 1);
+        assert_eq!(s.inline_launches, 0);
     }
 
     #[test]
@@ -1182,7 +1314,8 @@ mod tests {
             }
         });
         let s = exec.stats();
-        assert_eq!(s.launches, 16);
+        assert_eq!(s.total_launches(), 16);
+        assert_eq!(s.inline_launches, 16); // width 64 < inline threshold
         assert_eq!(s.total_threads, 16 * 64);
     }
 

@@ -251,6 +251,28 @@ impl Executor {
             }
             return;
         }
+        // Multiple streams where every launch is below the inline
+        // threshold: the whole epoch runs on the calling thread, stream
+        // by stream. Any serial order that respects per-stream queue
+        // order is a valid epoch schedule (cross-stream launches are
+        // unordered), and spawning driver threads for sub-threshold
+        // launches is pure overhead — this is the epoch-level face of the
+        // small-launch fast path.
+        let threshold = self.inline_threshold();
+        if batches
+            .iter()
+            .all(|(_, queue)| queue.iter().all(|p| p.n < threshold))
+        {
+            for (_, queue) in &batches {
+                for pending in queue {
+                    let _span = trace::kernel_span(&pending.label, pending.n);
+                    for tid in 0..pending.n {
+                        (pending.kernel)(tid);
+                    }
+                }
+            }
+            return;
+        }
         // Multiple streams: one driver per stream (capped at the pool
         // width), each draining its streams' launches in order. Streams
         // genuinely interleave; launches within a stream stay ordered.

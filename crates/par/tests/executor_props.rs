@@ -45,7 +45,7 @@ proptest! {
         }
         let s = exec.stats();
         let nonzero: Vec<usize> = widths.iter().copied().filter(|&w| w > 0).collect();
-        prop_assert_eq!(s.launches, nonzero.len() as u64);
+        prop_assert_eq!(s.total_launches(), nonzero.len() as u64);
         prop_assert_eq!(s.total_threads, nonzero.iter().sum::<usize>() as u64);
         prop_assert_eq!(s.widest, nonzero.iter().max().copied().unwrap_or(0) as u64);
     }

@@ -53,7 +53,7 @@ fn single_stream_sync_is_fully_critical() {
     s.launch(100, |_| {});
     s.sync();
     let stats = exec.stats();
-    assert_eq!(stats.launches, 2);
+    assert_eq!(stats.total_launches(), 2);
     // One stream is an ordered chain: nothing overlaps.
     assert_eq!(stats.modeled_time(64), stats.serialized_time(64));
 }
@@ -94,7 +94,7 @@ fn dropped_stream_syncs_its_queue() {
         // No explicit sync: dropping the stream completes its work.
     }
     assert!(buf.iter().all(|&v| v == 7));
-    assert_eq!(exec.stats().launches, 1);
+    assert_eq!(exec.stats().total_launches(), 1);
 }
 
 #[test]
@@ -250,7 +250,7 @@ fn raw_and_sanitized_streams_record_identical_stats() {
     let san = Executor::with_sanitizer(3);
     assert_eq!(run(&raw), run(&san));
     assert!(san.take_reports().is_empty());
-    assert_eq!(raw.stats().launches, san.stats().launches);
+    assert_eq!(raw.stats().total_launches(), san.stats().total_launches());
     assert_eq!(raw.stats().total_threads, san.stats().total_threads);
     assert_eq!(raw.stats().modeled_time(64), san.stats().modeled_time(64));
 }

@@ -36,16 +36,20 @@ mod classes;
 pub mod exhaustive;
 pub mod npn;
 pub mod partial;
+pub mod resim;
 pub mod reverse;
 mod tt;
 mod window;
 
 pub use cex::Cex;
-pub use classes::{find_po_counterexample, signature_classes};
+pub use classes::{
+    find_po_counterexample, refine_classes, signature_classes, signature_classes_among,
+};
 pub use exhaustive::{
     check_windows, check_windows_cancellable, PairOutcome, SimEffort, DEFAULT_MEMORY_WORDS,
 };
 pub use npn::{apply_npn, npn_canonical, npn_equivalent, NpnTransform};
-pub use partial::{simulate, Patterns, Signatures};
+pub use partial::{simulate, simulate_pruned, simulate_pruned_counted, Patterns, Signatures};
+pub use resim::ResimPlan;
 pub use tt::{projection_word, word_len, TruthTable, PROJECTIONS};
 pub use window::{merge_windows, merge_windows_clustered, PairCheck, Window};

@@ -6,7 +6,7 @@
 //! later resimulated to refine the classes (§III-A "partial simulator").
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::{Executor, PooledBuf};
+use parsweep_par::{DeviceSlice, Executor, PooledBuf};
 
 use crate::Cex;
 
@@ -124,22 +124,36 @@ impl Patterns {
     ///
     /// Panics if the PI counts differ.
     pub fn concat(&self, other: &Patterns) -> Patterns {
+        let mut out = self.clone();
+        out.extend(other);
+        out
+    }
+
+    /// Appends another pattern set in place — the refinement loop's
+    /// per-round CEX injection, without [`Patterns::concat`]'s fresh
+    /// allocation and double copy.
+    ///
+    /// The storage is PI-major, so each PI's word run is moved to its new
+    /// offset (back to front, sources still intact) and `other`'s words
+    /// are spliced in behind it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PI counts differ.
+    pub fn extend(&mut self, other: &Patterns) {
         assert_eq!(self.num_pis, other.num_pis, "PI counts differ");
-        let num_words = self.num_words + other.num_words;
-        let mut data = Vec::with_capacity(self.num_pis * num_words);
-        for pi in 0..self.num_pis {
-            for w in 0..self.num_words {
-                data.push(self.word(pi, w));
-            }
-            for w in 0..other.num_words {
-                data.push(other.word(pi, w));
-            }
+        let (w1, w2) = (self.num_words, other.num_words);
+        if w2 == 0 {
+            return;
         }
-        Patterns {
-            num_pis: self.num_pis,
-            num_words,
-            data,
+        let total = w1 + w2;
+        self.data.resize(self.num_pis * total, 0);
+        for pi in (0..self.num_pis).rev() {
+            self.data.copy_within(pi * w1..pi * w1 + w1, pi * total);
+            self.data[pi * total + w1..(pi + 1) * total]
+                .copy_from_slice(&other.data[pi * w2..(pi + 1) * w2]);
         }
+        self.num_words = total;
     }
 
     /// Number of PIs covered.
@@ -159,7 +173,10 @@ impl Patterns {
     }
 }
 
-/// Per-node simulation signatures: `num_words` words per node, node-major.
+/// Per-node simulation signatures: `num_words` words per node, node-major,
+/// plus a cached canonical-hash column (one word per node) filled by the
+/// simulation kernels so class bucketing never rehashes signatures on the
+/// host.
 ///
 /// The backing storage is leased from the executor's [`BufferArena`]
 /// (`parsweep_par::BufferArena`): dropping a `Signatures` returns the
@@ -169,6 +186,26 @@ impl Patterns {
 pub struct Signatures {
     num_words: usize,
     data: PooledBuf<u64>,
+    hashes: PooledBuf<u64>,
+}
+
+/// FNV-1a over phase-canonicalized signature words — the shared hash used
+/// by the device kernels (cache fill), [`Signatures::canonical_hash`] and
+/// the class refiner, so every path buckets identically.
+pub(crate) fn hash_canonical_words(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cached hash of a node that was never simulated (all-zero words,
+/// canonical form all-zero): identical to the constant node's hash, so it
+/// must only be exposed for nodes a pruned run actually covered.
+pub(crate) fn hash_zero_signature(num_words: usize) -> u64 {
+    hash_canonical_words((0..num_words).map(|_| 0u64))
 }
 
 impl Signatures {
@@ -200,13 +237,31 @@ impl Signatures {
     }
 
     /// A 64-bit hash of the canonical signature, for fast class bucketing.
+    ///
+    /// Served from the cached column the simulation kernels filled — no
+    /// per-call rehash. The cache is valid for every node a full
+    /// [`simulate`] covered; after [`simulate_pruned`] it is only valid
+    /// for the constant node and nodes inside the live cone (dead nodes
+    /// carry the zeroed-buffer sentinel).
+    #[inline]
     pub fn canonical_hash(&self, var: Var) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for w in self.canonical(var) {
-            h ^= w;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        self.hashes[var.index()]
+    }
+}
+
+impl Signatures {
+    /// Assembles a signature table from already-filled buffers (the
+    /// dirty-cone resimulator's construction path).
+    pub(crate) fn from_parts(
+        num_words: usize,
+        data: PooledBuf<u64>,
+        hashes: PooledBuf<u64>,
+    ) -> Self {
+        Signatures {
+            num_words,
+            data,
+            hashes,
         }
-        h
     }
 }
 
@@ -218,6 +273,57 @@ impl Signatures {
 /// an ordering edge, so each level sees its fanin levels' words) and the
 /// signature table is leased from the executor's buffer arena.
 pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
+    simulate_groups(aig, exec, patterns, &aig.level_groups())
+}
+
+/// Simulates only the TFI cone of `live` — the support-pruned partial
+/// simulator. After the first refinement round most of a miter is dead
+/// weight: only nodes feeding a still-undecided candidate can influence a
+/// class split, so each level launch is restricted to cone members and
+/// levels whose cone slice is empty launch nothing at all.
+///
+/// Nodes outside the cone keep the leased buffer's zero words **and** a
+/// zero hash sentinel: the returned table is only meaningful for cone
+/// members and the constant node. Derive classes with
+/// [`crate::signature_classes_among`] over (a subset of) `live`, never
+/// with the full [`crate::signature_classes`].
+pub fn simulate_pruned(aig: &Aig, exec: &Executor, patterns: &Patterns, live: &[Var]) -> Signatures {
+    simulate_pruned_counted(aig, exec, patterns, live).0
+}
+
+/// Like [`simulate_pruned`], additionally returning the number of nodes
+/// actually simulated (the live cone's size), so callers can account how
+/// much of the network the pruning skipped.
+pub fn simulate_pruned_counted(
+    aig: &Aig,
+    exec: &Executor,
+    patterns: &Patterns,
+    live: &[Var],
+) -> (Signatures, usize) {
+    let cone = aig.tfi_cone(live);
+    let levels = aig.levels();
+    let depth = cone
+        .iter()
+        .map(|&v| levels[v.index()] as usize)
+        .max()
+        .map_or(0, |d| d + 1);
+    let mut groups = vec![Vec::new(); depth];
+    for &v in &cone {
+        groups[levels[v.index()] as usize].push(v);
+    }
+    let covered = cone.len();
+    (simulate_groups(aig, exec, patterns, &groups), covered)
+}
+
+/// Level-parallel simulation over an explicit level grouping (every fanin
+/// of a grouped node must appear in an earlier group). Shared by the full
+/// and support-pruned simulators.
+fn simulate_groups(
+    aig: &Aig,
+    exec: &Executor,
+    patterns: &Patterns,
+    groups: &[Vec<Var>],
+) -> Signatures {
     assert_eq!(
         patterns.num_pis(),
         aig.num_pis(),
@@ -225,46 +331,95 @@ pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
     );
     let w = patterns.num_words();
     let mut data = exec.arena().take::<u64>(aig.num_nodes() * w);
+    let mut hashes = exec.arena().take::<u64>(aig.num_nodes());
+    // The constant node's hash must be valid even when no group covers
+    // var 0 (a pruned cone rarely does): proved-constant candidates
+    // bucket against it.
+    hashes[0] = hash_zero_signature(w);
     {
         let cells = exec.bind("sim.partial.signatures", &mut data);
         let cells = &cells;
-        let groups = aig.level_groups();
+        let hcells = exec.bind("sim.partial.hashes", &mut hashes);
+        let hcells = &hcells;
         let mut stream = exec.stream();
-        for group in &groups {
+        for group in groups {
             stream.launch_labeled("sim.partial.level", group.len(), move |t| {
-                let v = group[t];
-                match aig.node(v) {
-                    Node::Const => {
-                        // Already zero.
-                    }
-                    Node::Input(pi) => {
-                        for k in 0..w {
-                            // SAFETY: each node writes only its own words.
-                            unsafe {
-                                cells.write(t, v.index() * w + k, patterns.word(pi as usize, k))
-                            };
-                        }
-                    }
-                    Node::And(a, b) => {
-                        let ma = if a.is_complemented() { u64::MAX } else { 0 };
-                        let mb = if b.is_complemented() { u64::MAX } else { 0 };
-                        for k in 0..w {
-                            // SAFETY: fanins are in earlier levels (earlier
-                            // launches on this stream); each node writes only
-                            // its words.
-                            unsafe {
-                                let wa = cells.read(t, a.var().index() * w + k) ^ ma;
-                                let wb = cells.read(t, b.var().index() * w + k) ^ mb;
-                                cells.write(t, v.index() * w + k, wa & wb);
-                            }
-                        }
-                    }
-                }
+                eval_node(aig, group[t], t, w, patterns, cells, hcells);
             });
         }
         stream.sync();
     }
-    Signatures { num_words: w, data }
+    Signatures {
+        num_words: w,
+        data,
+        hashes,
+    }
+}
+
+/// One node's simulation step: computes its `w` signature words from its
+/// fanins (or the pattern words for a PI), writes them as tid `t`'s slots
+/// and fills the node's canonical-hash cache slot. Shared by the level
+/// kernels of [`simulate`]/[`simulate_pruned`] and the dirty-cone
+/// resimulator.
+///
+/// Launch-ordering contract (the caller's obligation): every fanin of `v`
+/// must have been written by an *earlier launch on the same stream*.
+#[inline]
+pub(crate) fn eval_node(
+    aig: &Aig,
+    v: Var,
+    t: usize,
+    w: usize,
+    patterns: &Patterns,
+    cells: &DeviceSlice<'_, u64>,
+    hcells: &DeviceSlice<'_, u64>,
+) {
+    match aig.node(v) {
+        Node::Const => {
+            // Words already zero; the hash slot was host-seeded.
+        }
+        Node::Input(pi) => {
+            let mask = if patterns.word(pi as usize, 0) & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for k in 0..w {
+                let word = patterns.word(pi as usize, k);
+                h ^= word ^ mask;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                // SAFETY: each node writes only its own words.
+                unsafe { cells.write(t, v.index() * w + k, word) };
+            }
+            // SAFETY: each node writes only its own hash slot.
+            unsafe { hcells.write(t, v.index(), h) };
+        }
+        Node::And(a, b) => {
+            let ma = if a.is_complemented() { u64::MAX } else { 0 };
+            let mb = if b.is_complemented() { u64::MAX } else { 0 };
+            let mut mask = 0;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for k in 0..w {
+                // SAFETY: fanins were written by earlier launches on this
+                // stream (see the ordering contract); each node writes
+                // only its own words.
+                unsafe {
+                    let wa = cells.read(t, a.var().index() * w + k) ^ ma;
+                    let wb = cells.read(t, b.var().index() * w + k) ^ mb;
+                    let word = wa & wb;
+                    if k == 0 {
+                        mask = if word & 1 == 1 { u64::MAX } else { 0 };
+                    }
+                    h ^= word ^ mask;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    cells.write(t, v.index() * w + k, word);
+                }
+            }
+            // SAFETY: each node writes only its own hash slot.
+            unsafe { hcells.write(t, v.index(), h) };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +498,47 @@ mod tests {
                 .count();
             assert_eq!(diff, 1, "bit {bit}");
         }
+    }
+
+    #[test]
+    fn extend_appends_words_pi_major() {
+        let a = Patterns::from_raw(2, 2, vec![1, 2, 3, 4]);
+        let b = Patterns::from_raw(2, 1, vec![9, 8]);
+        let mut ext = a.clone();
+        ext.extend(&b);
+        assert_eq!(ext.num_words(), 3);
+        // PI 0: [1, 2] ++ [9]; PI 1: [3, 4] ++ [8].
+        assert_eq!(
+            (0..3).map(|w| ext.word(0, w)).collect::<Vec<_>>(),
+            vec![1, 2, 9]
+        );
+        assert_eq!(
+            (0..3).map(|w| ext.word(1, w)).collect::<Vec<_>>(),
+            vec![3, 4, 8]
+        );
+        // concat is the by-value spelling of extend.
+        let c = a.concat(&b);
+        assert_eq!((0..3).map(|w| c.word(1, w)).collect::<Vec<_>>(), vec![3, 4, 8]);
+    }
+
+    #[test]
+    fn pruned_simulation_covers_only_the_live_cone() {
+        // Two independent cones; keep only one alive.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let f = aig.and(xs[0], xs[1]);
+        let g = aig.and(xs[2], xs[3]);
+        aig.add_po(f);
+        aig.add_po(g);
+        let patterns = Patterns::random(4, 2, 5);
+        let full = simulate(&aig, &exec(), &patterns);
+        let (pruned, covered) = simulate_pruned_counted(&aig, &exec(), &patterns, &[f.var()]);
+        // Cone of f: x0, x1, f.
+        assert_eq!(covered, 3);
+        assert_eq!(pruned.sig(f.var()), full.sig(f.var()));
+        assert_eq!(pruned.canonical_hash(f.var()), full.canonical_hash(f.var()));
+        // The dead cone keeps the zeroed lease — never launched.
+        assert!(pruned.sig(g.var()).iter().all(|&w| w == 0));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Dirty-cone resimulation: keep a signature table alive across miter
+//! rewrites.
+//!
+//! When FRAIG merges proved pairs and rebuilds the miter, the previous
+//! round's `Signatures` table is *mostly* still correct: a node whose TFI
+//! contains no replaced node computes exactly the same function in the
+//! rewritten network, so its memoized words (and canonical hash) carry
+//! over verbatim. Only the TFO of the replaced nodes — the *dirty
+//! frontier* — needs re-launching, level by level. [`ResimPlan`] computes
+//! that split once per rewrite; [`ResimPlan::resimulate`] then executes
+//! one wide copy launch for the clean nodes plus per-level launches over
+//! the dirty ones.
+
+use parsweep_aig::{Aig, Lit, Node, Var};
+use parsweep_par::Executor;
+
+use crate::partial::{eval_node, hash_zero_signature, Patterns, Signatures};
+
+/// The clean/dirty split of a rewritten network against its predecessor:
+/// which new nodes inherit memoized signature words from an old node, and
+/// which sit downstream of a substitution and must be re-launched.
+///
+/// Built from the outputs of `Aig::rebuild_with_substitution`: the old
+/// network, the rewritten network, the old-variable→new-literal `map`,
+/// and the substitution that drove the rewrite. A new node is *clean*
+/// when it is the image of an old node that is neither substituted nor
+/// downstream of a substituted node — its cone, hence its function, is
+/// unchanged, so this holds even for unsound substitutions (which is what
+/// lets a property test validate the plan under random merges).
+#[derive(Debug)]
+pub struct ResimPlan {
+    /// `(new_var, old_lit)`: the new node's words are the old literal's
+    /// words (complement folded in by the copy kernel). Excludes the
+    /// constant node, whose words are zero by construction.
+    copies: Vec<(Var, Lit)>,
+    /// Dirty new nodes grouped by topological level of the new network.
+    dirty_groups: Vec<Vec<Var>>,
+    /// Node count of the new network (the table size to lease).
+    num_nodes: usize,
+    num_dirty: usize,
+}
+
+impl ResimPlan {
+    /// Plans the resimulation of `new = old.rebuild_with_substitution(subst)`,
+    /// where `map` is the old→new literal map that rebuild returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` or `subst` do not cover `old`'s nodes.
+    pub fn new(old: &Aig, new: &Aig, map: &[Lit], subst: &[Lit]) -> Self {
+        assert_eq!(map.len(), old.num_nodes(), "map size mismatch");
+        assert_eq!(subst.len(), old.num_nodes(), "substitution size mismatch");
+        // Taint the substituted old nodes and everything downstream of
+        // them (ascending ids: fanins are visited before fanouts).
+        let mut tainted = vec![false; old.num_nodes()];
+        for (i, node) in old.nodes().iter().enumerate() {
+            let downstream = match node {
+                Node::And(a, b) => tainted[a.var().index()] || tainted[b.var().index()],
+                _ => false,
+            };
+            tainted[i] = downstream || subst[i] != Var::new(i as u32).lit();
+        }
+        // First clean old node mapping onto each new variable donates its
+        // words. The constant node needs no donor (leased buffers are
+        // zeroed); tainted or dropped old nodes never donate.
+        let mut source: Vec<Option<Lit>> = vec![None; new.num_nodes()];
+        source[0] = Some(Lit::FALSE);
+        for (i, &lit) in map.iter().enumerate() {
+            if tainted[i] || lit.is_const() {
+                continue;
+            }
+            let slot = &mut source[lit.var().index()];
+            if slot.is_none() {
+                *slot = Some(Var::new(i as u32).lit_with(lit.is_complemented()));
+            }
+        }
+        let mut copies = Vec::new();
+        let levels = new.levels();
+        let mut dirty_groups: Vec<Vec<Var>> = Vec::new();
+        let mut num_dirty = 0usize;
+        for (v, slot) in source.iter().enumerate().skip(1) {
+            let var = Var::new(v as u32);
+            match slot {
+                Some(old_lit) => copies.push((var, *old_lit)),
+                None => {
+                    let level = levels[v] as usize;
+                    if dirty_groups.len() <= level {
+                        dirty_groups.resize(level + 1, Vec::new());
+                    }
+                    dirty_groups[level].push(var);
+                    num_dirty += 1;
+                }
+            }
+        }
+        ResimPlan {
+            copies,
+            dirty_groups,
+            num_nodes: new.num_nodes(),
+            num_dirty,
+        }
+    }
+
+    /// Number of new nodes that inherit memoized words (one copy launch).
+    pub fn num_clean(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Number of new nodes on the dirty frontier (re-launched per level).
+    pub fn num_dirty(&self) -> usize {
+        self.num_dirty
+    }
+
+    /// Executes the plan: one copy launch moves every clean node's words
+    /// (complement folded in; the canonical hash is complement-invariant
+    /// and copies verbatim), then the dirty nodes re-launch level by
+    /// level on the same stream.
+    ///
+    /// `old_sigs` must be the *full-coverage* table of the old network
+    /// under exactly these `patterns` — the table [`crate::simulate`]
+    /// produced, or a previous `resimulate` result (both cover every
+    /// node). A support-pruned table is not a valid donor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from `old_sigs`'s.
+    pub fn resimulate(
+        &self,
+        new: &Aig,
+        exec: &Executor,
+        patterns: &Patterns,
+        old_sigs: &Signatures,
+    ) -> Signatures {
+        assert_eq!(
+            patterns.num_words(),
+            old_sigs.num_words(),
+            "resimulation patterns must match the memoized table"
+        );
+        assert_eq!(patterns.num_pis(), new.num_pis(), "pattern/PI count mismatch");
+        let w = patterns.num_words();
+        let mut data = exec.arena().take::<u64>(self.num_nodes * w);
+        let mut hashes = exec.arena().take::<u64>(self.num_nodes);
+        hashes[0] = hash_zero_signature(w);
+        {
+            let cells = exec.bind("sim.resim.signatures", &mut data);
+            let cells = &cells;
+            let hcells = exec.bind("sim.resim.hashes", &mut hashes);
+            let hcells = &hcells;
+            let copies = &self.copies;
+            let mut stream = exec.stream();
+            stream.launch_labeled("sim.resim.copy", copies.len(), move |t| {
+                let (nv, old_lit) = copies[t];
+                let mask = if old_lit.is_complemented() { u64::MAX } else { 0 };
+                let src = old_sigs.sig(old_lit.var());
+                for k in 0..w {
+                    // SAFETY: each tid writes only its own node's words;
+                    // the donor table is a read-only host buffer.
+                    unsafe { cells.write(t, nv.index() * w + k, src[k] ^ mask) };
+                }
+                // SAFETY: each tid writes only its own node's hash slot.
+                unsafe { hcells.write(t, nv.index(), old_sigs.canonical_hash(old_lit.var())) };
+            });
+            for group in &self.dirty_groups {
+                stream.launch_labeled("sim.resim.level", group.len(), move |t| {
+                    // Fanins are either clean (the copy launch above) or
+                    // dirty at a strictly lower level (an earlier launch
+                    // on this stream): the eval contract holds.
+                    eval_node(new, group[t], t, w, patterns, cells, hcells);
+                });
+            }
+            stream.sync();
+        }
+        Signatures::from_parts(w, data, hashes)
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the incremental simulation stack: support-pruned
+//! simulation, dirty-cone resimulation across rewrites, and in-place
+//! class refinement must all be indistinguishable from simulating from
+//! scratch.
+//!
+//! The whole suite is also run under `PARSWEEP_SANITIZE=1` in CI (see
+//! `scripts/bench.sh` and the sanitizer test jobs): every kernel these
+//! paths launch must stay racecheck-clean.
+
+use proptest::prelude::*;
+
+use parsweep_aig::random::SplitMix64;
+use parsweep_aig::{Aig, Lit, Var};
+use parsweep_par::Executor;
+use parsweep_sim::{
+    refine_classes, signature_classes, signature_classes_among, simulate, simulate_pruned,
+    Patterns, ResimPlan,
+};
+
+fn exec() -> Executor {
+    Executor::with_threads(2)
+}
+
+/// A random live set: each var kept with probability ~1/4, at least one.
+fn random_live(aig: &Aig, seed: u64) -> Vec<Var> {
+    let mut rng = SplitMix64::new(seed);
+    let mut live: Vec<Var> = (0..aig.num_nodes())
+        .map(|i| Var::new(i as u32))
+        .filter(|_| rng.below(4) == 0)
+        .collect();
+    if live.is_empty() {
+        live.push(Var::new((aig.num_nodes() - 1) as u32));
+    }
+    live
+}
+
+/// A random (generally unsound) substitution in engine shape: some AND
+/// nodes replaced by a smaller-id literal. PIs are never substituted.
+fn random_merges(aig: &Aig, seed: u64) -> Vec<Lit> {
+    let mut rng = SplitMix64::new(seed);
+    let mut subst: Vec<Lit> = (0..aig.num_nodes())
+        .map(|i| Var::new(i as u32).lit())
+        .collect();
+    for v in aig.and_vars() {
+        if rng.below(5) != 0 {
+            continue;
+        }
+        let target = rng.below(v.index());
+        subst[v.index()] = Var::new(target as u32).lit_with(rng.bool());
+    }
+    subst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pruned_simulation_matches_full_on_the_live_cone(
+        pis in 2usize..7,
+        ands in 5usize..60,
+        words in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let patterns = Patterns::random(pis, words, seed ^ 0xa5a5);
+        let live = random_live(&aig, seed ^ 0x11);
+        let full = simulate(&aig, &exec(), &patterns);
+        let pruned = simulate_pruned(&aig, &exec(), &patterns, &live);
+        // Every cone member carries the exact full-simulation words and
+        // the same cached canonical hash.
+        for &v in &aig.tfi_cone(&live) {
+            prop_assert_eq!(pruned.sig(v), full.sig(v), "node {:?}", v);
+            prop_assert_eq!(
+                pruned.canonical_hash(v),
+                full.canonical_hash(v),
+                "hash of {:?}", v
+            );
+        }
+        // Clustering the live members from either table agrees.
+        prop_assert_eq!(
+            signature_classes_among(&pruned, &live),
+            signature_classes_among(&full, &live)
+        );
+    }
+
+    #[test]
+    fn dirty_cone_resim_matches_full_simulation_after_random_merges(
+        pis in 2usize..7,
+        ands in 5usize..60,
+        words in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let patterns = Patterns::random(pis, words, seed ^ 0x77);
+        let base = simulate(&aig, &exec(), &patterns);
+        // Unsound random merges: the clean/dirty split must still be
+        // exact, because clean nodes are untainted by construction.
+        let subst = random_merges(&aig, seed ^ 0x3c3c);
+        let (new, map) = aig.rebuild_with_substitution(&subst);
+        let plan = ResimPlan::new(&aig, &new, &map, &subst);
+        prop_assert_eq!(plan.num_clean() + plan.num_dirty() + 1, new.num_nodes());
+        let resimmed = plan.resimulate(&new, &exec(), &patterns, &base);
+        let full = simulate(&new, &exec(), &patterns);
+        for i in 0..new.num_nodes() {
+            let v = Var::new(i as u32);
+            prop_assert_eq!(resimmed.sig(v), full.sig(v), "node {:?}", v);
+            prop_assert_eq!(
+                resimmed.canonical_hash(v),
+                full.canonical_hash(v),
+                "hash of {:?}", v
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_refinement_equals_reclustering_the_extended_patterns(
+        pis in 2usize..7,
+        ands in 5usize..60,
+        seed in any::<u64>(),
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let base_patterns = Patterns::random(pis, 2, seed ^ 0x1111);
+        let fresh_patterns = Patterns::random(pis, 2, seed ^ 0x2222);
+        let base = simulate(&aig, &exec(), &base_patterns);
+        let mut classes = signature_classes(&aig, &base);
+        // Refine in place against the fresh table (pruned to the members).
+        let live: Vec<Var> = classes.iter().flatten().copied().collect();
+        let fresh = simulate_pruned(&aig, &exec(), &fresh_patterns, &live);
+        refine_classes(&mut classes, &base, &fresh);
+        // The ground truth: a class relation survives iff it holds over
+        // the concatenated pattern set.
+        let mut extended = base_patterns.clone();
+        extended.extend(&fresh_patterns);
+        let scratch = simulate(&aig, &exec(), &extended);
+        prop_assert_eq!(classes, signature_classes(&aig, &scratch));
+    }
+}

@@ -580,8 +580,14 @@ impl CecService {
         render_counter(
             &mut out,
             "parsweep_kernel_launches_total",
-            "Kernel launches across the worker fleet's executors.",
-            launch.launches,
+            "Kernel launches across the worker fleet's executors (pool-dispatched plus inline).",
+            launch.total_launches(),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_kernel_inline_launches_total",
+            "Kernel launches below the inline threshold, run on the calling thread.",
+            launch.inline_launches,
         );
         render_counter(
             &mut out,
@@ -606,6 +612,37 @@ impl CecService {
             "parsweep_arena_peak_bytes",
             "High-water mark of any one worker's arena footprint.",
             launch.arena_peak_bytes as f64,
+        );
+        let sim = trace::metrics::sim_counters();
+        render_counter(
+            &mut out,
+            "parsweep_sim_pruned_rounds_total",
+            "Support-pruned partial-simulation rounds (live cones only).",
+            trace::metrics::SimCounters::get(&sim.pruned_rounds),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_pruned_nodes_skipped_total",
+            "Nodes outside live cones that pruned rounds never launched.",
+            trace::metrics::SimCounters::get(&sim.pruned_nodes_skipped),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_resim_clean_nodes_total",
+            "Nodes memoized across miter rewrites by the dirty-cone resimulator.",
+            trace::metrics::SimCounters::get(&sim.resim_clean_nodes),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_resim_dirty_nodes_total",
+            "Nodes re-launched as the dirty frontier of a miter rewrite.",
+            trace::metrics::SimCounters::get(&sim.resim_dirty_nodes),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_classes_refined_total",
+            "Equivalence classes split in place by fresh-pattern refinement.",
+            trace::metrics::SimCounters::get(&sim.classes_refined),
         );
         render_histogram(
             &mut out,

@@ -97,6 +97,54 @@ impl Histogram {
     }
 }
 
+/// Process-global counters for the incremental-resimulation machinery:
+/// support-pruned rounds, dirty-cone resim, and in-place class refinement.
+///
+/// The engine increments these on per-round paths (never per kernel), and
+/// the service's `metrics` op renders them next to the launch profile, so
+/// a fleet exposes how much simulation work incrementality is saving.
+#[derive(Debug, Default)]
+pub struct SimCounters {
+    /// Support-pruned simulation rounds (G refinement rounds and L phases
+    /// that simulated only live cones instead of the whole miter).
+    pub pruned_rounds: AtomicU64,
+    /// Nodes outside the live cone that pruned rounds never launched
+    /// (the saving relative to full resimulation).
+    pub pruned_nodes_skipped: AtomicU64,
+    /// Nodes whose signature words were memoized across a miter rewrite
+    /// by the dirty-cone resimulator (one copy launch, no re-evaluation).
+    pub resim_clean_nodes: AtomicU64,
+    /// Nodes re-launched as the dirty frontier (TFO of merged nodes).
+    pub resim_dirty_nodes: AtomicU64,
+    /// Equivalence classes split in place by fresh-pattern refinement,
+    /// instead of rebucketing every node from scratch.
+    pub classes_refined: AtomicU64,
+}
+
+impl SimCounters {
+    /// Relaxed add on one counter field.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed load of one counter field.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-global [`SimCounters`] instance.
+pub fn sim_counters() -> &'static SimCounters {
+    static COUNTERS: SimCounters = SimCounters {
+        pruned_rounds: AtomicU64::new(0),
+        pruned_nodes_skipped: AtomicU64::new(0),
+        resim_clean_nodes: AtomicU64::new(0),
+        resim_dirty_nodes: AtomicU64::new(0),
+        classes_refined: AtomicU64::new(0),
+    };
+    &COUNTERS
+}
+
 /// Formats a number the way Prometheus expects: integral values without a
 /// trailing `.0`, everything else in plain decimal.
 fn fmt_value(v: f64) -> String {

@@ -69,8 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("parallel work profile (kernel-launch executor):");
     println!(
-        "  {} launches, {} total work items, widest launch {}",
-        stats.launches, stats.total_threads, stats.widest
+        "  {} pool + {} inline launches, {} total work items, widest launch {}",
+        stats.launches, stats.inline_launches, stats.total_threads, stats.widest
     );
     println!(
         "  modeled time on 1 core: {} units; on 4096 GPU-ish lanes: {} units ({}x max speedup)",

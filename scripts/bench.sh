@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke benchmark of the device runtime: runs the engine over the
-# generator suite and emits BENCH_runtime.json (wall time, modeled /
-# serialized cost-model times, arena recycling counters). Also runs the
+# generator suite — nine sweep cases plus the resim-heavy deep-FRAIG
+# rows (multiplier_fraig, log2_fraig) — and emits BENCH_runtime.json
+# (wall time, modeled / serialized cost-model times, launch split,
+# incremental-resim counters, arena recycling counters). Also runs the
 # job-service throughput bench, emitting BENCH_svc.json (jobs/sec, cache
 # hit rate); that step is non-blocking — a service-bench failure must not
 # fail the engine smoke run.
@@ -30,10 +32,16 @@ else
     echo "svc bench failed (non-blocking)" >&2
 fi
 
-for f in "$OUT" "$SVC_OUT"; do
-    if [ -f "$f.prev" ]; then
-        echo "--- delta vs previous $f ---"
-        python3 scripts/bench_delta.py "$f.prev" "$f" || true
-        rm -f "$f.prev"
-    fi
-done
+# The runtime delta gates pool-dispatched launch counts: a regression
+# beyond MAX_REGRESS percent (default 50) fails the run. The svc delta
+# stays report-only.
+if [ -f "$OUT.prev" ]; then
+    echo "--- delta vs previous $OUT ---"
+    python3 scripts/bench_delta.py --max-regress "${MAX_REGRESS:-50}" "$OUT.prev" "$OUT"
+    rm -f "$OUT.prev"
+fi
+if [ -f "$SVC_OUT.prev" ]; then
+    echo "--- delta vs previous $SVC_OUT ---"
+    python3 scripts/bench_delta.py "$SVC_OUT.prev" "$SVC_OUT" || true
+    rm -f "$SVC_OUT.prev"
+fi

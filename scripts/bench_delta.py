@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Print per-field deltas between two benchmark JSON files.
 
-Usage: bench_delta.py PREV.json CURR.json
+Usage: bench_delta.py [--max-regress PCT] PREV.json CURR.json
 
 Walks both objects recursively; for every numeric leaf present in both,
 prints ``path: prev -> curr (delta, pct)``. Fields present in only one
-file are listed as added/removed. Exits 0 always — the delta is a report,
-not a gate.
+file are listed as added/removed.
+
+Without ``--max-regress`` the delta is a report, not a gate: exits 0.
+With ``--max-regress PCT`` it also gates pool-dispatched kernel launch
+counts (leaves whose last path segment is ``launches`` or
+``total_launches`` — ``inline_launches`` is deliberately not gated,
+since moving work from the pool to the inline fast path grows it by
+design): any such count that regresses by more than PCT percent fails
+the run with exit 1.
 """
 
 import json
@@ -26,14 +33,34 @@ def flatten(obj, prefix=""):
     return out
 
 
+def parse_args(argv):
+    max_regress = None
+    paths = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--max-regress":
+            val = next(it, None)
+            if val is None:
+                return None, None
+            max_regress = float(val)
+        elif arg.startswith("--max-regress="):
+            max_regress = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        return None, None
+    return max_regress, paths
+
+
 def main():
-    if len(sys.argv) != 3:
+    max_regress, paths = parse_args(sys.argv[1:])
+    if paths is None:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     try:
-        with open(sys.argv[1]) as f:
+        with open(paths[0]) as f:
             prev = flatten(json.load(f))
-        with open(sys.argv[2]) as f:
+        with open(paths[1]) as f:
             curr = flatten(json.load(f))
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_delta: {e}", file=sys.stderr)
@@ -50,6 +77,22 @@ def main():
             print(f"  {key}: {prev[key]} -> {curr[key]} ({delta:+g}){pct}")
     if prev == curr:
         print("  no numeric changes")
+    if max_regress is None:
+        return 0
+    regressions = []
+    for key in keys:
+        if key.rsplit(".", 1)[-1] not in ("launches", "total_launches"):
+            continue
+        if key not in prev or key not in curr:
+            continue
+        allowed = prev[key] * (1.0 + max_regress / 100.0)
+        if curr[key] > allowed:
+            regressions.append((key, prev[key], curr[key]))
+    if regressions:
+        print(f"launch-count regressions beyond {max_regress:g}%:", file=sys.stderr)
+        for key, p, c in regressions:
+            print(f"  {key}: {p} -> {c}", file=sys.stderr)
+        return 1
     return 0
 
 
