@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 
 use parsweep_bench::harness::{suite, Scale};
 use parsweep_core::{fraig, sim_sweep, EngineConfig, EngineStats, Report};
-use parsweep_par::{Executor, LaunchStats};
+use parsweep_par::{Executor, LaunchStats, SanitizerConfig};
 
 /// Modeled device width used for the time estimates (threads) — the
 /// tracing subsystem's canonical width, so bench numbers and span
@@ -37,7 +37,8 @@ fn case_json(name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats) ->
             "\"modeled_time\": {}, \"serialized_time\": {}, \"launches\": {}, ",
             "\"inline_launches\": {}, \"pruned_rounds\": {}, ",
             "\"resim_clean\": {}, \"resim_dirty\": {}, ",
-            "\"arena_hits\": {}, \"arena_misses\": {}, \"arena_peak_bytes\": {}}}"
+            "\"arena_hits\": {}, \"arena_misses\": {}, \"arena_peak_bytes\": {}, ",
+            "\"static_verified_launches\": {}, \"static_verified_replays\": {}}}"
         ),
         name,
         verdict,
@@ -52,6 +53,8 @@ fn case_json(name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats) ->
         s.arena_hits,
         s.arena_misses,
         s.arena_peak_bytes,
+        s.static_verified_launches,
+        s.static_verified_replays,
     );
     j
 }
@@ -104,22 +107,25 @@ fn main() {
         let s = exec.stats();
         report(&case.name, Report::new(&r).verdict_tag(), &r.stats, &s);
     }
+    // A tighter global support bound and fewer random words than the
+    // sweep rows: wide pairs fall through to later rounds and the
+    // local phases, and coarse initial classes need several refine
+    // rounds — together they keep the dirty-cone resim and in-place
+    // refinement paths busy. Local phases are capped so the row stays
+    // smoke-bench-sized (full reduction is not the point here).
+    let fraig_cfg = || {
+        let mut cfg = EngineConfig::scaled().with_support_bounds(18, 14, 7);
+        cfg.sim_words = 2;
+        cfg.max_local_phases = 2;
+        cfg
+    };
     for base in FRAIG_CASES {
         let case = cases
             .iter()
             .find(|c| c.name.starts_with(base))
             .expect("fraig case names come from the suite");
         exec.reset_stats();
-        // A tighter global support bound and fewer random words than the
-        // sweep rows: wide pairs fall through to later rounds and the
-        // local phases, and coarse initial classes need several refine
-        // rounds — together they keep the dirty-cone resim and in-place
-        // refinement paths busy. Local phases are capped so the row stays
-        // smoke-bench-sized (full reduction is not the point here).
-        let mut cfg = EngineConfig::scaled().with_support_bounds(18, 14, 7);
-        cfg.sim_words = 2;
-        cfg.max_local_phases = 2;
-        let fr = fraig(&case.miter, &exec, &cfg);
+        let fr = fraig(&case.miter, &exec, &fraig_cfg());
         let s = exec.stats();
         let name = format!("{base}_fraig");
         let verdict = if fr.stats.final_ands < fr.stats.initial_ands {
@@ -128,6 +134,63 @@ fn main() {
             "unchanged"
         };
         report(&name, verdict, &fr.stats, &s);
+    }
+
+    // Sanitizer-overhead comparison on the resim-heavy rows: the same
+    // FRAIG run once with the dynamic sanitizer forced onto declared
+    // launches (cross-check mode, every kernel serialized and audited)
+    // and once on a plain sanitizing executor, where the statically
+    // verified launches skip dynamic sanitization entirely.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut overhead_json = Vec::new();
+    eprintln!("# sanitizer overhead (dynamic cross-check vs verified fast path)");
+    for base in FRAIG_CASES {
+        let case = cases
+            .iter()
+            .find(|c| c.name.starts_with(base))
+            .expect("fraig case names come from the suite");
+        let dynamic_exec = Executor::with_sanitizer_config(
+            threads,
+            SanitizerConfig {
+                check_declared: true,
+                ..SanitizerConfig::default()
+            },
+        );
+        let dynamic = fraig(&case.miter, &dynamic_exec, &fraig_cfg());
+        let verified_exec = Executor::with_sanitizer(threads);
+        let verified = fraig(&case.miter, &verified_exec, &fraig_cfg());
+        assert_eq!(
+            dynamic.stats.final_ands, verified.stats.final_ands,
+            "verified replay changed the {base} FRAIG result"
+        );
+        assert!(
+            verified_exec.stats().static_verified_launches > 0,
+            "{base} FRAIG launched nothing on the verified fast path"
+        );
+        let overhead_pct = if verified.stats.seconds > 0.0 {
+            (dynamic.stats.seconds - verified.stats.seconds) / verified.stats.seconds * 100.0
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{:<16} dynamic {:.3}s verified {:.3}s overhead {:+.1}%",
+            format!("{base}_fraig"),
+            dynamic.stats.seconds,
+            verified.stats.seconds,
+            overhead_pct,
+        );
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            concat!(
+                "    {{\"name\": \"{}_fraig\", \"dynamic_seconds\": {:.6}, ",
+                "\"verified_seconds\": {:.6}, \"overhead_pct\": {:.1}}}"
+            ),
+            base, dynamic.stats.seconds, verified.stats.seconds, overhead_pct,
+        );
+        overhead_json.push(j);
     }
 
     let json = format!(
@@ -141,7 +204,8 @@ fn main() {
             "  \"total_launches\": {},\n",
             "  \"total_inline_launches\": {},\n",
             "  \"max_arena_peak_bytes\": {},\n",
-            "  \"cases\": [\n{}\n  ]\n",
+            "  \"cases\": [\n{}\n  ],\n",
+            "  \"sanitizer_overhead\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scale,
@@ -153,6 +217,7 @@ fn main() {
         total_inline,
         peak_bytes,
         cases_json.join(",\n"),
+        overhead_json.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write benchmark json");
     eprintln!("wrote {out_path}");

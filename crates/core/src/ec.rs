@@ -3,8 +3,8 @@
 use parsweep_aig::{Aig, Lit, Var};
 use parsweep_par::Executor;
 use parsweep_sim::{
-    refine_classes, signature_classes, signature_classes_among, simulate,
-    simulate_pruned_counted, PairCheck, Patterns, ResimPlan, Signatures,
+    refine_classes, signature_classes, signature_classes_among, simulate, simulate_pruned_counted,
+    PairCheck, Patterns, ResimPlan, Signatures,
 };
 
 /// The engine's EC manager: wraps partial-simulation signatures and the
@@ -241,8 +241,7 @@ mod tests {
         let exec = Executor::with_threads(1);
         let patterns = Patterns::random(3, 4, 7);
         let candidates = full.live_vars();
-        let pruned =
-            EcManager::from_patterns_pruned(&aig, &exec, &patterns, &candidates, &[]);
+        let pruned = EcManager::from_patterns_pruned(&aig, &exec, &patterns, &candidates, &[]);
         assert_eq!(pruned.classes(), full.classes());
         assert!(pruned.simulated_nodes().unwrap() <= aig.num_nodes());
     }

@@ -517,8 +517,7 @@ pub(crate) fn global_phase_inner(
             None => {
                 let m = EcManager::from_patterns(current, exec, &patterns);
                 if miter_mode {
-                    if let Some(cex) = find_po_counterexample(current, m.signatures(), &patterns)
-                    {
+                    if let Some(cex) = find_po_counterexample(current, m.signatures(), &patterns) {
                         return Err(cex);
                     }
                 }
@@ -651,6 +650,10 @@ pub(crate) fn global_phase_inner(
     Ok(ec.map(|m| m.live_vars()))
 }
 
+/// What an L phase reports back: whether the miter shrank, the per-pass
+/// proof counts, and the next phase's live set.
+type LocalPhaseOutcome = (bool, Vec<u64>, Option<Vec<Var>>);
+
 /// One L phase: three cut generation and checking passes (Algorithm 2)
 /// followed by miter reduction. Returns whether the miter shrank, the
 /// per-pass proof counts, and the next phase's live set.
@@ -664,7 +667,7 @@ fn local_phase(
     phase: u64,
     live: Option<&[Var]>,
     token: &CancelToken,
-) -> Result<(bool, Vec<u64>, Option<Vec<Var>>), Cex> {
+) -> Result<LocalPhaseOutcome, Cex> {
     local_phase_inner(current, exec, cfg, passes, stats, phase, true, live, token)
 }
 
@@ -688,7 +691,7 @@ pub(crate) fn local_phase_inner(
     miter_mode: bool,
     live: Option<&[Var]>,
     token: &CancelToken,
-) -> Result<(bool, Vec<u64>, Option<Vec<Var>>), Cex> {
+) -> Result<LocalPhaseOutcome, Cex> {
     let counters = trace::metrics::sim_counters();
     let mut round_span = trace::span("engine", "engine.round.L");
     round_span.arg_u64("phase", phase);

@@ -8,7 +8,7 @@
 //! selected priority cuts into the caller's cut-set table.
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::Executor;
+use parsweep_par::{Effect, EffectTable, Executor, Pattern};
 
 use crate::{enumerate_cuts, select_priority_cuts, Cut, CutParams, CutScorer, Pass};
 
@@ -57,41 +57,59 @@ impl<'a> CutKernel<'a> {
     ///
     /// Panics if a member of `group` is not an AND node.
     pub fn compute_level(&self, exec: &Executor, group: &[Var], cut_sets: &mut [Vec<Cut>]) {
-        let cells = exec.bind("cut.kernel.sets", cut_sets);
+        // Declared effects: task t reads fanin / representative slots
+        // (strictly lower enumeration levels, written before this call)
+        // and writes only its own node's slot — data-dependent disjoint
+        // chunks over the whole table. Statically verified, so the
+        // launch runs the parallel fast path even when sanitizing.
+        let table = EffectTable::new();
+        let sets_buf = table.buffer("cut.kernel.sets", cut_sets.len());
+        let all = Pattern::Indexed {
+            lo: 0,
+            hi: cut_sets.len(),
+        };
+        let effects = [Effect::read(sets_buf, all), Effect::write(sets_buf, all)];
+        let cells = exec.bind_table(&table, sets_buf, cut_sets);
         let cells = &cells;
         let mut stream = exec.stream();
-        stream.launch_labeled("cut.kernel.level", group.len(), move |t| {
-            let v = group[t];
-            let Node::And(a, b) = self.aig.node(v) else {
-                unreachable!("groups contain AND nodes only");
-            };
-            // SAFETY: fanins and representatives have strictly smaller
-            // enumeration levels, so their slots were written by earlier
-            // launches; this task writes only slot v.
-            let p0: &Vec<Cut> = unsafe { cells.get_ref(t, a.var().index()) };
-            // SAFETY: as above.
-            let p1: &Vec<Cut> = unsafe { cells.get_ref(t, b.var().index()) };
-            let candidates = enumerate_cuts(a, b, p0, p1, self.params);
-            let repr_cuts: Option<&Vec<Cut>> = self.repr_map[v.index()].and_then(|r| {
-                if self.similarity && !r.is_const() {
-                    // SAFETY: representatives sit at strictly smaller
-                    // enumeration levels, written by earlier launches.
-                    Some(unsafe { cells.get_ref(t, r.index()) })
-                } else {
-                    None
-                }
-            });
-            let selected = select_priority_cuts(
-                candidates,
-                &self.scorer,
-                self.pass,
-                self.params,
-                repr_cuts.map(|c| c.as_slice()),
-            );
-            // SAFETY: this task writes only slot v; no other task in this
-            // launch touches v.
-            unsafe { cells.write(t, v.index(), selected) };
-        });
+        stream.launch_declared(
+            &table,
+            "cut.kernel.level",
+            group.len(),
+            &effects,
+            move |t| {
+                let v = group[t];
+                let Node::And(a, b) = self.aig.node(v) else {
+                    unreachable!("groups contain AND nodes only");
+                };
+                // SAFETY: fanins and representatives have strictly smaller
+                // enumeration levels, so their slots were written by earlier
+                // launches; this task writes only slot v.
+                let p0: &Vec<Cut> = unsafe { cells.get_ref(t, a.var().index()) };
+                // SAFETY: as above.
+                let p1: &Vec<Cut> = unsafe { cells.get_ref(t, b.var().index()) };
+                let candidates = enumerate_cuts(a, b, p0, p1, self.params);
+                let repr_cuts: Option<&Vec<Cut>> = self.repr_map[v.index()].and_then(|r| {
+                    if self.similarity && !r.is_const() {
+                        // SAFETY: representatives sit at strictly smaller
+                        // enumeration levels, written by earlier launches.
+                        Some(unsafe { cells.get_ref(t, r.index()) })
+                    } else {
+                        None
+                    }
+                });
+                let selected = select_priority_cuts(
+                    candidates,
+                    &self.scorer,
+                    self.pass,
+                    self.params,
+                    repr_cuts.map(|c| c.as_slice()),
+                );
+                // SAFETY: this task writes only slot v; no other task in this
+                // launch touches v.
+                unsafe { cells.write(t, v.index(), selected) };
+            },
+        );
         stream.sync();
     }
 }
@@ -167,5 +185,38 @@ mod tests {
 
         assert_eq!(kernel_sets, ref_sets);
         assert!(exec.stats().total_launches() > 0);
+    }
+
+    #[test]
+    fn kernel_is_statically_verified_on_sanitizing_executor() {
+        let aig = parsweep_aig::random::random_aig(4, 30, 3, 5);
+        let exec = Executor::with_sanitizer(2);
+        let fanouts = aig.fanout_counts();
+        let levels = aig.levels();
+        let params = CutParams::default();
+        let repr_map: Vec<Option<Var>> = vec![None; aig.num_nodes()];
+        let mut sets: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+        for &pi in aig.pis() {
+            sets[pi.index()] = vec![Cut::trivial(pi)];
+        }
+        let scorer = CutScorer::new(&fanouts, &levels);
+        let kernel = CutKernel::new(&aig, &repr_map, false, scorer, params, Pass::Fanout);
+        let max = levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut groups: Vec<Vec<Var>> = vec![Vec::new(); max + 1];
+        for v in aig.and_vars() {
+            groups[levels[v.index()] as usize].push(v);
+        }
+        for group in groups.iter().skip(1) {
+            kernel.compute_level(&exec, group, &mut sets);
+        }
+        assert!(exec.take_reports().is_empty());
+        // Ambient PARSWEEP_SANITIZE=all forces cross-check mode, where
+        // declared launches deliberately run sanitized instead.
+        if !exec.cross_checking() {
+            assert!(
+                exec.stats().static_verified_launches > 0,
+                "declared cut launches must take the verified fast path"
+            );
+        }
     }
 }

@@ -41,8 +41,11 @@
 //! assert_eq!(exec.stats().total_launches(), 4);
 //! ```
 
-use crate::{Executor, Stream};
+use crate::effects::{self, BufferDecl, DeclaredLaunch, DeclaredPeer, Effect, StaticHazard};
+use crate::stream::Pending;
+use crate::{BufId, EffectTable, Executor, Stream};
 use parsweep_trace as trace;
+use std::sync::Arc;
 
 /// Handle to a node of a [`KernelGraphBuilder`] / [`KernelGraph`], used to
 /// declare dependencies.
@@ -57,6 +60,10 @@ struct Node<'env, B> {
     width: Box<dyn Fn(&B) -> usize + Send + Sync + 'env>,
     kernel: NodeKernel<'env, B>,
     depth: usize,
+    /// Declared static effects plus the maximum width the node was
+    /// verified at, for nodes recorded with
+    /// [`KernelGraphBuilder::kernel_declared`].
+    declared: Option<(Arc<Vec<Effect>>, usize)>,
 }
 
 /// Builder recording the nodes and edges of a [`KernelGraph`].
@@ -65,6 +72,11 @@ struct Node<'env, B> {
 /// structure is a DAG by construction.
 pub struct KernelGraphBuilder<'env, B> {
     nodes: Vec<Node<'env, B>>,
+    table: Option<EffectTable>,
+    /// `(buffer, depth)`: the buffer's storage is released (arena lease
+    /// returned, slice dropped) once every node of depth `< depth` has
+    /// run; any declared use at depth `>= depth` is a use-after-release.
+    releases: Vec<(BufId, usize)>,
 }
 
 impl<B> Default for KernelGraphBuilder<'_, B> {
@@ -76,43 +88,247 @@ impl<B> Default for KernelGraphBuilder<'_, B> {
 impl<'env, B> KernelGraphBuilder<'env, B> {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        KernelGraphBuilder { nodes: Vec::new() }
+        KernelGraphBuilder {
+            nodes: Vec::new(),
+            table: None,
+            releases: Vec::new(),
+        }
+    }
+
+    /// Attaches the [`EffectTable`] that declared nodes' effects refer
+    /// to. Required before [`KernelGraphBuilder::kernel_declared`].
+    pub fn with_table(mut self, table: &EffectTable) -> Self {
+        self.table = Some(table.clone());
+        self
     }
 
     /// Records a kernel node that runs after every node in `deps`.
     ///
     /// `width` maps the replay bindings to the launch width (0 skips the
     /// node for that replay); `kernel(tid, bindings)` is the kernel body.
+    ///
+    /// **Replay invariant**: all nodes of equal depth run as *one
+    /// unordered join epoch* (one stream each), for every replay. An
+    /// undeclared node must therefore touch data disjoint from every
+    /// same-depth node under *every* possible binding — the builder
+    /// cannot check this. Nodes recorded with
+    /// [`KernelGraphBuilder::kernel_declared`] are instead proven
+    /// disjoint at their declared maximum widths, which covers every
+    /// narrower replay (footprints only shrink as widths shrink).
     pub fn kernel<W, K>(&mut self, label: &str, deps: &[NodeId], width: W, kernel: K) -> NodeId
     where
         W: Fn(&B) -> usize + Send + Sync + 'env,
         K: Fn(usize, &B) + Send + Sync + 'env,
     {
-        let depth = deps
-            .iter()
-            .map(|d| self.nodes[d.0].depth + 1)
-            .max()
-            .unwrap_or(0);
+        let depth = self.depth_after(deps);
         self.nodes.push(Node {
             label: label.to_string(),
             width: Box::new(width),
             kernel: Box::new(kernel),
             depth,
+            declared: None,
         });
         NodeId(self.nodes.len() - 1)
     }
 
-    /// Finalizes the recording into a replayable graph.
+    /// Records a kernel node with declared static [`Effect`]s.
+    ///
+    /// `max_width` is the largest width the node's `width` function may
+    /// return for any binding; the static checker verifies the effects
+    /// at this width, and [`KernelGraph::replay`] asserts every runtime
+    /// width stays within it. A graph whose nodes are all declared and
+    /// hazard-free replays without dynamic sanitization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`EffectTable`] was attached with
+    /// [`KernelGraphBuilder::with_table`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel_declared<W, K>(
+        &mut self,
+        label: &str,
+        deps: &[NodeId],
+        width: W,
+        max_width: usize,
+        effects: Vec<Effect>,
+        kernel: K,
+    ) -> NodeId
+    where
+        W: Fn(&B) -> usize + Send + Sync + 'env,
+        K: Fn(usize, &B) + Send + Sync + 'env,
+    {
+        assert!(
+            self.table.is_some(),
+            "kernel_declared requires with_table() before declaring effects"
+        );
+        let depth = self.depth_after(deps);
+        self.nodes.push(Node {
+            label: label.to_string(),
+            width: Box::new(width),
+            kernel: Box::new(kernel),
+            depth,
+            declared: Some((Arc::new(effects), max_width)),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Declares that `buf`'s storage is released once every node in
+    /// `deps` has run: any declared use of it by a node scheduled at or
+    /// after that point is flagged as a use-after-release at build time.
+    pub fn release(&mut self, buf: BufId, deps: &[NodeId]) {
+        let depth = self.depth_after(deps);
+        self.releases.push((buf, depth));
+    }
+
+    fn depth_after(&self, deps: &[NodeId]) -> usize {
+        deps.iter()
+            .map(|d| self.nodes[d.0].depth + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Finalizes the recording into a replayable graph, panicking if
+    /// the static effect checker finds a hazard. See
+    /// [`KernelGraphBuilder::try_build`].
     pub fn build(self) -> KernelGraph<'env, B> {
+        self.try_build().unwrap_or_else(|hazards| {
+            panic!(
+                "static effect check failed at graph build:\n{}",
+                hazards
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )
+        })
+    }
+
+    /// Finalizes the recording into a replayable graph, running the
+    /// static effect checker over all declared nodes:
+    ///
+    /// * every declared node is checked in isolation at its declared
+    ///   maximum width (bounds, thread disjointness);
+    /// * every *same-depth* pair of declared nodes — which replay as
+    ///   one unordered epoch — is checked for footprint disjointness at
+    ///   their maximum widths;
+    /// * declared uses of a buffer at or past its
+    ///   [`release`](KernelGraphBuilder::release) depth are flagged.
+    ///
+    /// The resulting graph is [`verified`](KernelGraph::verified) when
+    /// a table was attached, every node is declared, and no hazard was
+    /// found — verified graphs replay without dynamic sanitization.
+    pub fn try_build(self) -> Result<KernelGraph<'env, B>, Vec<StaticHazard>> {
+        let buffers = self.table.as_ref().map(|t| t.snapshot());
+        let mut hazards = Vec::new();
+        if let Some(buffers) = &buffers {
+            for node in &self.nodes {
+                let Some((effects_list, max_width)) = &node.declared else {
+                    continue;
+                };
+                hazards.extend(effects::check_launch(
+                    &node.label,
+                    *max_width,
+                    effects_list,
+                    buffers,
+                ));
+                for &(buf, depth) in &self.releases {
+                    if node.depth >= depth && effects_list.iter().any(|e| e.buf == buf) {
+                        hazards.push(StaticHazard::UseAfterRelease {
+                            kernel: node.label.clone(),
+                            buffer: buffers[buf.0 as usize].label.clone(),
+                        });
+                    }
+                }
+            }
+            // Same-depth nodes replay as one unordered epoch, so every
+            // pair must have disjoint footprints. Wide graphs (one node
+            // per window, thousands of windows per wave) make the naive
+            // all-pairs check quadratic, so candidate pairs are found
+            // with an interval sweep first: only nodes whose coarse
+            // per-buffer envelopes overlap (write-vs-anything) get the
+            // full `check_unordered` treatment. Envelope-disjoint pairs
+            // cannot conflict — the precise overlap test refines the
+            // envelope, never widens it.
+            let mut depth_groups: Vec<Vec<usize>> = Vec::new();
+            for (i, node) in self.nodes.iter().enumerate() {
+                if depth_groups.len() <= node.depth {
+                    depth_groups.resize(node.depth + 1, Vec::new());
+                }
+                depth_groups[node.depth].push(i);
+            }
+            for group in &depth_groups {
+                // (lo, hi, node, is_write) envelopes, bucketed by buffer
+                // label — `check_unordered` matches buffers by label.
+                let mut by_label: std::collections::HashMap<
+                    &str,
+                    Vec<(usize, usize, usize, bool)>,
+                > = std::collections::HashMap::new();
+                for &i in group {
+                    let Some((effects_list, w)) = &self.nodes[i].declared else {
+                        continue;
+                    };
+                    for e in effects_list.iter() {
+                        let decl = &buffers[e.buf.0 as usize];
+                        if let Some((lo, hi)) = e.pattern.footprint(*w, decl.len) {
+                            by_label.entry(decl.label.as_str()).or_default().push((
+                                lo,
+                                hi,
+                                i,
+                                e.is_write(),
+                            ));
+                        }
+                    }
+                }
+                let mut candidates = std::collections::BTreeSet::new();
+                for entries in by_label.values_mut() {
+                    entries.sort_unstable();
+                    for (k, &(_, hi_a, na, wr_a)) in entries.iter().enumerate() {
+                        for &(lo_b, _, nb, wr_b) in &entries[k + 1..] {
+                            if lo_b >= hi_a {
+                                break;
+                            }
+                            if na != nb && (wr_a || wr_b) {
+                                candidates.insert((na.min(nb), na.max(nb)));
+                            }
+                        }
+                    }
+                }
+                for (i, j) in candidates {
+                    let (a, b) = (&self.nodes[i], &self.nodes[j]);
+                    let (ea, wa) = a.declared.as_ref().expect("candidate nodes are declared");
+                    let (eb, wb) = b.declared.as_ref().expect("candidate nodes are declared");
+                    hazards.extend(effects::check_unordered(
+                        &DeclaredPeer {
+                            label: &a.label,
+                            width: *wa,
+                            buffers,
+                            effects: ea,
+                        },
+                        &DeclaredPeer {
+                            label: &b.label,
+                            width: *wb,
+                            buffers,
+                            effects: eb,
+                        },
+                    ));
+                }
+            }
+        }
+        if !hazards.is_empty() {
+            return Err(hazards);
+        }
+        let verified = buffers.is_some() && self.nodes.iter().all(|n| n.declared.is_some());
         let max_depth = self.nodes.iter().map(|n| n.depth).max();
         let mut waves = vec![Vec::new(); max_depth.map_or(0, |d| d + 1)];
         for (i, node) in self.nodes.iter().enumerate() {
             waves[node.depth].push(i);
         }
-        KernelGraph {
+        Ok(KernelGraph {
             nodes: self.nodes,
             waves,
-        }
+            buffers: buffers.unwrap_or_default(),
+            verified,
+        })
     }
 }
 
@@ -121,6 +337,9 @@ impl<'env, B> KernelGraphBuilder<'env, B> {
 pub struct KernelGraph<'env, B> {
     nodes: Vec<Node<'env, B>>,
     waves: Vec<Vec<usize>>,
+    /// Snapshot of the builder's effect table (empty without one).
+    buffers: Arc<Vec<BufferDecl>>,
+    verified: bool,
 }
 
 impl<B: Sync> KernelGraph<'_, B> {
@@ -134,6 +353,15 @@ impl<B: Sync> KernelGraph<'_, B> {
         self.waves.len()
     }
 
+    /// True when every node carries statically-checked effect
+    /// declarations: replays of this graph skip dynamic sanitization
+    /// (counted in
+    /// [`LaunchStats::static_verified_replays`](crate::LaunchStats::static_verified_replays)),
+    /// unless the executor is in cross-check mode.
+    pub fn verified(&self) -> bool {
+        self.verified
+    }
+
     /// Executes the graph for one bindings value.
     ///
     /// Each wave of dependency-free nodes becomes one [`Executor::join`]
@@ -145,6 +373,7 @@ impl<B: Sync> KernelGraph<'_, B> {
         let mut span = trace::span("graph", "graph.replay");
         span.arg_u64("nodes", self.num_nodes() as u64);
         span.arg_u64("waves", self.num_waves() as u64);
+        span.arg_u64("verified", self.verified as u64);
         for wave in &self.waves {
             let mut streams: Vec<Stream<'_, '_>> = Vec::with_capacity(wave.len());
             for &id in wave {
@@ -155,13 +384,41 @@ impl<B: Sync> KernelGraph<'_, B> {
                 }
                 let kernel = &node.kernel;
                 let mut stream = exec.stream();
-                stream.launch_labeled(&node.label, width, move |tid| kernel(tid, bindings));
+                if let Some((effects_list, max_width)) = &node.declared {
+                    assert!(
+                        width <= *max_width,
+                        "graph node `{}` replayed at width {width}, beyond its \
+                         statically verified maximum {max_width}",
+                        node.label
+                    );
+                    // Already checked at build time at max_width, which
+                    // dominates this width — queue without re-checking.
+                    stream.queue.push(Pending {
+                        label: node.label.clone(),
+                        n: width,
+                        coverage: None,
+                        declared: Some(DeclaredLaunch {
+                            buffers: Arc::clone(&self.buffers),
+                            effects: Arc::clone(effects_list),
+                        }),
+                        // Same-depth disjointness was proven at build
+                        // time at max widths; the epoch drain must not
+                        // re-check O(wave²) pairs on every replay.
+                        preverified: true,
+                        kernel: Box::new(move |tid| kernel(tid, bindings)),
+                    });
+                } else {
+                    stream.launch_labeled(&node.label, width, move |tid| kernel(tid, bindings));
+                }
                 streams.push(stream);
             }
             if !streams.is_empty() {
                 let mut refs: Vec<&mut Stream<'_, '_>> = streams.iter_mut().collect();
                 exec.join(&mut refs);
             }
+        }
+        if self.verified && !exec.cross_checking() {
+            exec.note_verified_replay();
         }
     }
 }

@@ -84,16 +84,19 @@
 
 mod arena;
 mod cancel;
+mod effects;
 mod graph;
 mod sanitizer;
 mod stream;
 
 pub use arena::{ArenaStats, BufferArena, PooledBuf};
 pub use cancel::CancelToken;
+pub use effects::{BufId, Effect, EffectKind, EffectTable, Pattern, StaticHazard};
 pub use graph::{KernelGraph, KernelGraphBuilder, NodeId};
 pub use sanitizer::{AccessKind, ConflictKind, RaceReport, SanitizerConfig};
 pub use stream::Stream;
 
+use effects::DeclaredLaunch;
 use parsweep_trace as trace;
 use sanitizer::Sanitizer;
 use std::mem::{ManuallyDrop, MaybeUninit};
@@ -143,6 +146,13 @@ pub struct LaunchStats {
     pub critical_counts: [u64; WIDTH_BUCKETS],
     /// Sum of critical-path launch widths per bucket.
     pub critical_sums: [u64; WIDTH_BUCKETS],
+    /// Launches with declared effects that the static checker verified
+    /// and that therefore ran on the parallel fast path without dynamic
+    /// sanitization ("verify once at record time, replay unsanitized").
+    pub static_verified_launches: u64,
+    /// Replays of statically-verified [`KernelGraph`]s that skipped
+    /// dynamic sanitization entirely.
+    pub static_verified_replays: u64,
     /// [`BufferArena`] takes served from a pool (no allocation).
     pub arena_hits: u64,
     /// [`BufferArena`] takes that allocated a fresh buffer.
@@ -164,6 +174,8 @@ impl Default for LaunchStats {
             critical_threads: 0,
             critical_counts: [0; WIDTH_BUCKETS],
             critical_sums: [0; WIDTH_BUCKETS],
+            static_verified_launches: 0,
+            static_verified_replays: 0,
             arena_hits: 0,
             arena_misses: 0,
             arena_peak_bytes: 0,
@@ -293,6 +305,8 @@ impl LaunchStats {
             self.critical_counts[b] += other.critical_counts[b];
             self.critical_sums[b] += other.critical_sums[b];
         }
+        self.static_verified_launches += other.static_verified_launches;
+        self.static_verified_replays += other.static_verified_replays;
         self.arena_hits += other.arena_hits;
         self.arena_misses += other.arena_misses;
         self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
@@ -333,6 +347,14 @@ impl Default for Executor {
 fn ambient_sanitize() -> bool {
     cfg!(feature = "sanitize")
         || std::env::var_os("PARSWEEP_SANITIZE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// True when the environment forces *cross-check* mode: statically
+/// verified launches do not skip dynamic sanitization, and every access
+/// they perform is audited against their declared footprints. Set
+/// `PARSWEEP_SANITIZE=all` (or `force` / `2`) to enable.
+fn ambient_cross_check() -> bool {
+    std::env::var_os("PARSWEEP_SANITIZE").is_some_and(|v| v == "all" || v == "force" || v == "2")
 }
 
 /// Default width below which a launch runs inline on the issuing thread
@@ -376,7 +398,12 @@ impl Executor {
             num_threads,
             inline_threshold: ambient_inline_threshold(),
             stats: Mutex::new(LaunchStats::default()),
-            sanitizer: ambient_sanitize().then(|| Sanitizer::new(SanitizerConfig::default())),
+            sanitizer: ambient_sanitize().then(|| {
+                Sanitizer::new(SanitizerConfig {
+                    check_declared: ambient_cross_check(),
+                    ..SanitizerConfig::default()
+                })
+            }),
             arena: BufferArena::new(),
             next_stream: AtomicU64::new(1),
         }
@@ -398,8 +425,12 @@ impl Executor {
     /// # Panics
     ///
     /// Panics if `num_threads == 0`.
-    pub fn with_sanitizer_config(num_threads: usize, config: SanitizerConfig) -> Self {
+    pub fn with_sanitizer_config(num_threads: usize, mut config: SanitizerConfig) -> Self {
         assert!(num_threads > 0, "executor needs at least one thread");
+        // The ambient cross-check override applies to explicit sanitizer
+        // configs too, so `PARSWEEP_SANITIZE=all` forces dynamic checking
+        // back on process-wide.
+        config.check_declared |= ambient_cross_check();
         Executor {
             num_threads,
             inline_threshold: ambient_inline_threshold(),
@@ -452,6 +483,24 @@ impl Executor {
     /// True when this executor race-checks its launches.
     pub fn sanitizing(&self) -> bool {
         self.sanitizer.is_some()
+    }
+
+    /// True when this executor audits statically-verified launches with
+    /// the dynamic sanitizer instead of letting them skip it
+    /// (cross-check mode: [`SanitizerConfig::check_declared`] or
+    /// `PARSWEEP_SANITIZE=all`).
+    pub fn cross_checking(&self) -> bool {
+        self.sanitizer.as_ref().is_some_and(Sanitizer::cross_check)
+    }
+
+    /// Counts launches that ran on the verified fast path.
+    pub(crate) fn note_verified_launches(&self, count: u64) {
+        self.lock_stats().static_verified_launches += count;
+    }
+
+    /// Counts one replay of a statically-verified [`KernelGraph`].
+    pub(crate) fn note_verified_replay(&self) {
+        self.lock_stats().static_verified_replays += 1;
     }
 
     /// Drains all accumulated sanitizer reports (empty when not
@@ -565,6 +614,114 @@ impl Executor {
         }
     }
 
+    /// Binds a mutable slice as the storage of a buffer declared in an
+    /// [`EffectTable`], for use by launches with declared effects.
+    ///
+    /// On a cross-checking executor the returned slice is instrumented
+    /// like [`Executor::bind`] so declared footprints can be audited
+    /// against every observed access; otherwise it is a raw (zero-cost)
+    /// view — statically-verified launches need no per-access logging.
+    /// Kernels launched with declared effects must touch *only* buffers
+    /// bound through this method from the same table (one table per
+    /// epoch, labels unique within it), or the static verdict does not
+    /// cover all their accesses; cross-check mode exists to audit
+    /// exactly this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len()` differs from the declared length.
+    pub fn bind_table<'a, T>(
+        &'a self,
+        table: &EffectTable,
+        buf: BufId,
+        slice: &'a mut [T],
+    ) -> DeviceSlice<'a, T> {
+        let declared = table.len_of(buf);
+        assert_eq!(
+            slice.len(),
+            declared,
+            "bind_table: slice length {} != declared length {declared}",
+            slice.len()
+        );
+        if self.cross_checking() {
+            // Re-register under the declared label so the sanitizer can
+            // resolve effects back to this binding.
+            let label = table.label_of(buf);
+            return self.bind(&label, slice);
+        }
+        DeviceSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            san: None,
+            id: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Launches a kernel whose buffer accesses are declared as static
+    /// [`Effect`]s over `table`.
+    ///
+    /// The static checker verifies the declarations at the exact width
+    /// `n` *before* the launch runs — bounds against declared buffer
+    /// lengths, write-write and read-write disjointness between threads
+    /// — and panics on any hazard (on every executor: static analysis
+    /// is always on, it costs nothing per element). A launch that
+    /// checks then runs on the parallel fast path even on a sanitizing
+    /// executor, counted in [`LaunchStats::static_verified_launches`];
+    /// in cross-check mode it runs under the dynamic sanitizer instead
+    /// and every observed access is audited against the declarations.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`StaticHazard`] report when the declared
+    /// effects conflict or exceed a buffer's declared length.
+    pub fn launch_declared<F>(
+        &self,
+        table: &EffectTable,
+        label: &str,
+        n: usize,
+        effects: &[Effect],
+        kernel: F,
+    ) where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let buffers = table.snapshot();
+        let hazards = effects::check_launch(label, n, effects, &buffers);
+        assert!(
+            hazards.is_empty(),
+            "static effect check failed for `{label}`:\n{}",
+            hazards
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let ordinal = self.record(n, true);
+        let _span = trace::kernel_span(label, n);
+        if self.cross_checking() {
+            let san = self
+                .sanitizer
+                .as_ref()
+                .expect("cross_checking implies sanitizer");
+            let declared = DeclaredLaunch {
+                buffers,
+                effects: std::sync::Arc::new(effects.to_vec()),
+            };
+            san.begin_epoch();
+            san.begin_launch(label, ordinal, None, 0, Some(&declared));
+            for tid in 0..n {
+                kernel(tid);
+            }
+            san.end_launch();
+            return;
+        }
+        self.note_verified_launches(1);
+        self.run_chunked(n, &kernel);
+    }
+
     /// Launches a kernel over thread ids `0..n` and waits for completion.
     ///
     /// The kernel must be safe to run concurrently for distinct ids;
@@ -613,7 +770,7 @@ impl Executor {
             // launch is its own ordering epoch: it is fully ordered
             // against everything before and after it.
             san.begin_epoch();
-            san.begin_launch(label, ordinal, coverage_buffer.map(|b| (b, n)), 0);
+            san.begin_launch(label, ordinal, coverage_buffer.map(|b| (b, n)), 0, None);
             for tid in 0..n {
                 kernel(tid);
             }
@@ -719,7 +876,7 @@ impl Executor {
         let _span = trace::kernel_span("par.reduce", n);
         if let Some(san) = &self.sanitizer {
             san.begin_epoch();
-            san.begin_launch("par.reduce", ordinal, None, 0);
+            san.begin_launch("par.reduce", ordinal, None, 0, None);
             let result = (0..n).fold(init, |acc, tid| op(acc, f(tid)));
             san.end_launch();
             return result;

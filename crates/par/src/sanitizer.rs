@@ -36,6 +36,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Mutex;
 
+use crate::effects::{DeclaredLaunch, EffectKind, Pattern};
+
 /// The kind of a logged buffer access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessKind {
@@ -80,6 +82,16 @@ pub enum ConflictKind {
         /// Virtual thread ids of the (earlier, later) access.
         tids: (usize, usize),
     },
+    /// Cross-check mode only: a launch with declared static effects
+    /// performed an access its declared footprints do not cover — the
+    /// declaration under-approximates the kernel's real behavior, so
+    /// the static checker's verdict for this launch is unsound.
+    UndeclaredAccess {
+        /// The offending virtual thread id.
+        tid: usize,
+        /// Whether the uncovered access was a read or a write.
+        access: AccessKind,
+    },
 }
 
 /// One hazard found by the sanitizer's post-launch analysis.
@@ -108,7 +120,9 @@ impl RaceReport {
             ConflictKind::WriteWrite { tids }
             | ConflictKind::ReadWrite { tids }
             | ConflictKind::StreamRace { tids, .. } => Some(tids),
-            ConflictKind::OutOfBounds { .. } | ConflictKind::UnwrittenSlot => None,
+            ConflictKind::OutOfBounds { .. }
+            | ConflictKind::UnwrittenSlot
+            | ConflictKind::UndeclaredAccess { .. } => None,
         }
     }
 }
@@ -164,6 +178,18 @@ impl fmt::Display for RaceReport {
                     verb(b)
                 )
             }
+            ConflictKind::UndeclaredAccess { tid, access } => {
+                let verb = match access {
+                    AccessKind::Read => "read",
+                    AccessKind::Write => "write",
+                };
+                write!(
+                    f,
+                    "racecheck: undeclared {verb} of `{buffer}`[{index}] in kernel \
+                     `{kernel}` (launch #{launch}) by tid {tid}: the launch's declared \
+                     effects do not cover this access"
+                )
+            }
         }
     }
 }
@@ -178,6 +204,13 @@ pub struct SanitizerConfig {
     pub fail_fast: bool,
     /// Hard cap on retained reports, to bound memory on very racy kernels.
     pub max_reports: usize,
+    /// Cross-check mode: audit launches that carry static effect
+    /// declarations instead of letting them skip dynamic sanitization.
+    /// Every access such a launch performs must fall inside a declared
+    /// footprint; an uncovered access is reported as
+    /// [`ConflictKind::UndeclaredAccess`]. Forced on by
+    /// `PARSWEEP_SANITIZE=all`.
+    pub check_declared: bool,
 }
 
 impl Default for SanitizerConfig {
@@ -185,6 +218,7 @@ impl Default for SanitizerConfig {
         SanitizerConfig {
             fail_fast: true,
             max_reports: 64,
+            check_declared: false,
         }
     }
 }
@@ -208,6 +242,10 @@ struct LaunchCtx {
     coverage: Option<(u32, usize)>,
     /// Stream the launch was queued on (0 for eager launches).
     stream: u64,
+    /// Cross-check mode: the launch's declared effects, resolved to the
+    /// executor's dynamic buffer ids. Every logged access must be
+    /// covered by some effect here.
+    declared: Option<HashMap<u32, Vec<(EffectKind, Pattern)>>>,
 }
 
 /// First accesses of one slot accumulated across the launches of one
@@ -274,15 +312,25 @@ impl Sanitizer {
         s.epoch_slots.clear();
     }
 
+    /// Whether declared launches must still run under the dynamic
+    /// sanitizer so their declarations can be audited (cross-check
+    /// mode).
+    pub(crate) fn cross_check(&self) -> bool {
+        self.cfg.check_declared
+    }
+
     /// Opens the per-launch access log. `stream` is the id of the stream
     /// the launch was queued on (0 for eager launches); launches of the
     /// same epoch are mutually ordered only when they share a stream.
+    /// In cross-check mode, `declared` carries the launch's static
+    /// effect declarations for coverage auditing.
     pub(crate) fn begin_launch(
         &self,
         label: &str,
         ordinal: u64,
         coverage: Option<(u32, usize)>,
         stream: u64,
+        declared: Option<&DeclaredLaunch>,
     ) {
         let mut s = self.lock();
         assert!(
@@ -290,11 +338,34 @@ impl Sanitizer {
             "sanitizer: nested kernel launch (`{label}` inside `{}`)",
             s.current.as_ref().map_or("?", |c| c.label.as_str())
         );
+        let resolved = declared.filter(|_| self.cfg.check_declared).map(|d| {
+            // Map each effect's declared buffer label to the *latest*
+            // dynamic buffer registered under that label (re-binding a
+            // label shadows earlier epochs, so the newest id is the
+            // live one).
+            let mut per_buffer: HashMap<u32, Vec<(EffectKind, Pattern)>> = HashMap::new();
+            for e in d.effects.iter() {
+                let want = &d.buffers[e.buf.0 as usize].label;
+                let dynamic = s
+                    .buffers
+                    .iter()
+                    .rposition(|(label, _)| label == want)
+                    .unwrap_or_else(|| {
+                        panic!("sanitizer cross-check: declared buffer '{want}' was never bound")
+                    }) as u32;
+                per_buffer
+                    .entry(dynamic)
+                    .or_default()
+                    .push((e.kind, e.pattern));
+            }
+            per_buffer
+        });
         s.current = Some(LaunchCtx {
             label: label.to_string(),
             ordinal,
             coverage,
             stream,
+            declared: resolved,
         });
         s.log.clear();
     }
@@ -352,6 +423,40 @@ impl Sanitizer {
                 s.reports.push(report.clone());
             }
             return Some(report);
+        }
+        // Accesses outside any launch (host-side pokes between epochs)
+        // are ordered by the launch barriers and need no logging.
+        let ctx = s.current.as_ref()?;
+        // Cross-check: a declared launch must cover every access it
+        // performs. An uncovered access is reported (and panics under
+        // fail_fast) but is still *performed* — unlike OOB there is
+        // nothing unsafe about it, only the declaration is wrong.
+        if let Some(declared) = ctx.declared.as_ref() {
+            let covered = declared.get(&buffer).is_some_and(|effects| {
+                effects.iter().any(|(k, pattern)| {
+                    let kind_ok = match kind {
+                        AccessKind::Read => matches!(k, EffectKind::Read | EffectKind::Atomic),
+                        AccessKind::Write => matches!(k, EffectKind::Write | EffectKind::Atomic),
+                    };
+                    kind_ok && pattern.covers(tid, index)
+                })
+            });
+            if !covered {
+                let report = RaceReport {
+                    kernel: ctx.label.clone(),
+                    launch: ctx.ordinal,
+                    buffer: s.buffers[buffer as usize].0.clone(),
+                    index,
+                    kind: ConflictKind::UndeclaredAccess { tid, access: kind },
+                    other_kernel: None,
+                };
+                if s.reports.len() < self.cfg.max_reports {
+                    s.reports.push(report.clone());
+                }
+                if self.cfg.fail_fast {
+                    panic!("{report}");
+                }
+            }
         }
         s.log.push(AccessRecord {
             buffer,

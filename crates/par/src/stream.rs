@@ -36,6 +36,7 @@
 //! assert_eq!((a[7], b[7]), (1, 2));
 //! ```
 
+use crate::effects::{self, DeclaredLaunch, DeclaredPeer, Effect, EffectTable};
 use crate::{DeviceSlice, Executor};
 use parsweep_trace as trace;
 
@@ -45,6 +46,17 @@ pub(crate) struct Pending<'env> {
     pub(crate) n: usize,
     /// Buffer id the launch promises to fill (coverage checking).
     pub(crate) coverage: Option<u32>,
+    /// Static effect declarations, when the launch was queued with
+    /// [`Stream::launch_declared`] or replayed from a declared graph
+    /// node. Declared launches skip dynamic sanitization unless the
+    /// executor is in cross-check mode.
+    pub(crate) declared: Option<DeclaredLaunch>,
+    /// Set when cross-launch disjointness was already proven at graph
+    /// build time (at the node's maximum width, which dominates every
+    /// replay width): the drain-time epoch check skips pairs where both
+    /// sides carry this flag, so verified replays cost O(launches), not
+    /// O(launches²).
+    pub(crate) preverified: bool,
     pub(crate) kernel: Box<dyn Fn(usize) + Send + Sync + 'env>,
 }
 
@@ -109,6 +121,59 @@ impl<'exec, 'env> Stream<'exec, 'env> {
             label: label.to_string(),
             n,
             coverage: None,
+            declared: None,
+            preverified: false,
+            kernel: Box::new(kernel),
+        });
+    }
+
+    /// Queues a kernel whose buffer accesses are declared as static
+    /// [`Effect`]s over `table` (see [`Executor::launch_declared`]).
+    ///
+    /// The intra-launch checks (bounds, thread disjointness) run *now*,
+    /// at the exact width `n`; cross-stream disjointness against the
+    /// other streams of the join epoch is checked when the epoch drains.
+    /// An epoch whose launches are all declared and hazard-free runs on
+    /// the parallel fast path even on a sanitizing executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`StaticHazard`](crate::StaticHazard) report
+    /// when the declared effects conflict or exceed a buffer's declared
+    /// length.
+    pub fn launch_declared<F>(
+        &mut self,
+        table: &EffectTable,
+        label: &str,
+        n: usize,
+        effects_list: &[Effect],
+        kernel: F,
+    ) where
+        F: Fn(usize) + Send + Sync + 'env,
+    {
+        if n == 0 {
+            return;
+        }
+        let buffers = table.snapshot();
+        let hazards = effects::check_launch(label, n, effects_list, &buffers);
+        assert!(
+            hazards.is_empty(),
+            "static effect check failed for `{label}`:\n{}",
+            hazards
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        self.queue.push(Pending {
+            label: label.to_string(),
+            n,
+            coverage: None,
+            declared: Some(DeclaredLaunch {
+                buffers,
+                effects: std::sync::Arc::new(effects_list.to_vec()),
+            }),
+            preverified: false,
             kernel: Box::new(kernel),
         });
     }
@@ -126,6 +191,8 @@ impl<'exec, 'env> Stream<'exec, 'env> {
             label: label.to_string(),
             n: buffer.len(),
             coverage: Some(buffer.buffer_id()),
+            declared: None,
+            preverified: false,
             kernel: Box::new(kernel),
         });
     }
@@ -219,28 +286,99 @@ impl Executor {
             .unwrap_or(0);
         self.record_critical_widths(batches[heaviest].1.iter().map(|p| p.n));
 
-        if let Some(san) = &self.sanitizer {
-            // Sanitized epochs run serialized, stream by stream in join
-            // order, logging the stream id of every launch so the
-            // cross-launch analysis can tell ordered (same-stream) from
-            // unordered (cross-stream) access pairs.
-            san.begin_epoch();
-            for ((stream, queue), ords) in batches.iter().zip(&ordinals) {
-                for (pending, &ordinal) in queue.iter().zip(ords) {
-                    let _span = trace::kernel_span(&pending.label, pending.n);
-                    san.begin_launch(
-                        &pending.label,
-                        ordinal,
-                        pending.coverage.map(|b| (b, pending.n)),
-                        *stream,
-                    );
-                    for tid in 0..pending.n {
-                        (pending.kernel)(tid);
+        // Static cross-stream check: any two declared launches on
+        // different streams of this epoch are unordered, so their
+        // footprints must be disjoint (write-vs-anything). This runs at
+        // the *exact* runtime widths on every executor — raw included,
+        // where a hazard cannot be demoted to a report because the
+        // launches are about to race on real threads.
+        // A replayed wave is entirely preverified (build time proved all
+        // its pairs disjoint at max widths) — don't even iterate the
+        // pairs: a wide graph wave joins thousands of one-launch streams.
+        let all_preverified = batches.iter().all(|(_, q)| q.iter().all(|p| p.preverified));
+        if batches.len() > 1 && !all_preverified {
+            for (i, (_, qa)) in batches.iter().enumerate() {
+                for (_, qb) in batches.iter().skip(i + 1) {
+                    for pa in qa.iter().filter(|p| p.declared.is_some()) {
+                        let da = pa.declared.as_ref().unwrap();
+                        for pb in qb.iter().filter(|p| p.declared.is_some()) {
+                            // Graph replays proved same-wave disjointness
+                            // at build time at max widths — re-proving it
+                            // per replay would make every replay epoch
+                            // quadratic in its wave width.
+                            if pa.preverified && pb.preverified {
+                                continue;
+                            }
+                            let db = pb.declared.as_ref().unwrap();
+                            let hazards = effects::check_unordered(
+                                &DeclaredPeer {
+                                    label: &pa.label,
+                                    width: pa.n,
+                                    buffers: &da.buffers,
+                                    effects: &da.effects,
+                                },
+                                &DeclaredPeer {
+                                    label: &pb.label,
+                                    width: pb.n,
+                                    buffers: &db.buffers,
+                                    effects: &db.effects,
+                                },
+                            );
+                            assert!(
+                                hazards.is_empty(),
+                                "static effect check failed for join epoch:\n{}",
+                                hazards
+                                    .iter()
+                                    .map(ToString::to_string)
+                                    .collect::<Vec<_>>()
+                                    .join("\n")
+                            );
+                        }
                     }
-                    san.end_launch();
                 }
             }
-            return;
+        }
+        // An epoch whose launches are all statically verified skips
+        // dynamic sanitization (unless cross-check mode audits it).
+        let declared_count: u64 = batches
+            .iter()
+            .flat_map(|(_, q)| q.iter())
+            .filter(|p| p.declared.is_some())
+            .count() as u64;
+        let all_declared = batches
+            .iter()
+            .all(|(_, q)| q.iter().all(|p| p.declared.is_some()));
+
+        if let Some(san) = &self.sanitizer {
+            if all_declared && !san.cross_check() {
+                // Fall through to the parallel fast paths below.
+            } else {
+                // Sanitized epochs run serialized, stream by stream in join
+                // order, logging the stream id of every launch so the
+                // cross-launch analysis can tell ordered (same-stream) from
+                // unordered (cross-stream) access pairs.
+                san.begin_epoch();
+                for ((stream, queue), ords) in batches.iter().zip(&ordinals) {
+                    for (pending, &ordinal) in queue.iter().zip(ords) {
+                        let _span = trace::kernel_span(&pending.label, pending.n);
+                        san.begin_launch(
+                            &pending.label,
+                            ordinal,
+                            pending.coverage.map(|b| (b, pending.n)),
+                            *stream,
+                            pending.declared.as_ref(),
+                        );
+                        for tid in 0..pending.n {
+                            (pending.kernel)(tid);
+                        }
+                        san.end_launch();
+                    }
+                }
+                return;
+            }
+        }
+        if declared_count > 0 {
+            self.note_verified_launches(declared_count);
         }
         if batches.len() == 1 {
             // A lone stream is an ordered chain: run each launch over the

@@ -1,0 +1,641 @@
+//! Adversarial suite for the static effect checker: every hazard class
+//! the dynamic sanitizer detects must be flagged statically from
+//! declarations alone, clean declared graphs must verify with zero
+//! false positives and replay unsanitized, and cross-check mode must
+//! catch declarations that under-approximate the kernel's real accesses.
+
+use parsweep_par::{
+    ConflictKind, Effect, EffectTable, Executor, KernelGraphBuilder, Pattern, SanitizerConfig,
+    StaticHazard,
+};
+
+fn lenient() -> SanitizerConfig {
+    SanitizerConfig {
+        fail_fast: false,
+        ..SanitizerConfig::default()
+    }
+}
+
+fn cross_check() -> SanitizerConfig {
+    SanitizerConfig {
+        fail_fast: false,
+        check_declared: true,
+        ..SanitizerConfig::default()
+    }
+}
+
+/// Write-write: stride 2, span 4 — neighbors collide. The static
+/// checker flags it from the declaration; the dynamic sanitizer flags
+/// the same class when the undeclared twin actually runs.
+#[test]
+fn write_write_flagged_statically_and_dynamically() {
+    let table = EffectTable::new();
+    let buf = table.buffer("ww.buf", 64);
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    g.kernel_declared(
+        "ww",
+        &[],
+        |_| 8,
+        8,
+        vec![Effect::write(
+            buf,
+            Pattern::Affine {
+                base: 0,
+                stride: 2,
+                span: 4,
+            },
+        )],
+        |_, _| {},
+    );
+    let hazards = g.try_build().map(|_| ()).unwrap_err();
+    assert!(
+        hazards
+            .iter()
+            .any(|h| matches!(h, StaticHazard::WriteWrite { .. })),
+        "{hazards:?}"
+    );
+
+    // Dynamic twin: same access pattern, no declarations.
+    let exec = Executor::with_sanitizer_config(2, lenient());
+    let mut data = vec![0u32; 64];
+    {
+        let cells = exec.bind("ww.buf", &mut data);
+        exec.launch_labeled("ww", 8, |tid| {
+            for k in 0..4 {
+                // SAFETY: intentionally racy (stride < span); sanitized
+                // launches are serialized, so the race is only logged.
+                unsafe { cells.write(tid, tid * 2 + k, 1) };
+            }
+        });
+    }
+    assert!(
+        exec.take_reports()
+            .iter()
+            .any(|r| matches!(r.kind, ConflictKind::WriteWrite { .. })),
+        "dynamic sanitizer must agree with the static verdict"
+    );
+}
+
+/// Read-write: thread t reads slot t while thread t+1 writes it.
+#[test]
+fn read_write_flagged_statically_and_dynamically() {
+    let table = EffectTable::new();
+    let buf = table.buffer("rw.buf", 64);
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    g.kernel_declared(
+        "rw",
+        &[],
+        |_| 8,
+        8,
+        vec![
+            Effect::read(
+                buf,
+                Pattern::Affine {
+                    base: 0,
+                    stride: 1,
+                    span: 1,
+                },
+            ),
+            Effect::write(
+                buf,
+                Pattern::Affine {
+                    base: 1,
+                    stride: 1,
+                    span: 1,
+                },
+            ),
+        ],
+        |_, _| {},
+    );
+    let hazards = g.try_build().map(|_| ()).unwrap_err();
+    assert!(
+        hazards
+            .iter()
+            .any(|h| matches!(h, StaticHazard::ReadWrite { .. })),
+        "{hazards:?}"
+    );
+
+    let exec = Executor::with_sanitizer_config(2, lenient());
+    let mut data = vec![0u32; 64];
+    {
+        let cells = exec.bind("rw.buf", &mut data);
+        exec.launch_labeled("rw", 8, |tid| {
+            // SAFETY: intentionally hazardous (read of a slot another
+            // tid writes in the same launch); serialized when sanitized.
+            unsafe {
+                let _ = cells.read(tid, tid);
+                cells.write(tid, tid + 1, 1);
+            }
+        });
+    }
+    assert!(
+        exec.take_reports()
+            .iter()
+            .any(|r| matches!(r.kind, ConflictKind::ReadWrite { .. })),
+        "dynamic sanitizer must agree with the static verdict"
+    );
+}
+
+/// Static OOB: the declared footprint's tail extends past the buffer.
+#[test]
+fn out_of_bounds_flagged_statically_and_dynamically() {
+    let table = EffectTable::new();
+    let buf = table.buffer("oob.buf", 10);
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    g.kernel_declared(
+        "oob",
+        &[],
+        |_| 4,
+        4,
+        // Thread 3 needs slots 9..12: past len 10.
+        vec![Effect::write(
+            buf,
+            Pattern::Affine {
+                base: 0,
+                stride: 3,
+                span: 3,
+            },
+        )],
+        |_, _| {},
+    );
+    let hazards = g.try_build().map(|_| ()).unwrap_err();
+    assert!(
+        hazards.iter().any(|h| matches!(
+            h,
+            StaticHazard::OutOfBounds {
+                needed: 12,
+                len: 10,
+                ..
+            }
+        )),
+        "{hazards:?}"
+    );
+
+    let exec = Executor::with_sanitizer_config(2, lenient());
+    let mut data = vec![0u32; 10];
+    {
+        let cells = exec.bind("oob.buf", &mut data);
+        exec.launch_labeled("oob", 4, |tid| {
+            for k in 0..3 {
+                // SAFETY: deliberately runs past the buffer for tid 3;
+                // the sanitizer reports and suppresses the OOB writes.
+                unsafe { cells.write(tid, tid * 3 + k, 1) };
+            }
+        });
+    }
+    assert!(
+        exec.take_reports()
+            .iter()
+            .any(|r| matches!(r.kind, ConflictKind::OutOfBounds { .. })),
+        "dynamic sanitizer must agree with the static verdict"
+    );
+}
+
+/// Stream race: two same-depth graph nodes (one unordered epoch) with
+/// overlapping write footprints. Statically an UnorderedConflict; the
+/// dynamic analogue on undeclared streams is a StreamRace.
+#[test]
+fn unordered_conflict_flagged_statically_and_dynamically() {
+    let table = EffectTable::new();
+    let buf = table.buffer("race.buf", 64);
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    let own = Pattern::Affine {
+        base: 0,
+        stride: 1,
+        span: 1,
+    };
+    g.kernel_declared(
+        "left",
+        &[],
+        |_| 8,
+        8,
+        vec![Effect::write(buf, own)],
+        |_, _| {},
+    );
+    g.kernel_declared(
+        "right",
+        &[],
+        |_| 8,
+        8,
+        vec![Effect::write(buf, own)],
+        |_, _| {},
+    );
+    let hazards = g.try_build().map(|_| ()).unwrap_err();
+    assert!(
+        hazards
+            .iter()
+            .any(|h| matches!(h, StaticHazard::UnorderedConflict { .. })),
+        "{hazards:?}"
+    );
+
+    let exec = Executor::with_sanitizer_config(2, lenient());
+    let mut data = vec![0u32; 64];
+    {
+        let cells = exec.bind("race.buf", &mut data);
+        let mut s1 = exec.stream();
+        let mut s2 = exec.stream();
+        s1.launch_labeled("left", 8, |tid| {
+            // SAFETY: the two unordered streams write the same slots on
+            // purpose; sanitized epochs serialize, so the race is logged.
+            unsafe { cells.write(tid, tid, 1) };
+        });
+        s2.launch_labeled("right", 8, |tid| {
+            // SAFETY: intentionally racing `left` (same slots, no edge).
+            unsafe { cells.write(tid, tid, 2) };
+        });
+        exec.join(&mut [&mut s1, &mut s2]);
+    }
+    assert!(
+        exec.take_reports()
+            .iter()
+            .any(|r| matches!(r.kind, ConflictKind::StreamRace { .. })),
+        "dynamic sanitizer must agree with the static verdict"
+    );
+}
+
+/// Use-after-release is static-only: the dynamic sanitizer has no lease
+/// model, but the builder flags a declared use at or past the buffer's
+/// declared release depth.
+#[test]
+fn use_after_release_flagged_at_build() {
+    let table = EffectTable::new();
+    let buf = table.buffer("leased.buf", 16);
+    let own = Pattern::Affine {
+        base: 0,
+        stride: 1,
+        span: 1,
+    };
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    let producer = g.kernel_declared(
+        "produce",
+        &[],
+        |_| 16,
+        16,
+        vec![Effect::write(buf, own)],
+        |_, _| {},
+    );
+    g.release(buf, &[producer]);
+    g.kernel_declared(
+        "late-read",
+        &[producer],
+        |_| 16,
+        16,
+        vec![Effect::read(buf, own)],
+        |_, _| {},
+    );
+    let hazards = g.try_build().map(|_| ()).unwrap_err();
+    assert!(
+        hazards.iter().any(
+            |h| matches!(h, StaticHazard::UseAfterRelease { kernel, .. } if kernel == "late-read")
+        ),
+        "{hazards:?}"
+    );
+
+    // Releasing after the reader instead is clean.
+    let table = EffectTable::new();
+    let buf = table.buffer("leased.buf", 16);
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    let producer = g.kernel_declared(
+        "produce",
+        &[],
+        |_| 16,
+        16,
+        vec![Effect::write(buf, own)],
+        |_, _| {},
+    );
+    let reader = g.kernel_declared(
+        "read",
+        &[producer],
+        |_| 16,
+        16,
+        vec![Effect::read(buf, own)],
+        |_, _| {},
+    );
+    g.release(buf, &[reader]);
+    assert!(g.try_build().is_ok());
+}
+
+/// A clean declared graph verifies, produces correct results on a
+/// sanitizing executor *without* any dynamic reports, and counts its
+/// replays and launches as statically verified.
+#[test]
+fn verified_graph_replays_unsanitized_with_correct_results() {
+    const N: usize = 512;
+    struct Round<'a> {
+        cells: &'a parsweep_par::DeviceSlice<'a, u64>,
+    }
+    // The graph's context type borrows the bound cells, so the graph is
+    // built (and dropped) inside the binding scope, once per executor.
+    fn run(exec: &Executor, replays: usize) -> Vec<u64> {
+        let table = EffectTable::new();
+        let buf = table.buffer("pipeline.buf", N);
+        let own = Pattern::Affine {
+            base: 0,
+            stride: 1,
+            span: 1,
+        };
+        let mut data = vec![0u64; N];
+        {
+            let cells = exec.bind_table(&table, buf, &mut data);
+            let mut g = KernelGraphBuilder::<Round>::new().with_table(&table);
+            let fill = g.kernel_declared(
+                "fill",
+                &[],
+                |_: &Round| N,
+                N,
+                vec![Effect::write(buf, own)],
+                |tid, r: &Round| {
+                    // SAFETY: each tid writes its own slot (statically proven).
+                    unsafe { r.cells.write(tid, tid, tid as u64) };
+                },
+            );
+            g.kernel_declared(
+                "double",
+                &[fill],
+                |_: &Round| N,
+                N,
+                vec![Effect::read(buf, own), Effect::write(buf, own)],
+                |tid, r: &Round| {
+                    // SAFETY: each tid reads and writes only its own slot.
+                    unsafe {
+                        let v = r.cells.read(tid, tid);
+                        r.cells.write(tid, tid, v * 2);
+                    }
+                },
+            );
+            let graph = g.build();
+            assert!(graph.verified());
+            for _ in 0..replays {
+                graph.replay(exec, &Round { cells: &cells });
+            }
+        }
+        data
+    }
+
+    let exec = Executor::with_sanitizer(2);
+    let data = run(&exec, 2);
+    assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    assert!(
+        exec.take_reports().is_empty(),
+        "verified replay must not sanitize"
+    );
+    // Ambient PARSWEEP_SANITIZE=all forces cross-check mode, where
+    // declared launches deliberately run sanitized instead.
+    if !exec.cross_checking() {
+        let stats = exec.stats();
+        assert_eq!(stats.static_verified_replays, 2);
+        assert_eq!(stats.static_verified_launches, 4);
+    }
+
+    // Cross-check mode: same graph runs under the dynamic sanitizer,
+    // declarations cover every access, so it stays clean — and the
+    // replays no longer count as verified fast-path replays.
+    let exec = Executor::with_sanitizer_config(2, cross_check());
+    let data = run(&exec, 1);
+    assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    assert!(
+        exec.take_reports().is_empty(),
+        "declarations must cover all accesses"
+    );
+    assert_eq!(exec.stats().static_verified_replays, 0);
+}
+
+/// Replaying a declared node wider than its verified maximum is a
+/// contract violation and must fail loudly, not race silently.
+#[test]
+#[should_panic(expected = "beyond its statically verified maximum")]
+fn replay_wider_than_max_width_panics() {
+    let table = EffectTable::new();
+    let buf = table.buffer("narrow.buf", 64);
+    let mut g = KernelGraphBuilder::<usize>::new().with_table(&table);
+    g.kernel_declared(
+        "grower",
+        &[],
+        |&n: &usize| n,
+        8,
+        vec![Effect::write(
+            buf,
+            Pattern::Affine {
+                base: 0,
+                stride: 1,
+                span: 1,
+            },
+        )],
+        |_, _| {},
+    );
+    let graph = g.build();
+    let exec = Executor::with_threads(2);
+    graph.replay(&exec, &16); // width 16 > verified max 8
+}
+
+/// Cross-check catches a declaration that under-approximates: the
+/// kernel touches an in-bounds slot its effects never declared. A
+/// plain sanitizing executor would have skipped the launch entirely
+/// (fast path) — exactly the hole cross-check mode exists to audit.
+#[test]
+fn cross_check_flags_undeclared_access() {
+    let table = EffectTable::new();
+    let buf = table.buffer("sneaky.buf", 64);
+    let run = |config: SanitizerConfig| {
+        let exec = Executor::with_sanitizer_config(2, config);
+        let mut data = vec![0u64; 64];
+        {
+            let cells = exec.bind_table(&table, buf, &mut data);
+            let cells = &cells;
+            exec.launch_declared(
+                &table,
+                "sneaky",
+                4,
+                // Declares only slots 0..4, but also pokes slot 60.
+                &[Effect::write(
+                    buf,
+                    Pattern::Affine {
+                        base: 0,
+                        stride: 1,
+                        span: 1,
+                    },
+                )],
+                move |tid| {
+                    // SAFETY: in-bounds; disjoint per tid (tid and 60+tid).
+                    unsafe {
+                        cells.write(tid, tid, 1);
+                        cells.write(tid, 60 - tid, 2);
+                    }
+                },
+            );
+        }
+        (exec.take_reports(), exec.cross_checking())
+    };
+    let (audited, _) = run(cross_check());
+    assert!(
+        audited
+            .iter()
+            .any(|r| matches!(r.kind, ConflictKind::UndeclaredAccess { .. })),
+        "{audited:?}"
+    );
+    // Without cross-check the verified fast path runs raw: no reports —
+    // demonstrating why the audit mode exists. Ambient
+    // PARSWEEP_SANITIZE=all forces cross-check even here, so only
+    // assert silence when the executor really took the fast path.
+    let (silent, crossed) = run(lenient());
+    if !crossed {
+        assert!(silent.is_empty(), "{silent:?}");
+    }
+}
+
+/// Stream-level static checking: queue-time intra-launch hazards panic
+/// immediately; drain-time cross-stream conflicts panic at the join.
+#[test]
+#[should_panic(expected = "static effect check failed")]
+fn stream_launch_declared_panics_on_intra_launch_hazard() {
+    let table = EffectTable::new();
+    let buf = table.buffer("s.buf", 8);
+    let exec = Executor::with_threads(2);
+    let mut s = exec.stream();
+    s.launch_declared(
+        &table,
+        "bad",
+        4,
+        &[Effect::write(
+            buf,
+            Pattern::Affine {
+                base: 0,
+                stride: 0,
+                span: 1,
+            },
+        )],
+        |_| {},
+    );
+}
+
+#[test]
+#[should_panic(expected = "static effect check failed for join epoch")]
+fn join_panics_on_cross_stream_declared_conflict() {
+    let table = EffectTable::new();
+    let buf = table.buffer("j.buf", 32);
+    let own = Pattern::Affine {
+        base: 0,
+        stride: 1,
+        span: 1,
+    };
+    let exec = Executor::with_threads(2);
+    let mut data = vec![0u64; 32];
+    let cells = exec.bind_table(&table, buf, &mut data);
+    let cells = &cells;
+    let mut s1 = exec.stream();
+    let mut s2 = exec.stream();
+    s1.launch_declared(&table, "a", 8, &[Effect::write(buf, own)], move |tid| {
+        // SAFETY: never runs — the drain-time static check fires first.
+        unsafe { cells.write(tid, tid, 1) };
+    });
+    s2.launch_declared(&table, "b", 8, &[Effect::write(buf, own)], move |tid| {
+        // SAFETY: never runs — the drain-time static check fires first.
+        unsafe { cells.write(tid, tid, 2) };
+    });
+    exec.join(&mut [&mut s1, &mut s2]);
+}
+
+/// A clean multi-stream declared epoch runs the fast path on a
+/// sanitizing executor and counts its launches.
+#[test]
+fn clean_declared_epoch_skips_sanitizer_and_counts() {
+    let table = EffectTable::new();
+    let a = table.buffer("epoch.a", 128);
+    let b = table.buffer("epoch.b", 128);
+    let own = Pattern::Affine {
+        base: 0,
+        stride: 1,
+        span: 1,
+    };
+    let exec = Executor::with_sanitizer(2);
+    let mut da = vec![0u64; 128];
+    let mut db = vec![0u64; 128];
+    {
+        let ca = exec.bind_table(&table, a, &mut da);
+        let ca = &ca;
+        let cb = exec.bind_table(&table, b, &mut db);
+        let cb = &cb;
+        let mut s1 = exec.stream();
+        let mut s2 = exec.stream();
+        s1.launch_declared(
+            &table,
+            "fill-a",
+            128,
+            &[Effect::write(a, own)],
+            move |tid| {
+                // SAFETY: each tid writes its own slot of its own buffer.
+                unsafe { ca.write(tid, tid, 1) };
+            },
+        );
+        s2.launch_declared(
+            &table,
+            "fill-b",
+            128,
+            &[Effect::write(b, own)],
+            move |tid| {
+                // SAFETY: each tid writes its own slot of its own buffer.
+                unsafe { cb.write(tid, tid, 2) };
+            },
+        );
+        exec.join(&mut [&mut s1, &mut s2]);
+    }
+    assert!(da.iter().all(|&v| v == 1) && db.iter().all(|&v| v == 2));
+    assert!(exec.take_reports().is_empty());
+    // Ambient PARSWEEP_SANITIZE=all forces cross-check mode, where
+    // declared launches deliberately run sanitized instead.
+    if !exec.cross_checking() {
+        assert_eq!(exec.stats().static_verified_launches, 2);
+    }
+}
+
+/// Atomics commute with each other but conflict with plain accesses.
+#[test]
+fn atomic_reductions_are_clean_but_conflict_with_plain_writes() {
+    let table = EffectTable::new();
+    let buf = table.buffer("acc.buf", 4);
+    let all_one = Pattern::Affine {
+        base: 0,
+        stride: 0,
+        span: 1,
+    };
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    g.kernel_declared(
+        "acc1",
+        &[],
+        |_| 8,
+        8,
+        vec![Effect::atomic(buf, all_one)],
+        |_, _| {},
+    );
+    g.kernel_declared(
+        "acc2",
+        &[],
+        |_| 8,
+        8,
+        vec![Effect::atomic(buf, all_one)],
+        |_, _| {},
+    );
+    assert!(g.try_build().is_ok(), "atomic-atomic must commute");
+
+    let mut g = KernelGraphBuilder::<()>::new().with_table(&table);
+    g.kernel_declared(
+        "acc",
+        &[],
+        |_| 8,
+        8,
+        vec![Effect::atomic(buf, all_one)],
+        |_, _| {},
+    );
+    g.kernel_declared(
+        "plain",
+        &[],
+        |_| 8,
+        8,
+        vec![Effect::write(buf, all_one)],
+        |_, _| {},
+    );
+    assert!(
+        g.try_build().is_err(),
+        "atomic vs plain write must conflict"
+    );
+}

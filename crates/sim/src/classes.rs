@@ -74,11 +74,7 @@ pub fn signature_classes_among(sigs: &Signatures, nodes: &[Var]) -> Vec<Vec<Var>
 /// Splinter groups keep the invariants of [`signature_classes`]: sorted
 /// members, singletons dropped, classes ordered by representative.
 /// Returns the number of classes that split or shrank.
-pub fn refine_classes(
-    classes: &mut Vec<Vec<Var>>,
-    base: &Signatures,
-    fresh: &Signatures,
-) -> usize {
+pub fn refine_classes(classes: &mut Vec<Vec<Var>>, base: &Signatures, fresh: &Signatures) -> usize {
     use std::collections::HashMap;
     let normalized_hash = |m: Var| {
         let mask = if base.phase(m) { u64::MAX } else { 0 };

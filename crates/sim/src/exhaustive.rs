@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::{CancelToken, Executor, KernelGraphBuilder};
+use parsweep_par::{CancelToken, Effect, EffectTable, Executor, KernelGraphBuilder, Pattern};
 
 use crate::tt::projection_word;
 use crate::window::Window;
@@ -172,8 +172,15 @@ pub fn check_windows_cancellable(
     }
 
     {
-        let cells = exec.bind("sim.exhaustive.table", &mut simt);
-        let out_cells = exec.bind("sim.exhaustive.outcomes", &mut outcomes);
+        // Declare the device buffers and every kernel's footprint over
+        // them, so the whole round graph is *statically verified* at
+        // build time and replays skip dynamic sanitization (the
+        // verified-replay fast path).
+        let table = EffectTable::new();
+        let tbl_buf = table.buffer("sim.exhaustive.table", entry_words * total_entries);
+        let out_buf = table.buffer("sim.exhaustive.outcomes", total_pairs);
+        let cells = exec.bind_table(&table, tbl_buf, &mut simt);
+        let out_cells = exec.bind_table(&table, out_buf, &mut outcomes);
         let cells = &cells;
         let out_cells = &out_cells;
         let resolved = &resolved;
@@ -185,11 +192,14 @@ pub fn check_windows_cancellable(
         // carry no edges between them, so at replay each wave runs their
         // launches on separate streams (windows touch disjoint table
         // ranges) and only the deepest chain paces the critical path.
-        let mut builder = KernelGraphBuilder::<Round>::new();
+        let mut builder = KernelGraphBuilder::<Round>::new().with_table(&table);
         for (i, p) in plans.iter().enumerate() {
             let active_words =
                 move |r: usize| -> usize { (p.tt_words - r * entry_words).min(entry_words) };
-            let inputs = builder.kernel(
+            // This window's slice of the simulation table, in words.
+            let win_lo = p.base * entry_words;
+            let win_hi = (p.base + p.window.num_entries()) * entry_words;
+            let inputs = builder.kernel_declared(
                 "sim.exhaustive.inputs",
                 &[],
                 move |b: &Round| {
@@ -199,6 +209,17 @@ pub fn check_windows_cancellable(
                         0
                     }
                 },
+                p.window.inputs.len(),
+                // Input j owns entry (base + j): stride == span, so the
+                // checker proves thread disjointness in closed form.
+                vec![Effect::write(
+                    tbl_buf,
+                    Pattern::Affine {
+                        base: win_lo,
+                        stride: entry_words,
+                        span: entry_words,
+                    },
+                )],
                 move |j, b: &Round| {
                     let aw = active_words(b.r);
                     let entry = (p.base + j) * entry_words;
@@ -213,10 +234,30 @@ pub fn check_windows_cancellable(
             );
             let mut prev = inputs;
             for nodes in &p.levels {
-                prev = builder.kernel(
+                prev = builder.kernel_declared(
                     "sim.exhaustive.level",
                     &[prev],
                     move |b: &Round| if b.active[i] { nodes.len() } else { 0 },
+                    nodes.len(),
+                    // Node k reads its fanins' entries (strictly lower
+                    // levels) and writes its own — data-dependent
+                    // disjoint chunks inside this window's table slice.
+                    vec![
+                        Effect::read(
+                            tbl_buf,
+                            Pattern::Indexed {
+                                lo: win_lo,
+                                hi: win_hi,
+                            },
+                        ),
+                        Effect::write(
+                            tbl_buf,
+                            Pattern::Indexed {
+                                lo: win_lo,
+                                hi: win_hi,
+                            },
+                        ),
+                    ],
                     move |k, b: &Round| {
                         let aw = active_words(b.r);
                         let v = nodes[k];
@@ -246,10 +287,30 @@ pub fn check_windows_cancellable(
                     },
                 );
             }
-            builder.kernel(
+            builder.kernel_declared(
                 "sim.exhaustive.compare",
                 &[prev],
                 move |b: &Round| if b.active[i] { p.window.pairs.len() } else { 0 },
+                p.window.pairs.len(),
+                // Pair k reads its roots' entries and writes its own
+                // outcome slot (one slot per pair, stride 1).
+                vec![
+                    Effect::read(
+                        tbl_buf,
+                        Pattern::Indexed {
+                            lo: win_lo,
+                            hi: win_hi,
+                        },
+                    ),
+                    Effect::write(
+                        out_buf,
+                        Pattern::Affine {
+                            base: pair_base[i],
+                            stride: 1,
+                            span: 1,
+                        },
+                    ),
+                ],
                 move |k, b: &Round| {
                     if resolved[i][k].load(Ordering::Relaxed) {
                         return;

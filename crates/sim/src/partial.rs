@@ -6,7 +6,7 @@
 //! later resimulated to refine the classes (§III-A "partial simulator").
 
 use parsweep_aig::{Aig, Node, Var};
-use parsweep_par::{DeviceSlice, Executor, PooledBuf};
+use parsweep_par::{DeviceSlice, Effect, EffectTable, Executor, Pattern, PooledBuf};
 
 use crate::Cex;
 
@@ -287,7 +287,12 @@ pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
 /// members and the constant node. Derive classes with
 /// [`crate::signature_classes_among`] over (a subset of) `live`, never
 /// with the full [`crate::signature_classes`].
-pub fn simulate_pruned(aig: &Aig, exec: &Executor, patterns: &Patterns, live: &[Var]) -> Signatures {
+pub fn simulate_pruned(
+    aig: &Aig,
+    exec: &Executor,
+    patterns: &Patterns,
+    live: &[Var],
+) -> Signatures {
     simulate_pruned_counted(aig, exec, patterns, live).0
 }
 
@@ -337,15 +342,52 @@ fn simulate_groups(
     // bucket against it.
     hashes[0] = hash_zero_signature(w);
     {
-        let cells = exec.bind("sim.partial.signatures", &mut data);
+        // Effects per level launch: node t reads its fanins' signature
+        // words (earlier groups, ordered by the stream) and writes its
+        // own words plus hash slot — data-dependent disjoint chunks,
+        // declared so the whole level chain is statically verified and
+        // skips dynamic sanitization.
+        let table = EffectTable::new();
+        let sig_buf = table.buffer("sim.partial.signatures", aig.num_nodes() * w);
+        let hash_buf = table.buffer("sim.partial.hashes", aig.num_nodes());
+        let cells = exec.bind_table(&table, sig_buf, &mut data);
         let cells = &cells;
-        let hcells = exec.bind("sim.partial.hashes", &mut hashes);
+        let hcells = exec.bind_table(&table, hash_buf, &mut hashes);
         let hcells = &hcells;
+        let effects = [
+            Effect::read(
+                sig_buf,
+                Pattern::Indexed {
+                    lo: 0,
+                    hi: aig.num_nodes() * w,
+                },
+            ),
+            Effect::write(
+                sig_buf,
+                Pattern::Indexed {
+                    lo: 0,
+                    hi: aig.num_nodes() * w,
+                },
+            ),
+            Effect::write(
+                hash_buf,
+                Pattern::Indexed {
+                    lo: 0,
+                    hi: aig.num_nodes(),
+                },
+            ),
+        ];
         let mut stream = exec.stream();
         for group in groups {
-            stream.launch_labeled("sim.partial.level", group.len(), move |t| {
-                eval_node(aig, group[t], t, w, patterns, cells, hcells);
-            });
+            stream.launch_declared(
+                &table,
+                "sim.partial.level",
+                group.len(),
+                &effects,
+                move |t| {
+                    eval_node(aig, group[t], t, w, patterns, cells, hcells);
+                },
+            );
         }
         stream.sync();
     }
@@ -518,7 +560,10 @@ mod tests {
         );
         // concat is the by-value spelling of extend.
         let c = a.concat(&b);
-        assert_eq!((0..3).map(|w| c.word(1, w)).collect::<Vec<_>>(), vec![3, 4, 8]);
+        assert_eq!(
+            (0..3).map(|w| c.word(1, w)).collect::<Vec<_>>(),
+            vec![3, 4, 8]
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the dirty ones.
 
 use parsweep_aig::{Aig, Lit, Node, Var};
-use parsweep_par::Executor;
+use parsweep_par::{Effect, EffectTable, Executor, Pattern};
 
 use crate::partial::{eval_node, hash_zero_signature, Patterns, Signatures};
 
@@ -135,37 +135,83 @@ impl ResimPlan {
             old_sigs.num_words(),
             "resimulation patterns must match the memoized table"
         );
-        assert_eq!(patterns.num_pis(), new.num_pis(), "pattern/PI count mismatch");
+        assert_eq!(
+            patterns.num_pis(),
+            new.num_pis(),
+            "pattern/PI count mismatch"
+        );
         let w = patterns.num_words();
         let mut data = exec.arena().take::<u64>(self.num_nodes * w);
         let mut hashes = exec.arena().take::<u64>(self.num_nodes);
         hashes[0] = hash_zero_signature(w);
         {
-            let cells = exec.bind("sim.resim.signatures", &mut data);
+            // Declared effects: every launch writes data-dependent
+            // disjoint node slots (copy: its clean node; level: its
+            // dirty node) and level launches read earlier-written
+            // fanins, all ordered by the single stream. Statically
+            // verified, so the whole resim chain skips dynamic
+            // sanitization.
+            let table = EffectTable::new();
+            let sig_buf = table.buffer("sim.resim.signatures", self.num_nodes * w);
+            let hash_buf = table.buffer("sim.resim.hashes", self.num_nodes);
+            let sig_all = Pattern::Indexed {
+                lo: 0,
+                hi: self.num_nodes * w,
+            };
+            let hash_all = Pattern::Indexed {
+                lo: 0,
+                hi: self.num_nodes,
+            };
+            let cells = exec.bind_table(&table, sig_buf, &mut data);
             let cells = &cells;
-            let hcells = exec.bind("sim.resim.hashes", &mut hashes);
+            let hcells = exec.bind_table(&table, hash_buf, &mut hashes);
             let hcells = &hcells;
             let copies = &self.copies;
             let mut stream = exec.stream();
-            stream.launch_labeled("sim.resim.copy", copies.len(), move |t| {
-                let (nv, old_lit) = copies[t];
-                let mask = if old_lit.is_complemented() { u64::MAX } else { 0 };
-                let src = old_sigs.sig(old_lit.var());
-                for k in 0..w {
-                    // SAFETY: each tid writes only its own node's words;
-                    // the donor table is a read-only host buffer.
-                    unsafe { cells.write(t, nv.index() * w + k, src[k] ^ mask) };
-                }
-                // SAFETY: each tid writes only its own node's hash slot.
-                unsafe { hcells.write(t, nv.index(), old_sigs.canonical_hash(old_lit.var())) };
-            });
+            let copy_effects = [
+                Effect::write(sig_buf, sig_all),
+                Effect::write(hash_buf, hash_all),
+            ];
+            stream.launch_declared(
+                &table,
+                "sim.resim.copy",
+                copies.len(),
+                &copy_effects,
+                move |t| {
+                    let (nv, old_lit) = copies[t];
+                    let mask = if old_lit.is_complemented() {
+                        u64::MAX
+                    } else {
+                        0
+                    };
+                    let src = old_sigs.sig(old_lit.var());
+                    for (k, &word) in src.iter().enumerate().take(w) {
+                        // SAFETY: each tid writes only its own node's words;
+                        // the donor table is a read-only host buffer.
+                        unsafe { cells.write(t, nv.index() * w + k, word ^ mask) };
+                    }
+                    // SAFETY: each tid writes only its own node's hash slot.
+                    unsafe { hcells.write(t, nv.index(), old_sigs.canonical_hash(old_lit.var())) };
+                },
+            );
+            let level_effects = [
+                Effect::read(sig_buf, sig_all),
+                Effect::write(sig_buf, sig_all),
+                Effect::write(hash_buf, hash_all),
+            ];
             for group in &self.dirty_groups {
-                stream.launch_labeled("sim.resim.level", group.len(), move |t| {
-                    // Fanins are either clean (the copy launch above) or
-                    // dirty at a strictly lower level (an earlier launch
-                    // on this stream): the eval contract holds.
-                    eval_node(new, group[t], t, w, patterns, cells, hcells);
-                });
+                stream.launch_declared(
+                    &table,
+                    "sim.resim.level",
+                    group.len(),
+                    &level_effects,
+                    move |t| {
+                        // Fanins are either clean (the copy launch above) or
+                        // dirty at a strictly lower level (an earlier launch
+                        // on this stream): the eval contract holds.
+                        eval_node(new, group[t], t, w, patterns, cells, hcells);
+                    },
+                );
             }
             stream.sync();
         }

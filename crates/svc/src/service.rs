@@ -613,6 +613,18 @@ impl CecService {
             "High-water mark of any one worker's arena footprint.",
             launch.arena_peak_bytes as f64,
         );
+        render_counter(
+            &mut out,
+            "parsweep_par_static_verified_launches_total",
+            "Kernel launches whose declared effects were statically verified, skipping dynamic sanitization.",
+            launch.static_verified_launches,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_par_static_verified_replays",
+            "Replays of kernel graphs that were fully verified at build time.",
+            launch.static_verified_replays,
+        );
         let sim = trace::metrics::sim_counters();
         render_counter(
             &mut out,

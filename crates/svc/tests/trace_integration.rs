@@ -84,4 +84,15 @@ fn traced_service_run_spans_all_tiers() {
         !text.contains("parsweep_kernel_launches_total 0"),
         "kernel launches must be non-zero:\n{text}"
     );
+    // The sim engines declare their effects, so the fleet must report
+    // statically verified launches (and expose the replay counter).
+    assert!(
+        text.contains("parsweep_par_static_verified_launches_total")
+            && !text.contains("parsweep_par_static_verified_launches_total 0"),
+        "verified launches must be non-zero:\n{text}"
+    );
+    assert!(
+        text.contains("parsweep_par_static_verified_replays"),
+        "verified-replay counter must be exposed:\n{text}"
+    );
 }

@@ -52,6 +52,23 @@ def parse_args(argv):
     return max_regress, paths
 
 
+def summarize_sanitizer_overhead(curr_raw):
+    """Report the dynamic-sanitizer-on vs verified-replay wall times the
+    runtime bench records for its resim-heavy rows (``sanitizer_overhead``
+    entries): how much wall time static effect verification saves."""
+    rows = curr_raw.get("sanitizer_overhead") if isinstance(curr_raw, dict) else None
+    if not rows:
+        return
+    print("sanitizer overhead (dynamic cross-check vs verified replay):")
+    for row in rows:
+        try:
+            name = row["name"]
+            dyn, ver, pct = row["dynamic_seconds"], row["verified_seconds"], row["overhead_pct"]
+        except (KeyError, TypeError):
+            continue
+        print(f"  {name}: dynamic {dyn:.3f}s vs verified {ver:.3f}s (+{pct:.1f}% sanitizer overhead)")
+
+
 def main():
     max_regress, paths = parse_args(sys.argv[1:])
     if paths is None:
@@ -61,7 +78,8 @@ def main():
         with open(paths[0]) as f:
             prev = flatten(json.load(f))
         with open(paths[1]) as f:
-            curr = flatten(json.load(f))
+            curr_raw = json.load(f)
+        curr = flatten(curr_raw)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_delta: {e}", file=sys.stderr)
         return 0  # missing/corrupt previous run is not an error
@@ -77,6 +95,7 @@ def main():
             print(f"  {key}: {prev[key]} -> {curr[key]} ({delta:+g}){pct}")
     if prev == curr:
         print("  no numeric changes")
+    summarize_sanitizer_overhead(curr_raw)
     if max_regress is None:
         return 0
     regressions = []

@@ -8,6 +8,9 @@
 #   4. kernel sanitizer      parsweep-par suite with the `sanitize` feature,
 #                            then the engine-facing suites with every executor
 #                            forced into sanitizing mode (racecheck analogue)
+#   5. static effect checks  PARSWEEP_SANITIZE=all cross-checks every declared
+#                            launch against the dynamic sanitizer: statically
+#                            verified footprints must cover every real access
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,5 +38,10 @@ cargo test -p parsweep-svc --features trace -q
 echo "==> sanitizer-enabled tests (PARSWEEP_SANITIZE=1)"
 PARSWEEP_SANITIZE=1 cargo test -p parsweep-par -p parsweep-sim -p parsweep-core -p parsweep-svc -q
 PARSWEEP_SANITIZE=1 cargo test --test sanitizer_engine --test edge_cases -q
+
+echo "==> static effect cross-check (PARSWEEP_SANITIZE=all)"
+cargo test -p parsweep-par --test effects_static --test effects_props -q
+PARSWEEP_SANITIZE=all cargo test -p parsweep-par -p parsweep-sim -p parsweep-cut -q
+PARSWEEP_SANITIZE=all cargo test --test sanitizer_engine -q
 
 echo "lint.sh: all green"
