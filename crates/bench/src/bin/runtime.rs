@@ -12,13 +12,20 @@
 //! in-place refinement, and dirty-cone resimulation after merges — that
 //! the sweep rows (which resolve exhaustively at tiny scale) do not.
 //!
+//! A `prover_dispatch` section compares the fixed engine sequence
+//! against the adaptive per-class dispatcher on the deep-FRAIG miters
+//! and one synthetic multiplier-like hard cone, asserting the two agree
+//! on every verdict; `bench_delta.py` surfaces and gates the wall times.
+//!
 //! Usage: `runtime [tiny|small|medium] [output.json]`
 
 use std::fmt::Write as _;
 
+use parsweep_aig::{miter, Aig, Lit};
 use parsweep_bench::harness::{suite, Scale};
 use parsweep_core::{fraig, sim_sweep, EngineConfig, EngineStats, Report};
-use parsweep_par::{Executor, LaunchStats, SanitizerConfig};
+use parsweep_par::{CancelToken, Executor, LaunchStats, SanitizerConfig};
+use parsweep_sat::{portfolio_check, PortfolioConfig, Prover, ProverConfig, ProverMode, Verdict};
 
 /// Modeled device width used for the time estimates (threads) — the
 /// tracing subsystem's canonical width, so bench numbers and span
@@ -27,6 +34,51 @@ const MODEL_CORES: u64 = parsweep_trace::MODEL_CORES;
 
 /// The suite cases FRAIG'ed for the resim-heavy rows.
 const FRAIG_CASES: [&str; 2] = ["multiplier", "log2"];
+
+/// A multiplier-like hard cone for the prover-dispatch rows: `rounds`
+/// identical Toffoli-style mixing rounds (`a ^ (b & c)`, balanced and
+/// non-converging, so simulation signatures stay distinct) over `n`
+/// inputs — strash-shared between the two sides of the miter — topped by
+/// an output layer built
+/// with two different majority decompositions (AND-OR sum-of-products vs
+/// mux). Every PO's support is the full `n` inputs over a deep shared
+/// cone, so the exhaustive engine is *admitted but slow* (one 2^n-pattern
+/// window per PO over the whole cone), while SAT sweeping settles it
+/// quickly: the only candidate pairs are the output-layer twins, each a
+/// small local proof over shared fanins — exactly the class where the
+/// fixed sequence commits to the slow engine and the adaptive race
+/// early-cancels it.
+fn maj_rounds_miter(n: usize, rounds: usize) -> Aig {
+    fn build(n: usize, rounds: usize, mux_form: bool) -> Aig {
+        let mut aig = Aig::new();
+        let mut state: Vec<Lit> = aig.add_inputs(n);
+        for r in 0..rounds {
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n {
+                let (a, b, c) = (state[i], state[(i + 1 + r) % n], state[(i + 7) % n]);
+                let bc = aig.and(b, c);
+                next.push(aig.xor(a, bc));
+            }
+            state = next;
+        }
+        // Output layer: the same majority per PO, in two structurally
+        // different forms. Each PO is one exhaustive window over the full
+        // 2^n pattern space.
+        for i in 0..n {
+            let (a, b, c) = (state[i], state[(i + 1) % n], state[(i + 7) % n]);
+            let po = if mux_form {
+                let or = aig.or(b, c);
+                let and = aig.and(b, c);
+                aig.mux(a, or, and)
+            } else {
+                aig.maj3(a, b, c)
+            };
+            aig.add_po(po);
+        }
+        aig
+    }
+    miter(&build(n, rounds, false), &build(n, rounds, true)).expect("same interface")
+}
 
 fn case_json(name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats) -> String {
     let mut j = String::new();
@@ -193,6 +245,79 @@ fn main() {
         overhead_json.push(j);
     }
 
+    // Prover-dispatch comparison: the fixed engine sequence vs the
+    // adaptive dispatcher on whole deep-FRAIG miters and on a synthetic
+    // multiplier-like hard cone. The hard cone is the row the adaptive
+    // refactor exists for: the exhaustive engine is admitted (support
+    // under the cap) but pays 2^support over a deep cone, so the fixed
+    // sequence commits to it, while the adaptive dispatcher races it
+    // against SAT sweeping and cancels the loser at its next poll point.
+    let mut prover_json = Vec::new();
+    eprintln!("# prover dispatch (sequential fixed sequence vs adaptive race)");
+    let mut dispatch_cases: Vec<(String, Aig)> = FRAIG_CASES
+        .iter()
+        .map(|base| {
+            let case = cases
+                .iter()
+                .find(|c| c.name.starts_with(base))
+                .expect("dispatch case names come from the suite");
+            (format!("{base}_dispatch"), case.miter.clone())
+        })
+        .collect();
+    dispatch_cases.push(("maj_rounds_hard_cone".to_string(), maj_rounds_miter(20, 16)));
+    for (name, m) in &dispatch_cases {
+        let cfg = PortfolioConfig::default();
+        let sequential = portfolio_check(m, &exec, &cfg);
+        let prover = Prover::new(ProverConfig {
+            mode: ProverMode::Adaptive,
+            ..ProverConfig::default()
+        });
+        let adaptive = prover.prove(m, &exec, &CancelToken::never());
+        assert_eq!(
+            sequential.verdict.is_equivalent(),
+            adaptive.verdict.is_equivalent(),
+            "{name}: adaptive dispatch disagreed with the fixed sequence"
+        );
+        let adaptive_engine = adaptive.engine.map_or("none", |e| e.name());
+        let speedup = if adaptive.seconds > 0.0 {
+            sequential.seconds / adaptive.seconds
+        } else {
+            1.0
+        };
+        eprintln!(
+            "{:<20} sequential {:.3}s ({}) adaptive {:.3}s ({}{}) speedup {:.2}x",
+            name,
+            sequential.seconds,
+            sequential.engine.name(),
+            adaptive.seconds,
+            adaptive_engine,
+            if adaptive.raced { ", raced" } else { "" },
+            speedup,
+        );
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            concat!(
+                "    {{\"name\": \"{}\", \"sequential_seconds\": {:.6}, ",
+                "\"adaptive_seconds\": {:.6}, \"sequential_engine\": \"{}\", ",
+                "\"adaptive_engine\": \"{}\", \"raced\": {}, \"speedup\": {:.3}}}"
+            ),
+            name,
+            sequential.seconds,
+            adaptive.seconds,
+            sequential.engine.name(),
+            adaptive_engine,
+            adaptive.raced,
+            speedup,
+        );
+        prover_json.push(j);
+        // Undecided rows would make the comparison vacuous.
+        assert!(
+            !matches!(adaptive.verdict, Verdict::Undecided),
+            "{name}: dispatch left the miter undecided"
+        );
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -205,7 +330,8 @@ fn main() {
             "  \"total_inline_launches\": {},\n",
             "  \"max_arena_peak_bytes\": {},\n",
             "  \"cases\": [\n{}\n  ],\n",
-            "  \"sanitizer_overhead\": [\n{}\n  ]\n",
+            "  \"sanitizer_overhead\": [\n{}\n  ],\n",
+            "  \"prover_dispatch\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scale,
@@ -218,6 +344,7 @@ fn main() {
         peak_bytes,
         cases_json.join(",\n"),
         overhead_json.join(",\n"),
+        prover_json.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write benchmark json");
     eprintln!("wrote {out_path}");

@@ -3,11 +3,16 @@
 
 use parsweep_aig::Aig;
 use parsweep_par::{CancelToken, Executor};
-use parsweep_sat::{sat_sweep_seeded_cancellable, SweepConfig, SweepResult, Verdict};
+use parsweep_sat::{
+    sat_sweep_seeded_cancellable, PortfolioConfig, ProveOutcome, Prover, ProverConfig, ProverMode,
+    SweepConfig, SweepResult, SweepStats, Verdict,
+};
 use parsweep_trace as trace;
+use parsweep_trace::WallClock;
 
 use crate::config::EngineConfig;
 use crate::engine::{sim_sweep_cancellable, EngineResult};
+use crate::prove::{build_prover, refine_velocity};
 
 /// Configuration of the combined flow.
 #[derive(Clone, Debug, Default)]
@@ -21,6 +26,13 @@ pub struct CombinedConfig {
     /// re-checked by SAT — the paper's proposed *EC transfer* (§V). Off by
     /// default to match the paper's evaluated configuration.
     pub ec_transfer: bool,
+    /// How residual undecided logic is finished.
+    /// [`ProverMode::Sequential`] (the compatibility default) hands the
+    /// whole reduced miter to the SAT sweeper, as before the adaptive
+    /// refactor; [`ProverMode::Adaptive`] extracts each undecided PO cone
+    /// and dispatches it through the adaptive [`Prover`], racing engines
+    /// on hard cones with first-verdict-wins early cancellation.
+    pub prover: ProverMode,
 }
 
 /// The outcome of the combined flow.
@@ -31,7 +43,11 @@ pub struct CombinedResult {
     /// The simulation-based engine's result (always runs first).
     pub engine: EngineResult,
     /// The SAT fallback's result, if the engine left the miter undecided.
+    /// In adaptive mode this is synthesized from the dispatch outcomes
+    /// (verdict, total seconds, aggregated SAT statistics).
     pub sat: Option<SweepResult>,
+    /// Per-cone dispatch outcomes (adaptive mode only; empty otherwise).
+    pub dispatch: Vec<ProveOutcome>,
     /// Engine wall-clock seconds (the paper's "GPU (s)").
     pub engine_seconds: f64,
     /// Fallback wall-clock seconds (the paper's "ABC (s)").
@@ -62,6 +78,31 @@ pub fn combined_check_cancellable(
     cfg: &CombinedConfig,
     token: &CancelToken,
 ) -> CombinedResult {
+    match cfg.prover {
+        ProverMode::Sequential => combined_check_sequential(miter, exec, cfg, token),
+        ProverMode::Adaptive => {
+            let prover = build_prover(
+                ProverConfig {
+                    mode: ProverMode::Adaptive,
+                    ..ProverConfig::default()
+                },
+                &PortfolioConfig {
+                    sweep: cfg.sat.clone(),
+                    ..PortfolioConfig::default()
+                },
+                &cfg.engine,
+            );
+            combined_check_with_prover(miter, exec, cfg, &prover, token)
+        }
+    }
+}
+
+fn combined_check_sequential(
+    miter: &Aig,
+    exec: &Executor,
+    cfg: &CombinedConfig,
+    token: &CancelToken,
+) -> CombinedResult {
     let engine = sim_sweep_cancellable(miter, exec, &cfg.engine, token);
     let engine_seconds = engine.stats.seconds;
     match engine.verdict {
@@ -83,6 +124,7 @@ pub fn combined_check_cancellable(
                 verdict,
                 engine,
                 sat: Some(sat),
+                dispatch: Vec::new(),
                 engine_seconds,
                 sat_seconds,
             }
@@ -93,11 +135,144 @@ pub fn combined_check_cancellable(
                 verdict,
                 engine,
                 sat: None,
+                dispatch: Vec::new(),
                 engine_seconds,
                 sat_seconds: 0.0,
             }
         }
     }
+}
+
+/// [`combined_check_cancellable`] with a caller-supplied adaptive
+/// [`Prover`] — the service shares one prover (and its difficulty model)
+/// across workers so routing keeps learning across jobs.
+///
+/// The sim engine runs first as always; each PO cone it leaves undecided
+/// is extracted ([`Aig::extract_cone`]) and dispatched as its own class,
+/// with the pass's sim-refinement velocity folded into the difficulty
+/// features. Cones sharing a structure are proved once. Verdicts compose
+/// soundly: all cones proved ⇒ `Equivalent`; any cone disproved ⇒
+/// `NotEquivalent` with the counter-example lifted through the cone's PI
+/// map; otherwise `Undecided` — cancellation anywhere stays partial,
+/// never wrong.
+pub fn combined_check_with_prover(
+    miter: &Aig,
+    exec: &Executor,
+    cfg: &CombinedConfig,
+    prover: &Prover,
+    token: &CancelToken,
+) -> CombinedResult {
+    let engine = sim_sweep_cancellable(miter, exec, &cfg.engine, token);
+    let engine_seconds = engine.stats.seconds;
+    match engine.verdict {
+        Verdict::Undecided => {
+            let mut span = trace::span("engine", "engine.adaptive_dispatch");
+            span.arg_u64("ands", engine.reduced.num_ands() as u64);
+            let velocity = refine_velocity(&engine.stats);
+            let (verdict, dispatch, sat_seconds, stats) =
+                dispatch_residual_cones(&engine.reduced, exec, prover, velocity, token);
+            span.arg_u64("cones", dispatch.len() as u64);
+            let sat = SweepResult {
+                verdict: verdict.clone(),
+                reduced: engine.reduced.clone(),
+                stats,
+            };
+            CombinedResult {
+                verdict,
+                engine,
+                sat: Some(sat),
+                dispatch,
+                engine_seconds,
+                sat_seconds,
+            }
+        }
+        ref v => {
+            let verdict = v.clone();
+            CombinedResult {
+                verdict,
+                engine,
+                sat: None,
+                dispatch: Vec::new(),
+                engine_seconds,
+                sat_seconds: 0.0,
+            }
+        }
+    }
+}
+
+/// Dispatches every undecided PO cone of the reduced miter through the
+/// prover and composes the verdicts.
+fn dispatch_residual_cones(
+    reduced: &Aig,
+    exec: &Executor,
+    prover: &Prover,
+    velocity: f64,
+    token: &CancelToken,
+) -> (Verdict, Vec<ProveOutcome>, f64, SweepStats) {
+    let clock = WallClock::new();
+    let mut outcomes: Vec<ProveOutcome> = Vec::new();
+    let mut stats = SweepStats::default();
+    // Structure-identical cones (hash then full comparison) are proved
+    // once; disproof counter-examples are re-lifted per duplicate through
+    // its own PI map.
+    let mut seen: Vec<(u64, Aig, Verdict)> = Vec::new();
+    let mut verdict = Verdict::Equivalent;
+    let mut seconds = 0.0f64;
+    for (i, po) in reduced.pos().iter().enumerate() {
+        if po.var().is_const() {
+            if *po != parsweep_aig::Lit::FALSE {
+                // A constant-true PO: any assignment is a counter-example.
+                verdict =
+                    Verdict::NotEquivalent(parsweep_sim::Cex::new(vec![false; reduced.num_pis()]));
+                break;
+            }
+            continue;
+        }
+        if token.is_cancelled() {
+            verdict = Verdict::Undecided;
+            break;
+        }
+        let ext = reduced.extract_cone(&[i]);
+        let hash = ext.cone.structural_hash();
+        let cone_verdict = match seen
+            .iter()
+            .find(|(h, c, _)| *h == hash && c.same_structure(&ext.cone))
+        {
+            Some((_, _, v)) => v.clone(),
+            None => {
+                let mut difficulty = prover.difficulty(&ext.cone);
+                difficulty.refine_velocity = Some(velocity);
+                let out = prover.prove_with_difficulty(&ext.cone, &difficulty, exec, token, &clock);
+                seconds += out.seconds;
+                stats.sat_calls += out.stats.sat_calls;
+                stats.conflicts += out.stats.conflicts;
+                stats.proved_pairs += out.stats.proved_pairs;
+                stats.disproved_pairs += out.stats.disproved_pairs;
+                let v = out.verdict.clone();
+                seen.push((hash, ext.cone.clone(), v.clone()));
+                outcomes.push(out);
+                v
+            }
+        };
+        match cone_verdict {
+            Verdict::Equivalent => {}
+            Verdict::NotEquivalent(cone_cex) => {
+                // Lift positionally through the cone's PI map; original
+                // PIs outside the cone's support are don't-cares.
+                let dense = cone_cex.to_dense(&ext.cone);
+                let sparse: Vec<_> = ext.pi_map.iter().copied().zip(dense).collect();
+                verdict = Verdict::NotEquivalent(parsweep_sim::Cex::from_sparse(reduced, &sparse));
+                break;
+            }
+            Verdict::Undecided => {
+                // Keep probing the remaining cones: a later disproof still
+                // settles the job, but a proof can no longer be claimed.
+                verdict = Verdict::Undecided;
+            }
+        }
+    }
+    stats.seconds = seconds;
+    (verdict, outcomes, seconds, stats)
 }
 
 #[cfg(test)]
@@ -190,6 +365,80 @@ mod tests {
         cfg.engine.max_local_phases = 1;
         let r = combined_check(&m, &exec(), &cfg);
         assert_eq!(r.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn adaptive_mode_matches_sequential_verdict() {
+        let m = miter(
+            &wide_multiplier_ish(5, false),
+            &wide_multiplier_ish(5, true),
+        )
+        .unwrap();
+        // Cripple the engine so the residual dispatch must finish the job.
+        let mut cfg = CombinedConfig::default();
+        cfg.engine.k_po_all = 4;
+        cfg.engine.k_po = 4;
+        cfg.engine.k_g = 4;
+        cfg.engine.max_local_phases = 1;
+        cfg.engine.cut = parsweep_cut::CutParams { k_l: 3, c: 2 };
+        let seq = combined_check(&m, &exec(), &cfg);
+        cfg.prover = ProverMode::Adaptive;
+        let ada = combined_check(&m, &exec(), &cfg);
+        assert_eq!(seq.verdict, Verdict::Equivalent);
+        assert_eq!(ada.verdict, Verdict::Equivalent);
+        assert!(
+            !ada.dispatch.is_empty(),
+            "adaptive mode must have dispatched residual cones"
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_lifts_disproof_cexs() {
+        let a = wide_multiplier_ish(5, false);
+        let mut b = wide_multiplier_ish(5, true);
+        let po = b.po(3);
+        b.set_po(3, !po);
+        let m = miter(&a, &b).unwrap();
+        let mut cfg = CombinedConfig {
+            prover: ProverMode::Adaptive,
+            ..CombinedConfig::default()
+        };
+        // Cripple the engine so the corruption survives to the dispatcher.
+        cfg.engine.k_po_all = 4;
+        cfg.engine.k_po = 4;
+        cfg.engine.k_g = 4;
+        cfg.engine.max_local_phases = 1;
+        cfg.engine.cut = parsweep_cut::CutParams { k_l: 3, c: 2 };
+        let r = combined_check(&m, &exec(), &cfg);
+        match r.verdict {
+            Verdict::NotEquivalent(cex) => assert!(cex.fires(&m), "lifted cex must fire the miter"),
+            other => panic!("expected disproof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_mode_cancellation_stays_partial_never_wrong() {
+        let m = miter(
+            &wide_multiplier_ish(6, false),
+            &wide_multiplier_ish(6, true),
+        )
+        .unwrap();
+        let mut cfg = CombinedConfig {
+            prover: ProverMode::Adaptive,
+            ..CombinedConfig::default()
+        };
+        cfg.engine.k_po_all = 4;
+        cfg.engine.k_po = 4;
+        cfg.engine.k_g = 4;
+        cfg.engine.max_local_phases = 1;
+        let token = CancelToken::new();
+        token.cancel();
+        let r = combined_check_cancellable(&m, &exec(), &cfg, &token);
+        assert_eq!(
+            r.verdict,
+            Verdict::Undecided,
+            "pre-cancelled adaptive run must stay undecided"
+        );
     }
 
     #[test]

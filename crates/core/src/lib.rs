@@ -62,17 +62,23 @@ mod ec;
 mod engine;
 mod fraig;
 mod local;
+mod prove;
 mod report;
 mod stats;
 
-pub use combined::{combined_check, combined_check_cancellable, CombinedConfig, CombinedResult};
+pub use combined::{
+    combined_check, combined_check_cancellable, combined_check_with_prover, CombinedConfig,
+    CombinedResult,
+};
 pub use config::{EngineConfig, MergeStrategy};
 pub use diagnose::{diagnose, Diagnosis};
 pub use ec::EcManager;
 pub use engine::{sim_sweep, sim_sweep_cancellable, sim_sweep_traced, EngineResult, PhaseSnapshot};
 pub use fraig::{fraig, FraigResult};
+pub use prove::{build_prover, refine_velocity, SimSweepEngine};
 pub use report::Report;
 pub use stats::{EngineStats, PhaseTimes};
 
-// Re-export the shared verdict type for convenience.
-pub use parsweep_sat::Verdict;
+// Re-export the shared verdict type and the dispatch layer's vocabulary
+// for convenience.
+pub use parsweep_sat::{EngineKind, Prover, ProverConfig, ProverMode, Verdict};

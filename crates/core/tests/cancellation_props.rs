@@ -11,7 +11,9 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use parsweep_aig::{miter, random::random_aig, Aig};
-use parsweep_core::{sim_sweep_cancellable, EngineConfig};
+use parsweep_core::{
+    combined_check_cancellable, sim_sweep_cancellable, CombinedConfig, EngineConfig, ProverMode,
+};
 use parsweep_par::{CancelToken, Executor};
 use parsweep_sat::Verdict;
 
@@ -102,5 +104,73 @@ proptest! {
             "engine left a tiny miter undecided without cancellation"
         );
         assert_sound(&m, &before, &result.verdict);
+    }
+
+    /// The adaptive combined flow under a deadline that may trip anywhere
+    /// — during simulation, mid-dispatch, or inside a concurrent engine
+    /// race. Per-cone dispatch with early-cancel must uphold the same
+    /// contract as the plain engine: partial, never wrong.
+    #[test]
+    fn adaptive_deadline_run_is_sound(
+        seed in any::<u64>(),
+        pis in 2usize..7,
+        ands in 2usize..40,
+        deadline_us in 0u64..2000,
+    ) {
+        let a = random_aig(pis, ands, 2, seed);
+        let b = random_aig(pis, ands, 2, seed.wrapping_add(1));
+        let m = miter(&a, &b).unwrap();
+        let before = m.clone();
+        let exec = Executor::new();
+        let cfg = CombinedConfig {
+            prover: ProverMode::Adaptive,
+            ..CombinedConfig::default()
+        };
+        let token = CancelToken::with_deadline(Duration::from_micros(deadline_us));
+        let result = combined_check_cancellable(&m, &exec, &cfg, &token);
+        assert_sound(&m, &before, &result.verdict);
+    }
+
+    /// With a never-tripping token, the adaptive combined flow reaches
+    /// the same verdict as the sequential (compatibility) one on every
+    /// random miter — the dispatcher changes routing, not answers.
+    #[test]
+    fn adaptive_combined_agrees_with_sequential(
+        seed in any::<u64>(),
+        pis in 2usize..7,
+        ands in 2usize..40,
+    ) {
+        let a = random_aig(pis, ands, 2, seed);
+        let b = random_aig(pis, ands, 2, seed.wrapping_add(1));
+        let m = miter(&a, &b).unwrap();
+        let before = m.clone();
+        let exec = Executor::new();
+        let sequential = combined_check_cancellable(
+            &m,
+            &exec,
+            &CombinedConfig::default(),
+            &CancelToken::never(),
+        );
+        let adaptive = combined_check_cancellable(
+            &m,
+            &exec,
+            &CombinedConfig {
+                prover: ProverMode::Adaptive,
+                ..CombinedConfig::default()
+            },
+            &CancelToken::never(),
+        );
+        prop_assert_eq!(
+            sequential.verdict.is_equivalent(),
+            adaptive.verdict.is_equivalent(),
+            "sequential {:?} vs adaptive {:?}",
+            sequential.verdict,
+            adaptive.verdict
+        );
+        prop_assert!(
+            !matches!(adaptive.verdict, Verdict::Undecided),
+            "adaptive flow left a tiny miter undecided without cancellation"
+        );
+        assert_sound(&m, &before, &adaptive.verdict);
     }
 }

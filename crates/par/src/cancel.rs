@@ -16,6 +16,32 @@ use std::time::{Duration, Instant};
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// A child token trips when any ancestor trips; cancelling the child
+    /// never propagates upward.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                // Latch the deadline so later polls skip the clock.
+                self.cancelled.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(p) if p.is_cancelled() => {
+                // Latch the ancestor's state so later polls stop here.
+                self.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// A shareable cancellation token with an optional wall-clock deadline.
@@ -58,6 +84,7 @@ impl CancelToken {
             inner: Some(Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                parent: None,
             })),
         }
     }
@@ -75,6 +102,39 @@ impl CancelToken {
             inner: Some(Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
+                parent: None,
+            })),
+        }
+    }
+
+    /// A *linked child* token: it trips when this token trips (including
+    /// transitively through this token's own ancestors), or when the child
+    /// itself is cancelled — but cancelling the child never affects the
+    /// parent. This is the unit of *scoped* cancellation: a dispatcher
+    /// racing several engines under one job token hands each lane a child,
+    /// so the first verdict can cancel the losers without tripping the
+    /// job, and a job-level cancel still stops every lane.
+    ///
+    /// A child of [`CancelToken::never`] is an ordinary standalone token.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: self.inner.clone(),
+            })),
+        }
+    }
+
+    /// A linked child (see [`CancelToken::child`]) that additionally trips
+    /// `timeout` from now — the shape of a per-attempt wall budget under a
+    /// job-level token.
+    pub fn child_with_deadline(&self, timeout: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: self.inner.clone(),
             })),
         }
     }
@@ -86,23 +146,12 @@ impl CancelToken {
         }
     }
 
-    /// True once the token has been cancelled or its deadline has passed.
+    /// True once the token has been cancelled, its deadline has passed, or
+    /// (for linked children) an ancestor has tripped.
     pub fn is_cancelled(&self) -> bool {
         match &self.inner {
             None => false,
-            Some(inner) => {
-                if inner.cancelled.load(Ordering::Acquire) {
-                    return true;
-                }
-                match inner.deadline {
-                    Some(d) if Instant::now() >= d => {
-                        // Latch the deadline so later polls skip the clock.
-                        inner.cancelled.store(true, Ordering::Release);
-                        true
-                    }
-                    _ => false,
-                }
-            }
+            Some(inner) => inner.is_cancelled(),
         }
     }
 
@@ -154,5 +203,63 @@ mod tests {
     #[test]
     fn default_is_never() {
         assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn child_trips_with_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(
+            child.is_cancelled(),
+            "ancestor state latches into the child"
+        );
+    }
+
+    #[test]
+    fn child_cancel_does_not_propagate_up() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let sibling = parent.child();
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "parent unaffected by child cancel");
+        assert!(!sibling.is_cancelled(), "siblings unaffected too");
+    }
+
+    #[test]
+    fn grandchild_sees_grandparent_cancel() {
+        let job = CancelToken::new();
+        let race = job.child();
+        let lane = race.child();
+        job.cancel();
+        assert!(lane.is_cancelled());
+    }
+
+    #[test]
+    fn child_of_never_is_standalone() {
+        let child = CancelToken::never().child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_trips_independently() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::from_millis(0));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_child_also_inherits_parent_cancel() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
     }
 }

@@ -41,6 +41,7 @@ mod cnf;
 pub mod dimacs;
 mod heap;
 mod portfolio;
+pub mod prover;
 mod slit;
 mod solver;
 mod sweep;
@@ -49,6 +50,11 @@ pub use cnf::CnfEncoder;
 pub use dimacs::{read_dimacs, write_dimacs, Cnf, ParseDimacsError};
 pub use portfolio::{
     portfolio_check, portfolio_check_clocked, Engine, PortfolioConfig, PortfolioResult,
+};
+pub use prover::{
+    standard_engines, AttemptStatus, Budget, Difficulty, DifficultyModel, EngineAttempt,
+    EngineKind, EngineReport, ProofEngine, ProveOutcome, Prover, ProverConfig, ProverMode,
+    ProverStats,
 };
 pub use slit::{LBool, SatLit, SatVar};
 pub use solver::{SolveResult, Solver, SolverStats};

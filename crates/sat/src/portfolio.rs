@@ -6,26 +6,26 @@
 //! in order: structural check, random-simulation disproof, exhaustive
 //! truth-table PO proving (effective on small-support control logic), and
 //! finally SAT sweeping.
+//!
+//! Since the adaptive-proving refactor the stages live behind the
+//! [`ProofEngine`](crate::prover::ProofEngine) trait and this module is
+//! the *fixed-sequence* driver over them; [`crate::Prover`] is the
+//! adaptive driver over the same engines. The two agree on verdicts — the
+//! dispatcher only changes who decides first and at what cost.
 
-use parsweep_aig::{is_proved, Aig, Var};
-use parsweep_par::Executor;
-use parsweep_sim::{check_windows, simulate, PairCheck, PairOutcome, Patterns, Window};
+use parsweep_aig::Aig;
+use parsweep_par::{CancelToken, Executor};
 use parsweep_trace::{Clock, WallClock};
 
-use crate::sweep::{sat_sweep, SweepConfig, SweepResult, SweepStats, Verdict};
+use crate::prover::{
+    standard_engines, AttemptStatus, Budget, Difficulty, EngineAttempt, EngineKind,
+};
+use crate::sweep::{SweepConfig, SweepStats, Verdict};
 
-/// Which portfolio engine produced the verdict.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Engine {
-    /// Structural hashing alone proved the miter.
-    Structural,
-    /// Random simulation found a counter-example.
-    RandomSim,
-    /// Exhaustive truth-table computation proved all POs zero.
-    ExhaustivePo,
-    /// SAT sweeping decided (or gave up on) the miter.
-    SatSweep,
-}
+/// Which portfolio engine produced the verdict (an alias of the dispatch
+/// layer's [`EngineKind`] since the stages moved behind the
+/// [`ProofEngine`](crate::prover::ProofEngine) trait).
+pub use crate::prover::EngineKind as Engine;
 
 /// Portfolio configuration.
 #[derive(Clone, Debug)]
@@ -56,7 +56,8 @@ impl Default for PortfolioConfig {
     }
 }
 
-/// Portfolio outcome: verdict, deciding engine and sweep-style statistics.
+/// Portfolio outcome: verdict, deciding engine, per-engine attempt record
+/// and sweep-style statistics.
 #[derive(Clone, Debug)]
 pub struct PortfolioResult {
     /// Final verdict.
@@ -67,6 +68,11 @@ pub struct PortfolioResult {
     pub stats: SweepStats,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// One entry per registered engine, in sequence order — losers and
+    /// skipped engines included, each with its elapsed time on the
+    /// injected [`Clock`], so difficulty models and bench rows can charge
+    /// loser costs instead of attributing only the winner.
+    pub attempts: Vec<EngineAttempt>,
 }
 
 /// Runs the engine portfolio on a miter, timed by the wall clock.
@@ -75,8 +81,8 @@ pub fn portfolio_check(miter: &Aig, exec: &Executor, cfg: &PortfolioConfig) -> P
 }
 
 /// Runs the engine portfolio on a miter with an injected [`Clock`] — the
-/// single time source for the reported `seconds`, so tests (and the
-/// service's deterministic mode) can fix it.
+/// single time source for the reported `seconds` (total and per attempt),
+/// so tests (and the service's deterministic mode) can fix it.
 pub fn portfolio_check_clocked(
     miter: &Aig,
     exec: &Executor,
@@ -84,87 +90,54 @@ pub fn portfolio_check_clocked(
     clock: &dyn Clock,
 ) -> PortfolioResult {
     let start = clock.now();
+    let engines = standard_engines(cfg);
+    let difficulty = Difficulty::analyze(miter, cfg.po_support_cap, cfg.po_cone_cap);
+    let budget = Budget::default();
+    let token = CancelToken::never();
 
-    // Engine 1: structural.
-    if is_proved(miter) {
-        return PortfolioResult {
-            verdict: Verdict::Equivalent,
-            engine: Engine::Structural,
-            stats: SweepStats::default(),
-            seconds: clock.since(start).as_secs_f64(),
-        };
-    }
-
-    // Engine 2: random-simulation disproof.
-    let patterns = Patterns::random(miter.num_pis(), cfg.sim_words, 0xc0ffee);
-    let sigs = simulate(miter, exec, &patterns);
-    if let Some(cex) = parsweep_sim::find_po_counterexample(miter, &sigs, &patterns) {
-        return PortfolioResult {
-            verdict: Verdict::NotEquivalent(cex),
-            engine: Engine::RandomSim,
-            stats: SweepStats::default(),
-            seconds: clock.since(start).as_secs_f64(),
-        };
-    }
-
-    // Engine 3: exhaustive PO truth tables when supports are small and
-    // cones stay below the BDD-style blow-up proxy.
-    let supports = miter.bounded_supports(cfg.po_support_cap);
-    let simulatable = miter
-        .pos()
-        .iter()
-        .all(|po| po.var().is_const() || supports[po.var().index()].size().is_some());
-    let cones_ok = simulatable
-        && miter
-            .pos()
-            .iter()
-            .all(|po| po.var().is_const() || miter.tfi_cone(&[po.var()]).len() <= cfg.po_cone_cap);
-    if simulatable && cones_ok {
-        let windows: Vec<Window> = miter
-            .pos()
-            .iter()
-            .filter(|po| !po.var().is_const())
-            .map(|po| {
-                let pair = PairCheck {
-                    a: Var::FALSE,
-                    b: po.var(),
-                    complement: po.is_complemented(),
-                };
-                Window::global(miter, pair)
-            })
-            .collect();
-        let (outcomes, _) = check_windows(miter, exec, &windows, cfg.memory_words);
-        let mut verdict = Verdict::Equivalent;
-        'outer: for (w, win) in windows.iter().enumerate() {
-            for outcome in &outcomes[w] {
-                if let PairOutcome::Mismatch { assignment, .. } = outcome {
-                    let sparse: Vec<_> = win
-                        .inputs
-                        .iter()
-                        .copied()
-                        .zip(assignment.iter().copied())
-                        .collect();
-                    let cex = parsweep_sim::Cex::from_sparse(miter, &sparse);
-                    verdict = Verdict::NotEquivalent(cex);
-                    break 'outer;
-                }
-            }
+    let mut attempts = Vec::with_capacity(engines.len());
+    let mut decided: Option<(EngineKind, Verdict, SweepStats)> = None;
+    let mut last_run: Option<(EngineKind, Verdict, SweepStats)> = None;
+    for engine in &engines {
+        if decided.is_some() || !engine.admits(&difficulty) {
+            attempts.push(EngineAttempt {
+                engine: engine.kind(),
+                status: AttemptStatus::Skipped,
+                seconds: 0.0,
+            });
+            continue;
         }
-        return PortfolioResult {
-            verdict,
-            engine: Engine::ExhaustivePo,
-            stats: SweepStats::default(),
-            seconds: clock.since(start).as_secs_f64(),
-        };
+        let t0 = clock.now();
+        let report = engine.prove(miter, exec, &budget, &token);
+        let seconds = clock.since(t0).as_secs_f64();
+        let won = !matches!(report.verdict, Verdict::Undecided);
+        attempts.push(EngineAttempt {
+            engine: engine.kind(),
+            status: if won {
+                AttemptStatus::Won
+            } else {
+                AttemptStatus::Lost
+            },
+            seconds,
+        });
+        last_run = Some((engine.kind(), report.verdict.clone(), report.stats));
+        if won {
+            decided = Some((engine.kind(), report.verdict, report.stats));
+        }
     }
-
-    // Engine 4: SAT sweeping.
-    let SweepResult { verdict, stats, .. } = sat_sweep(miter, exec, &cfg.sweep);
+    // The SAT fallback always runs last, so an undecided portfolio is
+    // attributed to it with its statistics — as before the refactor.
+    let (engine, verdict, stats) = decided.or(last_run).unwrap_or((
+        EngineKind::SatSweep,
+        Verdict::Undecided,
+        SweepStats::default(),
+    ));
     PortfolioResult {
         verdict,
-        engine: Engine::SatSweep,
+        engine,
         stats,
         seconds: clock.since(start).as_secs_f64(),
+        attempts,
     }
 }
 
@@ -198,6 +171,7 @@ mod tests {
         let r = portfolio_check_clocked(&m, &exec(), &PortfolioConfig::default(), &clock);
         // The whole run happens at one frozen instant: still zero.
         assert_eq!(r.seconds, 0.0);
+        assert!(r.attempts.iter().all(|a| a.seconds == 0.0));
     }
 
     #[test]
@@ -268,5 +242,12 @@ mod tests {
         let r = portfolio_check(&m, &exec(), &cfg);
         assert_eq!(r.engine, Engine::SatSweep);
         assert!(r.verdict.is_equivalent());
+        // Loser attempts are recorded with their cost; the inadmissible
+        // exhaustive engine is marked skipped.
+        assert_eq!(r.attempts.len(), 4);
+        assert_eq!(r.attempts[0].status, AttemptStatus::Lost);
+        assert_eq!(r.attempts[1].status, AttemptStatus::Lost);
+        assert_eq!(r.attempts[2].status, AttemptStatus::Skipped);
+        assert_eq!(r.attempts[3].status, AttemptStatus::Won);
     }
 }

@@ -1,0 +1,1417 @@
+//! Adaptive per-class proving: a dispatch layer over heterogeneous proof
+//! engines.
+//!
+//! The direct sequel to the source paper ("Datapath CEC With Hybrid
+//! Sweeping Engines and Parallelization") observes that the big wins come
+//! from dispatching *per EC class* among heterogeneous engines with
+//! budgets adapted to observed difficulty, rather than running one fixed
+//! engine sequence per miter. This module provides that layer:
+//!
+//! * [`ProofEngine`] — the common trait each portfolio stage sits behind.
+//!   The candidate unit is an EC class / PO cone (a standalone miter whose
+//!   POs must be proved constant zero), not a whole design.
+//! * [`Prover`] — the dispatcher. In [`ProverMode::Sequential`] it runs
+//!   the registered engines in order (the PR-era portfolio behaviour); in
+//!   [`ProverMode::Adaptive`] it ranks engines by expected decision cost
+//!   from a [`DifficultyModel`] and, on hard classes, races the top
+//!   engines concurrently with first-verdict-wins early cancellation.
+//! * [`Difficulty`] — the feature vector driving routing: support size,
+//!   cone size, and upstream sim-refinement velocity.
+//!
+//! Cancellation preserves the "partial, never wrong" invariant: every
+//! engine polls its [`CancelToken`] at natural checkpoint boundaries and
+//! degrades to [`Verdict::Undecided`] when it trips — a cancelled rival
+//! can lose a race, but can never fabricate a verdict. Losers are stopped
+//! through *linked child* tokens ([`CancelToken::child`]), so the
+//! dispatcher's early-cancel never trips the caller's job token.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use parsweep_aig::{is_proved, Aig, Var};
+use parsweep_par::{CancelToken, Executor};
+use parsweep_sim::{check_windows_cancellable, simulate, PairCheck, PairOutcome, Patterns, Window};
+use parsweep_trace::{metrics, Clock, WallClock};
+
+use crate::sweep::{sat_sweep_seeded_cancellable, SweepConfig, SweepStats, Verdict};
+
+/// Which proof engine a verdict, attempt or cache entry refers to.
+///
+/// The first four kinds are the portfolio stages this crate implements;
+/// [`EngineKind::SimSweep`] labels the simulation-based sweeping engine
+/// registered from the core crate (the paper's own engine), which sits
+/// above this crate in the dependency graph but participates in the same
+/// dispatch layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Structural hashing alone.
+    Structural,
+    /// Random-simulation disproof.
+    RandomSim,
+    /// Exhaustive truth-table PO proving.
+    ExhaustivePo,
+    /// SAT sweeping.
+    SatSweep,
+    /// The simulation-based sweeping engine (registered by `core`).
+    SimSweep,
+}
+
+impl EngineKind {
+    /// Every kind, in fixed slot order.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Structural,
+        EngineKind::RandomSim,
+        EngineKind::ExhaustivePo,
+        EngineKind::SatSweep,
+        EngineKind::SimSweep,
+    ];
+
+    /// Stable snake_case label (metric label values, span names, cache
+    /// entries).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Structural => "structural",
+            EngineKind::RandomSim => "random_sim",
+            EngineKind::ExhaustivePo => "exhaustive_po",
+            EngineKind::SatSweep => "sat_sweep",
+            EngineKind::SimSweep => "sim_sweep",
+        }
+    }
+
+    /// The engine's fixed counter slot (see
+    /// [`metrics::PROVE_ENGINE_SLOTS`]).
+    pub fn slot(self) -> usize {
+        match self {
+            EngineKind::Structural => 0,
+            EngineKind::RandomSim => 1,
+            EngineKind::ExhaustivePo => 2,
+            EngineKind::SatSweep => 3,
+            EngineKind::SimSweep => 4,
+        }
+    }
+
+    /// Parses [`EngineKind::name`] back to the kind.
+    pub fn from_name(name: &str) -> Option<Self> {
+        EngineKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Difficulty features of one candidate class, driving engine selection
+/// and budgets.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Difficulty {
+    /// Primary inputs of the cone.
+    pub pis: usize,
+    /// AND gates in the cone.
+    pub ands: usize,
+    /// Largest per-PO support, or `None` when any PO's support exceeds
+    /// the analysis cap (the exhaustive engine's admission bound).
+    pub max_po_support: Option<usize>,
+    /// Largest per-PO TFI cone (nodes), or `None` when any PO's cone
+    /// exceeds the analysis cap.
+    pub max_po_cone: Option<usize>,
+    /// Upstream sim-refinement velocity: equivalence classes refined per
+    /// pruned simulation round in the flow that produced this residual
+    /// cone (`None` when no upstream engine ran).
+    pub refine_velocity: Option<f64>,
+}
+
+/// Difficulty buckets the model learns over (log2 of cone size).
+const DIFFICULTY_BUCKETS: usize = 16;
+
+impl Difficulty {
+    /// Analyzes a cone with the given admission caps. Matches the
+    /// fixed-sequence portfolio's admission test exactly: a PO whose
+    /// support exceeds `support_cap` (or whose TFI cone exceeds
+    /// `cone_cap`) makes the respective feature `None`.
+    pub fn analyze(cone: &Aig, support_cap: usize, cone_cap: usize) -> Self {
+        let supports = cone.bounded_supports(support_cap);
+        let mut max_support = Some(0usize);
+        let mut max_cone = Some(0usize);
+        for po in cone.pos() {
+            if po.var().is_const() {
+                continue;
+            }
+            match (max_support, supports[po.var().index()].size()) {
+                (Some(m), Some(s)) => max_support = Some(m.max(s)),
+                _ => max_support = None,
+            }
+            if let Some(m) = max_cone {
+                let c = cone.tfi_cone(&[po.var()]).len();
+                max_cone = (c <= cone_cap).then_some(m.max(c));
+            }
+        }
+        Difficulty {
+            pis: cone.num_pis(),
+            ands: cone.num_ands(),
+            max_po_support: max_support,
+            max_po_cone: max_cone,
+            refine_velocity: None,
+        }
+    }
+
+    /// The model bucket this difficulty falls into (log2 of cone size).
+    fn bucket(&self) -> usize {
+        let mut size = self.ands.max(1);
+        let mut b = 0usize;
+        while size > 1 && b + 1 < DIFFICULTY_BUCKETS {
+            size >>= 1;
+            b += 1;
+        }
+        b
+    }
+}
+
+/// Per-attempt resource budget handed to an engine by the dispatcher.
+/// `None` fields defer to the engine's own configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock cap for the attempt (intersected with any engine-level
+    /// budget).
+    pub wall: Option<Duration>,
+    /// Conflict budget per candidate-pair SAT call.
+    pub conflicts_per_pair: Option<u64>,
+    /// Conflict budget per final PO proof call.
+    pub conflicts_per_po: Option<u64>,
+}
+
+/// What one engine attempt produced.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// The attempt's verdict ([`Verdict::Undecided`] when cancelled or
+    /// out of budget — never a fabricated proof).
+    pub verdict: Verdict,
+    /// SAT-style statistics (populated by solver-backed engines).
+    pub stats: SweepStats,
+}
+
+impl EngineReport {
+    fn undecided() -> Self {
+        EngineReport {
+            verdict: Verdict::Undecided,
+            stats: SweepStats::default(),
+        }
+    }
+}
+
+/// A proof engine the dispatcher can route classes to.
+///
+/// Implementations must uphold the cancellation invariant: when `token`
+/// trips mid-attempt, `prove` returns [`Verdict::Undecided`] — partial,
+/// never wrong. A decisive verdict must always be the result of completed
+/// work.
+pub trait ProofEngine: Send + Sync {
+    /// The engine's kind (metric slot, label, cache tag).
+    fn kind(&self) -> EngineKind;
+
+    /// Whether this engine can attempt a class of this difficulty at all.
+    fn admits(&self, _difficulty: &Difficulty) -> bool {
+        true
+    }
+
+    /// True for cheap screening engines the dispatcher always runs inline
+    /// before considering a concurrent race (structural hashing, random
+    /// simulation): their cost is microseconds, so racing them buys
+    /// nothing.
+    fn prefilter(&self) -> bool {
+        false
+    }
+
+    /// Cold-start cost estimate in microseconds, used to rank engines
+    /// until the difficulty model has observations for the bucket.
+    fn prior_cost_micros(&self, difficulty: &Difficulty) -> u64;
+
+    /// Attempts the class. `cone` is a standalone miter (prove all POs
+    /// constant zero); `budget` bounds the attempt; `token` must be
+    /// polled at checkpoint boundaries.
+    fn prove(
+        &self,
+        cone: &Aig,
+        exec: &Executor,
+        budget: &Budget,
+        token: &CancelToken,
+    ) -> EngineReport;
+}
+
+/// Structural hashing: free when the miter strashes to constant zero.
+#[derive(Debug, Default)]
+pub struct StructuralEngine;
+
+impl ProofEngine for StructuralEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Structural
+    }
+
+    fn prefilter(&self) -> bool {
+        true
+    }
+
+    fn prior_cost_micros(&self, difficulty: &Difficulty) -> u64 {
+        1 + difficulty.ands as u64 / 512
+    }
+
+    fn prove(
+        &self,
+        cone: &Aig,
+        _exec: &Executor,
+        _budget: &Budget,
+        _token: &CancelToken,
+    ) -> EngineReport {
+        EngineReport {
+            verdict: if is_proved(cone) {
+                Verdict::Equivalent
+            } else {
+                Verdict::Undecided
+            },
+            stats: SweepStats::default(),
+        }
+    }
+}
+
+/// Random-simulation disproof: a fixed batch of random patterns scanned
+/// for a firing PO.
+#[derive(Debug)]
+pub struct RandomSimEngine {
+    /// 64-bit pattern words to simulate.
+    pub sim_words: usize,
+    /// Pattern seed.
+    pub seed: u64,
+}
+
+impl ProofEngine for RandomSimEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::RandomSim
+    }
+
+    fn prefilter(&self) -> bool {
+        true
+    }
+
+    fn prior_cost_micros(&self, difficulty: &Difficulty) -> u64 {
+        10 + (difficulty.ands * self.sim_words) as u64 / 256
+    }
+
+    fn prove(
+        &self,
+        cone: &Aig,
+        exec: &Executor,
+        _budget: &Budget,
+        token: &CancelToken,
+    ) -> EngineReport {
+        if token.is_cancelled() {
+            return EngineReport::undecided();
+        }
+        let patterns = Patterns::random(cone.num_pis(), self.sim_words, self.seed);
+        let sigs = simulate(cone, exec, &patterns);
+        EngineReport {
+            verdict: match parsweep_sim::find_po_counterexample(cone, &sigs, &patterns) {
+                Some(cex) => Verdict::NotEquivalent(cex),
+                None => Verdict::Undecided,
+            },
+            stats: SweepStats::default(),
+        }
+    }
+}
+
+/// Exhaustive truth-table PO proving: admitted only when every PO support
+/// and cone stays below the BDD-style blow-up proxy caps.
+#[derive(Debug)]
+pub struct ExhaustivePoEngine {
+    /// PO support-size admission cap.
+    pub po_support_cap: usize,
+    /// PO cone-size admission cap (nodes).
+    pub po_cone_cap: usize,
+    /// Simulation-table memory budget in words.
+    pub memory_words: usize,
+}
+
+impl ProofEngine for ExhaustivePoEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::ExhaustivePo
+    }
+
+    fn admits(&self, difficulty: &Difficulty) -> bool {
+        difficulty
+            .max_po_support
+            .is_some_and(|s| s <= self.po_support_cap)
+            && difficulty
+                .max_po_cone
+                .is_some_and(|c| c <= self.po_cone_cap)
+    }
+
+    fn prior_cost_micros(&self, difficulty: &Difficulty) -> u64 {
+        // Truth-table work scales with 2^support; /2048 converts modeled
+        // word-parallel evaluation into rough microseconds.
+        let s = difficulty.max_po_support.unwrap_or(40).min(40) as u32;
+        20 + (1u64 << s) / 2048 * difficulty.ands.max(1) as u64 / 64
+    }
+
+    fn prove(
+        &self,
+        cone: &Aig,
+        exec: &Executor,
+        _budget: &Budget,
+        token: &CancelToken,
+    ) -> EngineReport {
+        let windows: Vec<Window> = cone
+            .pos()
+            .iter()
+            .filter(|po| !po.var().is_const())
+            .map(|po| {
+                let pair = PairCheck {
+                    a: Var::FALSE,
+                    b: po.var(),
+                    complement: po.is_complemented(),
+                };
+                Window::global(cone, pair)
+            })
+            .collect();
+        let (outcomes, _) =
+            check_windows_cancellable(cone, exec, &windows, self.memory_words, token);
+        // A mismatch from any completed round is a real disproof; an
+        // `Equal` claim needs every window fully resolved — cancelled
+        // windows come back with *empty* outcome vectors and must yield
+        // `Undecided`, never a fabricated proof.
+        let mut complete = true;
+        for (w, win) in windows.iter().enumerate() {
+            for outcome in &outcomes[w] {
+                if let PairOutcome::Mismatch { assignment, .. } = outcome {
+                    let sparse: Vec<_> = win
+                        .inputs
+                        .iter()
+                        .copied()
+                        .zip(assignment.iter().copied())
+                        .collect();
+                    let cex = parsweep_sim::Cex::from_sparse(cone, &sparse);
+                    return EngineReport {
+                        verdict: Verdict::NotEquivalent(cex),
+                        stats: SweepStats::default(),
+                    };
+                }
+            }
+            complete &= outcomes[w].len() == win.pairs.len();
+        }
+        EngineReport {
+            verdict: if complete && !windows.is_empty() {
+                Verdict::Equivalent
+            } else if windows.is_empty() {
+                // All POs constant: nothing left to disprove.
+                Verdict::Equivalent
+            } else {
+                Verdict::Undecided
+            },
+            stats: SweepStats::default(),
+        }
+    }
+}
+
+/// SAT sweeping with dispatcher-imposed wall/conflict budgets.
+#[derive(Debug)]
+pub struct SatSweepEngine {
+    /// Base sweeping configuration; the dispatcher's [`Budget`] overrides
+    /// the conflict budgets and intersects the wall budget per attempt.
+    pub cfg: SweepConfig,
+}
+
+impl ProofEngine for SatSweepEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::SatSweep
+    }
+
+    fn prior_cost_micros(&self, difficulty: &Difficulty) -> u64 {
+        50 + difficulty.ands as u64 * 150
+    }
+
+    fn prove(
+        &self,
+        cone: &Aig,
+        exec: &Executor,
+        budget: &Budget,
+        token: &CancelToken,
+    ) -> EngineReport {
+        let mut cfg = self.cfg.clone();
+        if let Some(c) = budget.conflicts_per_pair {
+            cfg.conflicts_per_pair = c;
+        }
+        if let Some(c) = budget.conflicts_per_po {
+            cfg.conflicts_per_po = c;
+        }
+        cfg.wall_budget = match (cfg.wall_budget, budget.wall) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let result = sat_sweep_seeded_cancellable(cone, exec, &cfg, &[], token);
+        EngineReport {
+            verdict: result.verdict,
+            stats: result.stats,
+        }
+    }
+}
+
+/// How one engine attempt ended, from the dispatcher's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptStatus {
+    /// Produced the class's verdict.
+    Won,
+    /// Ran (to completion or its budget) without deciding first.
+    Lost,
+    /// Stopped at a poll point because a rival decided first or the race
+    /// deadline tripped.
+    Cancelled,
+    /// Never ran: inadmissible for this difficulty, or a preceding
+    /// engine in a sequential pass had already decided.
+    Skipped,
+}
+
+/// One engine attempt with its cost — recorded for winners, losers *and*
+/// skipped engines, because the difficulty model and the bench rows need
+/// loser costs, not just the winner's.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineAttempt {
+    /// Which engine.
+    pub engine: EngineKind,
+    /// How the attempt ended.
+    pub status: AttemptStatus,
+    /// Wall seconds the attempt consumed (measured on the dispatcher's
+    /// [`Clock`]; zero for skipped attempts).
+    pub seconds: f64,
+}
+
+/// EWMA cost/win-rate cell of the difficulty model.
+#[derive(Clone, Copy, Debug, Default)]
+struct ModelCell {
+    attempts: u64,
+    decided: u64,
+    ewma_micros: f64,
+}
+
+/// Per-(engine, difficulty-bucket) observed cost and decision rate.
+///
+/// `expected_decision_micros` is the routing score: the exponentially
+/// weighted cost of one attempt divided by a Laplace-smoothed decision
+/// rate, so an engine that is cheap but rarely decides ranks behind a
+/// pricier engine that always does. Buckets with no observations fall
+/// back to the engine's static prior, so cold routing equals the fixed
+/// sequence's intent and adapts as classes are observed.
+#[derive(Debug)]
+pub struct DifficultyModel {
+    cells: Mutex<[[ModelCell; DIFFICULTY_BUCKETS]; metrics::PROVE_ENGINE_SLOTS]>,
+}
+
+/// EWMA smoothing factor for observed attempt costs.
+const MODEL_ALPHA: f64 = 0.3;
+
+impl Default for DifficultyModel {
+    fn default() -> Self {
+        DifficultyModel {
+            cells: Mutex::new(
+                [[ModelCell::default(); DIFFICULTY_BUCKETS]; metrics::PROVE_ENGINE_SLOTS],
+            ),
+        }
+    }
+}
+
+impl DifficultyModel {
+    /// Records one attempt: its wall cost and whether it decided.
+    pub fn observe(&self, engine: EngineKind, difficulty: &Difficulty, micros: u64, decided: bool) {
+        let mut cells = self.cells.lock().unwrap();
+        let cell = &mut cells[engine.slot()][difficulty.bucket()];
+        cell.attempts += 1;
+        if decided {
+            cell.decided += 1;
+        }
+        cell.ewma_micros = if cell.attempts == 1 {
+            micros as f64
+        } else {
+            MODEL_ALPHA * micros as f64 + (1.0 - MODEL_ALPHA) * cell.ewma_micros
+        };
+    }
+
+    /// The routing score: expected microseconds until this engine decides
+    /// a class of this difficulty.
+    pub fn expected_decision_micros(
+        &self,
+        engine: EngineKind,
+        difficulty: &Difficulty,
+        prior_micros: u64,
+    ) -> f64 {
+        let cells = self.cells.lock().unwrap();
+        let cell = &cells[engine.slot()][difficulty.bucket()];
+        if cell.attempts == 0 {
+            return prior_micros as f64;
+        }
+        let decision_rate = (cell.decided as f64 + 0.5) / (cell.attempts as f64 + 1.0);
+        cell.ewma_micros.max(1.0) / decision_rate
+    }
+
+    /// How many attempts the model has seen for this engine and bucket.
+    pub fn attempts(&self, engine: EngineKind, difficulty: &Difficulty) -> u64 {
+        self.cells.lock().unwrap()[engine.slot()][difficulty.bucket()].attempts
+    }
+}
+
+/// Whether the dispatcher runs engines in registration order or routes
+/// and races them by expected cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProverMode {
+    /// Registration order, one engine at a time, first verdict wins —
+    /// the compatibility default (the PR-era fixed sequence).
+    #[default]
+    Sequential,
+    /// Difficulty-model routing with concurrent racing on hard classes.
+    Adaptive,
+}
+
+impl ProverMode {
+    /// Parses `"sequential"` / `"adaptive"`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sequential" => Some(ProverMode::Sequential),
+            "adaptive" => Some(ProverMode::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProverMode::Sequential => "sequential",
+            ProverMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Dispatcher configuration.
+#[derive(Clone, Debug)]
+pub struct ProverConfig {
+    /// Sequential or adaptive dispatch.
+    pub mode: ProverMode,
+    /// Expected decision cost above which a class counts as *hard* and
+    /// the top engines race concurrently (adaptive mode only).
+    pub race_threshold: Duration,
+    /// Maximum engines racing one class concurrently.
+    pub max_race: usize,
+    /// Per-attempt wall budget imposed on raced engines (`None` =
+    /// unbounded; the job token still caps everything).
+    pub attempt_wall: Option<Duration>,
+    /// Per-attempt conflict budgets passed through to SAT-backed engines.
+    pub budget: Budget,
+}
+
+impl Default for ProverConfig {
+    fn default() -> Self {
+        ProverConfig {
+            mode: ProverMode::Sequential,
+            race_threshold: Duration::from_millis(2),
+            max_race: 2,
+            attempt_wall: None,
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// Point-in-time dispatcher statistics, indexed by engine slot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Attempts that produced the winning verdict.
+    pub wins: [u64; metrics::PROVE_ENGINE_SLOTS],
+    /// Attempts that ran without deciding first.
+    pub losses: [u64; metrics::PROVE_ENGINE_SLOTS],
+    /// Attempts cancelled by a faster rival or the race deadline.
+    pub cancelled: [u64; metrics::PROVE_ENGINE_SLOTS],
+    /// Attempts skipped by admissibility or sequencing.
+    pub skipped: [u64; metrics::PROVE_ENGINE_SLOTS],
+    /// Wall microseconds charged per engine (winners and losers).
+    pub elapsed_micros: [u64; metrics::PROVE_ENGINE_SLOTS],
+    /// Classes decided through a concurrent race.
+    pub raced_classes: u64,
+    /// Classes decided by a sequential pass.
+    pub sequential_classes: u64,
+    /// Routing hints replayed from the result cache.
+    pub routing_hints: u64,
+}
+
+/// The outcome of dispatching one class.
+#[derive(Clone, Debug)]
+pub struct ProveOutcome {
+    /// The class verdict.
+    pub verdict: Verdict,
+    /// The engine that produced it (`None` when undecided).
+    pub engine: Option<EngineKind>,
+    /// Every engine attempt, winners, losers and skipped alike.
+    pub attempts: Vec<EngineAttempt>,
+    /// SAT-style statistics of the winning attempt.
+    pub stats: SweepStats,
+    /// Dispatcher wall seconds for the class.
+    pub seconds: f64,
+    /// Whether a concurrent race decided the class.
+    pub raced: bool,
+}
+
+/// Default number of 64-bit words the built-in random-sim prefilter
+/// simulates.
+pub const DEFAULT_PREFILTER_WORDS: usize = 8;
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    wins: [AtomicU64; metrics::PROVE_ENGINE_SLOTS],
+    losses: [AtomicU64; metrics::PROVE_ENGINE_SLOTS],
+    cancelled: [AtomicU64; metrics::PROVE_ENGINE_SLOTS],
+    skipped: [AtomicU64; metrics::PROVE_ENGINE_SLOTS],
+    elapsed_micros: [AtomicU64; metrics::PROVE_ENGINE_SLOTS],
+    raced_classes: AtomicU64,
+    sequential_classes: AtomicU64,
+    routing_hints: AtomicU64,
+}
+
+/// The adaptive proving dispatcher.
+///
+/// Holds the registered engines, the shared [`DifficultyModel`] (which
+/// keeps learning across classes and jobs — a service shares one `Prover`
+/// across its workers), per-engine statistics, and a small pool of
+/// single-thread lane executors for concurrent races (each raced engine
+/// gets its own executor, respecting the sanitizer's one-stream-per-device
+/// model).
+pub struct Prover {
+    engines: Vec<Box<dyn ProofEngine>>,
+    cfg: ProverConfig,
+    model: DifficultyModel,
+    stats: AtomicStats,
+    /// Admission caps used by [`Prover::difficulty`]; mirrored from the
+    /// exhaustive engine when one is registered.
+    support_cap: usize,
+    cone_cap: usize,
+    lane_pool: Mutex<Vec<Executor>>,
+}
+
+impl std::fmt::Debug for Prover {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prover")
+            .field("engines", &self.engine_kinds())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Prover {
+    /// A dispatcher over the four standard portfolio engines, configured
+    /// like [`crate::PortfolioConfig`]'s defaults.
+    pub fn new(cfg: ProverConfig) -> Self {
+        let portfolio = crate::portfolio::PortfolioConfig::default();
+        Self::with_engines(cfg, standard_engines(&portfolio))
+    }
+
+    /// A dispatcher over an explicit engine list. Order matters in
+    /// [`ProverMode::Sequential`]: it is the execution order. The default
+    /// difficulty-analysis caps match [`crate::PortfolioConfig`]'s; use
+    /// [`Prover::with_caps`] when the exhaustive engine's admission bounds
+    /// differ.
+    pub fn with_engines(cfg: ProverConfig, engines: Vec<Box<dyn ProofEngine>>) -> Self {
+        Prover {
+            engines,
+            cfg,
+            model: DifficultyModel::default(),
+            stats: AtomicStats::default(),
+            support_cap: 20,
+            cone_cap: 3000,
+            lane_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the support/cone caps [`Prover::difficulty`] analyzes
+    /// with (keep them equal to the exhaustive engine's admission caps).
+    pub fn with_caps(mut self, support_cap: usize, cone_cap: usize) -> Self {
+        self.support_cap = support_cap;
+        self.cone_cap = cone_cap;
+        self
+    }
+
+    /// The dispatcher's configuration.
+    pub fn config(&self) -> &ProverConfig {
+        &self.cfg
+    }
+
+    /// Kinds of the registered engines, in registration order.
+    pub fn engine_kinds(&self) -> Vec<EngineKind> {
+        self.engines.iter().map(|e| e.kind()).collect()
+    }
+
+    /// Analyzes a cone with the dispatcher's admission caps.
+    pub fn difficulty(&self, cone: &Aig) -> Difficulty {
+        Difficulty::analyze(cone, self.support_cap, self.cone_cap)
+    }
+
+    /// Pre-seeds the difficulty model from a cached `(engine, cost)`
+    /// routing record, so repeat traffic routes like the traffic that
+    /// produced the cache entry.
+    pub fn observe_hint(&self, engine: EngineKind, difficulty: &Difficulty, cost_micros: u64) {
+        self.model.observe(engine, difficulty, cost_micros, true);
+        self.stats.routing_hints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The shared difficulty model.
+    pub fn model(&self) -> &DifficultyModel {
+        &self.model
+    }
+
+    /// Snapshot of the dispatcher's statistics.
+    pub fn stats(&self) -> ProverStats {
+        let load = |a: &[AtomicU64; metrics::PROVE_ENGINE_SLOTS]| {
+            let mut out = [0u64; metrics::PROVE_ENGINE_SLOTS];
+            for (o, a) in out.iter_mut().zip(a) {
+                *o = a.load(Ordering::Relaxed);
+            }
+            out
+        };
+        ProverStats {
+            wins: load(&self.stats.wins),
+            losses: load(&self.stats.losses),
+            cancelled: load(&self.stats.cancelled),
+            skipped: load(&self.stats.skipped),
+            elapsed_micros: load(&self.stats.elapsed_micros),
+            raced_classes: self.stats.raced_classes.load(Ordering::Relaxed),
+            sequential_classes: self.stats.sequential_classes.load(Ordering::Relaxed),
+            routing_hints: self.stats.routing_hints.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Dispatches one class on the wall clock.
+    pub fn prove(&self, cone: &Aig, exec: &Executor, token: &CancelToken) -> ProveOutcome {
+        self.prove_clocked(cone, exec, token, &WallClock::new())
+    }
+
+    /// Dispatches one class, timing attempts on the injected clock.
+    pub fn prove_clocked(
+        &self,
+        cone: &Aig,
+        exec: &Executor,
+        token: &CancelToken,
+        clock: &(dyn Clock + Sync),
+    ) -> ProveOutcome {
+        let difficulty = self.difficulty(cone);
+        self.prove_with_difficulty(cone, &difficulty, exec, token, clock)
+    }
+
+    /// Dispatches one class with a caller-supplied difficulty (the caller
+    /// may know upstream features, e.g. sim-refinement velocity).
+    pub fn prove_with_difficulty(
+        &self,
+        cone: &Aig,
+        difficulty: &Difficulty,
+        exec: &Executor,
+        token: &CancelToken,
+        clock: &(dyn Clock + Sync),
+    ) -> ProveOutcome {
+        match self.cfg.mode {
+            ProverMode::Sequential => self.prove_sequential(cone, difficulty, exec, token, clock),
+            ProverMode::Adaptive => self.prove_adaptive(cone, difficulty, exec, token, clock),
+        }
+    }
+
+    /// Sequential pass: registration order, stop at the first decisive
+    /// verdict, record every attempt (skipped ones included).
+    fn prove_sequential(
+        &self,
+        cone: &Aig,
+        difficulty: &Difficulty,
+        exec: &Executor,
+        token: &CancelToken,
+        clock: &(dyn Clock + Sync),
+    ) -> ProveOutcome {
+        let start = clock.now();
+        let mut attempts = Vec::with_capacity(self.engines.len());
+        let mut winner: Option<(EngineKind, Verdict, SweepStats)> = None;
+        for engine in &self.engines {
+            if winner.is_some() || !engine.admits(difficulty) {
+                attempts.push(EngineAttempt {
+                    engine: engine.kind(),
+                    status: AttemptStatus::Skipped,
+                    seconds: 0.0,
+                });
+                continue;
+            }
+            let (report, seconds, cancelled) =
+                self.run_attempt(&**engine, cone, exec, token, clock);
+            let decided = !matches!(report.verdict, Verdict::Undecided);
+            let status = if decided {
+                AttemptStatus::Won
+            } else if cancelled {
+                AttemptStatus::Cancelled
+            } else {
+                AttemptStatus::Lost
+            };
+            attempts.push(EngineAttempt {
+                engine: engine.kind(),
+                status,
+                seconds,
+            });
+            self.model
+                .observe(engine.kind(), difficulty, (seconds * 1e6) as u64, decided);
+            if decided {
+                winner = Some((engine.kind(), report.verdict, report.stats));
+            } else if token.is_cancelled() {
+                break;
+            }
+        }
+        self.stats
+            .sequential_classes
+            .fetch_add(1, Ordering::Relaxed);
+        self.finish(winner, attempts, clock.since(start).as_secs_f64(), false)
+    }
+
+    /// Adaptive pass: inline prefilters, then expected-cost routing; hard
+    /// classes race the top engines concurrently with first-verdict-wins
+    /// early cancellation.
+    fn prove_adaptive(
+        &self,
+        cone: &Aig,
+        difficulty: &Difficulty,
+        exec: &Executor,
+        token: &CancelToken,
+        clock: &(dyn Clock + Sync),
+    ) -> ProveOutcome {
+        let start = clock.now();
+        let mut attempts = Vec::with_capacity(self.engines.len());
+        let mut winner: Option<(EngineKind, Verdict, SweepStats)> = None;
+
+        // Cheap screening engines run inline first — micro-second cost,
+        // and a disproof here spares every heavy engine.
+        for engine in &self.engines {
+            if !engine.prefilter() {
+                continue;
+            }
+            if winner.is_some() || !engine.admits(difficulty) {
+                attempts.push(EngineAttempt {
+                    engine: engine.kind(),
+                    status: AttemptStatus::Skipped,
+                    seconds: 0.0,
+                });
+                continue;
+            }
+            let (report, seconds, cancelled) =
+                self.run_attempt(&**engine, cone, exec, token, clock);
+            let decided = !matches!(report.verdict, Verdict::Undecided);
+            attempts.push(EngineAttempt {
+                engine: engine.kind(),
+                status: if decided {
+                    AttemptStatus::Won
+                } else if cancelled {
+                    AttemptStatus::Cancelled
+                } else {
+                    AttemptStatus::Lost
+                },
+                seconds,
+            });
+            self.model
+                .observe(engine.kind(), difficulty, (seconds * 1e6) as u64, decided);
+            if decided {
+                winner = Some((engine.kind(), report.verdict, report.stats));
+            }
+        }
+
+        let mut raced = false;
+        if winner.is_none() && !token.is_cancelled() {
+            // Rank the heavy engines by expected decision cost.
+            let mut ranked: Vec<(usize, f64)> = self
+                .engines
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.prefilter())
+                .map(|(i, e)| {
+                    let score = if e.admits(difficulty) {
+                        self.model.expected_decision_micros(
+                            e.kind(),
+                            difficulty,
+                            e.prior_cost_micros(difficulty),
+                        )
+                    } else {
+                        f64::INFINITY
+                    };
+                    (i, score)
+                })
+                .collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let admitted: Vec<usize> = ranked
+                .iter()
+                .filter(|(_, s)| s.is_finite())
+                .map(|(i, _)| *i)
+                .collect();
+            for (i, score) in &ranked {
+                if !score.is_finite() {
+                    attempts.push(EngineAttempt {
+                        engine: self.engines[*i].kind(),
+                        status: AttemptStatus::Skipped,
+                        seconds: 0.0,
+                    });
+                }
+            }
+            let hard = admitted.len() >= 2
+                && self.cfg.max_race >= 2
+                && ranked[0].1 >= self.cfg.race_threshold.as_micros() as f64;
+            if hard {
+                raced = true;
+                let field = &admitted[..admitted.len().min(self.cfg.max_race)];
+                let (race_winner, mut race_attempts) =
+                    self.race(cone, difficulty, field, exec, token, clock);
+                winner = race_winner;
+                attempts.append(&mut race_attempts);
+                // Engines ranked out of the race field are skipped.
+                for &i in &admitted[field.len()..] {
+                    attempts.push(EngineAttempt {
+                        engine: self.engines[i].kind(),
+                        status: AttemptStatus::Skipped,
+                        seconds: 0.0,
+                    });
+                }
+            } else {
+                // Easy class (or nothing to race against): run the ranked
+                // engines one at a time.
+                for (pos, &i) in admitted.iter().enumerate() {
+                    let engine = &self.engines[i];
+                    if winner.is_some() {
+                        attempts.push(EngineAttempt {
+                            engine: engine.kind(),
+                            status: AttemptStatus::Skipped,
+                            seconds: 0.0,
+                        });
+                        continue;
+                    }
+                    let (report, seconds, cancelled) =
+                        self.run_attempt(&**engine, cone, exec, token, clock);
+                    let decided = !matches!(report.verdict, Verdict::Undecided);
+                    attempts.push(EngineAttempt {
+                        engine: engine.kind(),
+                        status: if decided {
+                            AttemptStatus::Won
+                        } else if cancelled {
+                            AttemptStatus::Cancelled
+                        } else {
+                            AttemptStatus::Lost
+                        },
+                        seconds,
+                    });
+                    self.model
+                        .observe(engine.kind(), difficulty, (seconds * 1e6) as u64, decided);
+                    if decided {
+                        winner = Some((engine.kind(), report.verdict, report.stats));
+                    } else if token.is_cancelled() {
+                        for &j in &admitted[pos + 1..] {
+                            attempts.push(EngineAttempt {
+                                engine: self.engines[j].kind(),
+                                status: AttemptStatus::Skipped,
+                                seconds: 0.0,
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if raced {
+            self.stats.raced_classes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats
+                .sequential_classes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.finish(winner, attempts, clock.since(start).as_secs_f64(), raced)
+    }
+
+    /// Runs the engine field concurrently; the first decisive verdict
+    /// cancels the others through a linked child token, so the caller's
+    /// job token is never tripped by the dispatcher's own early-cancel.
+    fn race(
+        &self,
+        cone: &Aig,
+        difficulty: &Difficulty,
+        field: &[usize],
+        exec: &Executor,
+        token: &CancelToken,
+        clock: &(dyn Clock + Sync),
+    ) -> (
+        Option<(EngineKind, Verdict, SweepStats)>,
+        Vec<EngineAttempt>,
+    ) {
+        let race_token = match self.cfg.attempt_wall {
+            Some(wall) => token.child_with_deadline(wall),
+            None => token.child(),
+        };
+        // One executor per lane: lane 0 borrows the caller's, the rest
+        // come from (and return to) the pool.
+        let mut pool = self.lane_pool.lock().unwrap();
+        let mut lane_execs: Vec<Executor> = Vec::new();
+        while lane_execs.len() + 1 < field.len() {
+            match pool.pop() {
+                Some(e) => lane_execs.push(e),
+                None => lane_execs.push(Executor::with_threads(1)),
+            }
+        }
+        drop(pool);
+
+        let winner: Mutex<Option<(EngineKind, Verdict, SweepStats)>> = Mutex::new(None);
+        let lane_results: Mutex<Vec<(EngineKind, bool, f64, bool)>> =
+            Mutex::new(Vec::with_capacity(field.len()));
+        std::thread::scope(|s| {
+            for (lane, &i) in field.iter().enumerate() {
+                let engine = &self.engines[i];
+                let lane_exec: &Executor = if lane == 0 {
+                    exec
+                } else {
+                    &lane_execs[lane - 1]
+                };
+                let race_token = race_token.clone();
+                let winner = &winner;
+                let lane_results = &lane_results;
+                s.spawn(move || {
+                    let mut span = parsweep_trace::span(
+                        "prove",
+                        &format!("prove.engine.{}", engine.kind().name()),
+                    );
+                    span.arg_str("mode", "race");
+                    let t0 = clock.now();
+                    let budget = self.cfg.budget;
+                    let report = engine.prove(cone, lane_exec, &budget, &race_token);
+                    let seconds = clock.since(t0).as_secs_f64();
+                    let decided = !matches!(report.verdict, Verdict::Undecided);
+                    if decided {
+                        let mut w = winner.lock().unwrap();
+                        if w.is_none() {
+                            *w = Some((engine.kind(), report.verdict, report.stats));
+                            // First verdict wins: stop the rival lanes at
+                            // their next poll point.
+                            race_token.cancel();
+                        }
+                    }
+                    let cancelled = !decided && race_token.is_cancelled();
+                    lane_results
+                        .lock()
+                        .unwrap()
+                        .push((engine.kind(), decided, seconds, cancelled));
+                });
+            }
+        });
+
+        // Return the lane executors to the pool for the next race.
+        self.lane_pool.lock().unwrap().append(&mut lane_execs);
+
+        let won = winner.into_inner().unwrap();
+        let mut attempts = Vec::with_capacity(field.len());
+        for (kind, decided, seconds, cancelled) in lane_results.into_inner().unwrap() {
+            let status = match (&won, decided, cancelled) {
+                (Some((w, _, _)), true, _) if *w == kind => AttemptStatus::Won,
+                (_, true, _) => AttemptStatus::Lost,
+                (_, false, true) => AttemptStatus::Cancelled,
+                (_, false, false) => AttemptStatus::Lost,
+            };
+            // Winners and losers both feed the model: loser costs are what
+            // teach it to stop racing engines that never pay off.
+            self.model
+                .observe(kind, difficulty, (seconds * 1e6) as u64, decided);
+            attempts.push(EngineAttempt {
+                engine: kind,
+                status,
+                seconds,
+            });
+        }
+        (won, attempts)
+    }
+
+    /// Runs one attempt inline under a per-attempt child token, with a
+    /// span labelled by engine.
+    fn run_attempt(
+        &self,
+        engine: &dyn ProofEngine,
+        cone: &Aig,
+        exec: &Executor,
+        token: &CancelToken,
+        clock: &(dyn Clock + Sync),
+    ) -> (EngineReport, f64, bool) {
+        let attempt_token = match (engine.prefilter(), self.cfg.attempt_wall) {
+            (false, Some(wall)) => token.child_with_deadline(wall),
+            _ => token.clone(),
+        };
+        let mut span =
+            parsweep_trace::span("prove", &format!("prove.engine.{}", engine.kind().name()));
+        span.arg_str("mode", "inline");
+        let t0 = clock.now();
+        let report = engine.prove(cone, exec, &self.cfg.budget, &attempt_token);
+        let seconds = clock.since(t0).as_secs_f64();
+        let cancelled =
+            matches!(report.verdict, Verdict::Undecided) && attempt_token.is_cancelled();
+        (report, seconds, cancelled)
+    }
+
+    /// Records the class outcome into the local and global counters and
+    /// assembles the [`ProveOutcome`].
+    fn finish(
+        &self,
+        winner: Option<(EngineKind, Verdict, SweepStats)>,
+        attempts: Vec<EngineAttempt>,
+        seconds: f64,
+        raced: bool,
+    ) -> ProveOutcome {
+        let global = metrics::prove_counters();
+        for attempt in &attempts {
+            let slot = attempt.engine.slot();
+            let (local, global_ctr) = match attempt.status {
+                AttemptStatus::Won => (&self.stats.wins[slot], &global.wins[slot]),
+                AttemptStatus::Lost => (&self.stats.losses[slot], &global.losses[slot]),
+                AttemptStatus::Cancelled => (&self.stats.cancelled[slot], &global.cancelled[slot]),
+                AttemptStatus::Skipped => (&self.stats.skipped[slot], &global.skipped[slot]),
+            };
+            local.fetch_add(1, Ordering::Relaxed);
+            global_ctr.fetch_add(1, Ordering::Relaxed);
+            let micros = (attempt.seconds * 1e6) as u64;
+            self.stats.elapsed_micros[slot].fetch_add(micros, Ordering::Relaxed);
+            global.elapsed_micros[slot].fetch_add(micros, Ordering::Relaxed);
+        }
+        match winner {
+            Some((kind, verdict, stats)) => ProveOutcome {
+                verdict,
+                engine: Some(kind),
+                attempts,
+                stats,
+                seconds,
+                raced,
+            },
+            None => ProveOutcome {
+                verdict: Verdict::Undecided,
+                engine: None,
+                attempts,
+                stats: SweepStats::default(),
+                seconds,
+                raced,
+            },
+        }
+    }
+}
+
+/// The four standard portfolio engines in the fixed-sequence order, wired
+/// from a [`crate::PortfolioConfig`].
+pub fn standard_engines(cfg: &crate::portfolio::PortfolioConfig) -> Vec<Box<dyn ProofEngine>> {
+    vec![
+        Box::new(StructuralEngine),
+        Box::new(RandomSimEngine {
+            sim_words: cfg.sim_words,
+            seed: 0xc0ffee,
+        }),
+        Box::new(ExhaustivePoEngine {
+            po_support_cap: cfg.po_support_cap,
+            po_cone_cap: cfg.po_cone_cap,
+            memory_words: cfg.memory_words,
+        }),
+        Box::new(SatSweepEngine {
+            cfg: cfg.sweep.clone(),
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsweep_aig::{miter, Aig};
+
+    fn exec() -> Executor {
+        Executor::with_threads(1)
+    }
+
+    fn adder(width: usize, ripple: bool) -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(width);
+        let b = aig.add_inputs(width);
+        let mut carry = parsweep_aig::Lit::FALSE;
+        for i in 0..width {
+            let axb = aig.xor(a[i], b[i]);
+            let sum = aig.xor(axb, carry);
+            let new_carry = if ripple {
+                let t = aig.and(a[i], b[i]);
+                let u = aig.and(axb, carry);
+                aig.or(t, u)
+            } else {
+                aig.maj3(a[i], b[i], carry)
+            };
+            aig.add_po(sum);
+            carry = new_carry;
+        }
+        aig.add_po(carry);
+        aig
+    }
+
+    fn prover(mode: ProverMode) -> Prover {
+        Prover::new(ProverConfig {
+            mode,
+            ..ProverConfig::default()
+        })
+    }
+
+    #[test]
+    fn engine_kinds_have_distinct_slots() {
+        let mut seen = std::collections::HashSet::new();
+        for k in EngineKind::ALL {
+            assert!(k.slot() < metrics::PROVE_ENGINE_SLOTS);
+            assert!(seen.insert(k.slot()));
+            assert_eq!(EngineKind::from_name(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn sequential_equals_the_fixed_sequence() {
+        let a = parsweep_aig::random::random_aig(6, 40, 2, 5);
+        let m = miter(&a, &a).unwrap();
+        let out = prover(ProverMode::Sequential).prove(&m, &exec(), &CancelToken::never());
+        assert_eq!(out.engine, Some(EngineKind::Structural));
+        assert!(out.verdict.is_equivalent());
+        // Attempts cover every registered engine; later ones are skipped.
+        assert_eq!(out.attempts.len(), 4);
+        assert_eq!(out.attempts[0].status, AttemptStatus::Won);
+        assert!(out.attempts[1..]
+            .iter()
+            .all(|a| a.status == AttemptStatus::Skipped));
+    }
+
+    #[test]
+    fn losing_attempts_record_elapsed_time() {
+        use parsweep_trace::ManualClock;
+        // Equivalent but not structurally identical: structural and
+        // random-sim lose before the exhaustive engine wins.
+        let m = miter(&adder(3, true), &adder(3, false)).unwrap();
+        let p = prover(ProverMode::Sequential);
+        let clock = ManualClock::new();
+        let out = p.prove_clocked(&m, &exec(), &CancelToken::never(), &clock);
+        assert_eq!(out.engine, Some(EngineKind::ExhaustivePo));
+        let structural = &out.attempts[0];
+        assert_eq!(structural.status, AttemptStatus::Lost);
+        let random = &out.attempts[1];
+        assert_eq!(random.status, AttemptStatus::Lost);
+        // The manual clock never advances, so losers report zero — but the
+        // attempts themselves are present with a measured duration field.
+        assert_eq!(structural.seconds, 0.0);
+        assert_eq!(random.seconds, 0.0);
+        let s = p.stats();
+        assert_eq!(s.losses[EngineKind::Structural.slot()], 1);
+        assert_eq!(s.wins[EngineKind::ExhaustivePo.slot()], 1);
+        assert_eq!(s.skipped[EngineKind::SatSweep.slot()], 1);
+    }
+
+    #[test]
+    fn adaptive_agrees_with_sequential_on_an_adder() {
+        let m = miter(&adder(4, true), &adder(4, false)).unwrap();
+        let seq = prover(ProverMode::Sequential).prove(&m, &exec(), &CancelToken::never());
+        let ada = prover(ProverMode::Adaptive).prove(&m, &exec(), &CancelToken::never());
+        assert_eq!(
+            seq.verdict.is_equivalent(),
+            ada.verdict.is_equivalent(),
+            "seq {:?} vs ada {:?}",
+            seq.verdict,
+            ada.verdict
+        );
+        assert!(ada.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn adaptive_races_hard_classes() {
+        // Wide supports force SatSweep/ExhaustivePo expected costs above
+        // the race threshold.
+        let m = miter(&adder(10, true), &adder(10, false)).unwrap();
+        let p = Prover::new(ProverConfig {
+            mode: ProverMode::Adaptive,
+            race_threshold: Duration::from_micros(1),
+            ..ProverConfig::default()
+        });
+        let out = p.prove(&m, &exec(), &CancelToken::never());
+        assert!(out.raced, "attempts: {:?}", out.attempts);
+        assert!(out.verdict.is_equivalent());
+        assert_eq!(p.stats().raced_classes, 1);
+        // Exactly one racer won; any rival either lost or was cancelled.
+        let won = out
+            .attempts
+            .iter()
+            .filter(|a| a.status == AttemptStatus::Won)
+            .count();
+        assert_eq!(won, 1);
+    }
+
+    #[test]
+    fn race_cancel_does_not_trip_the_job_token() {
+        let m = miter(&adder(8, true), &adder(8, false)).unwrap();
+        let p = Prover::new(ProverConfig {
+            mode: ProverMode::Adaptive,
+            race_threshold: Duration::from_micros(1),
+            ..ProverConfig::default()
+        });
+        let job = CancelToken::new();
+        let out = p.prove(&m, &exec(), &job);
+        assert!(out.verdict.is_equivalent());
+        assert!(
+            !job.is_cancelled(),
+            "dispatcher early-cancel must stay scoped to the race"
+        );
+    }
+
+    #[test]
+    fn cancelled_dispatch_is_undecided_not_wrong() {
+        let m = miter(&adder(6, true), &adder(6, false)).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = prover(ProverMode::Adaptive).prove(&m, &exec(), &token);
+        // Structural runs regardless (it cannot be wrong); everything that
+        // polls the token must come back undecided on this non-structural
+        // miter.
+        assert_eq!(out.verdict, Verdict::Undecided);
+        assert!(out.engine.is_none());
+    }
+
+    #[test]
+    fn model_learns_and_reroutes() {
+        let model = DifficultyModel::default();
+        let d = Difficulty {
+            ands: 100,
+            ..Difficulty::default()
+        };
+        // Cold: the prior ranks.
+        assert_eq!(
+            model.expected_decision_micros(EngineKind::SatSweep, &d, 500),
+            500.0
+        );
+        // Observed cheap decisive attempts pull the score down.
+        for _ in 0..8 {
+            model.observe(EngineKind::SatSweep, &d, 100, true);
+        }
+        assert!(model.expected_decision_micros(EngineKind::SatSweep, &d, 500) < 200.0);
+        // Observed expensive indecision pushes the score up.
+        for _ in 0..8 {
+            model.observe(EngineKind::ExhaustivePo, &d, 100, false);
+        }
+        assert!(model.expected_decision_micros(EngineKind::ExhaustivePo, &d, 50) > 1000.0);
+    }
+
+    #[test]
+    fn routing_hints_pre_seed_the_model() {
+        let p = prover(ProverMode::Adaptive);
+        let d = Difficulty {
+            ands: 64,
+            ..Difficulty::default()
+        };
+        assert_eq!(p.model().attempts(EngineKind::SatSweep, &d), 0);
+        p.observe_hint(EngineKind::SatSweep, &d, 1234);
+        assert_eq!(p.model().attempts(EngineKind::SatSweep, &d), 1);
+        assert_eq!(p.stats().routing_hints, 1);
+    }
+
+    #[test]
+    fn difficulty_analysis_matches_portfolio_admission() {
+        let m = miter(&adder(3, true), &adder(3, false)).unwrap();
+        let d = Difficulty::analyze(&m, 20, 3000);
+        assert!(d.max_po_support.is_some());
+        assert!(d.max_po_cone.is_some());
+        assert_eq!(d.pis, 6);
+        // A 30-input conjunction exceeds a 16-bit support cap.
+        let mut a = Aig::new();
+        let xs = a.add_inputs(30);
+        let f = a.and_all(xs.iter().copied());
+        a.add_po(f);
+        let d = Difficulty::analyze(&a, 16, 3000);
+        assert_eq!(d.max_po_support, None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the adaptive dispatch layer: the dispatcher
+//! may change *who* decides a class and at what cost, but never *what*
+//! the verdict is.
+//!
+//! Two properties hold under any schedule:
+//!
+//! * **Agreement** — on miters the fixed-sequence portfolio decides, the
+//!   adaptive prover reaches the same verdict (possibly via a different
+//!   engine or a concurrent race).
+//! * **Soundness under deadlines** — a race cut short by a deadline may
+//!   settle `Undecided`, but a decisive verdict it does return is always
+//!   correct: `Equal` is never fabricated from a cancelled engine's
+//!   partial work, and a counter-example always fires.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use parsweep_aig::{miter, random::random_aig, Aig};
+use parsweep_par::{CancelToken, Executor};
+use parsweep_sat::{portfolio_check, PortfolioConfig, Prover, ProverConfig, ProverMode, Verdict};
+
+/// Brute-force miter check: constant-zero on every input assignment.
+fn brute_equivalent(m: &Aig) -> bool {
+    let pis = m.num_pis();
+    assert!(pis <= 12, "brute force only for small miters");
+    (0..1u32 << pis).all(|mask| {
+        let inputs: Vec<bool> = (0..pis).map(|i| mask >> i & 1 == 1).collect();
+        m.eval(&inputs).iter().all(|&po| !po)
+    })
+}
+
+fn adaptive_prover(race_threshold: Duration) -> Prover {
+    Prover::new(ProverConfig {
+        mode: ProverMode::Adaptive,
+        race_threshold,
+        ..ProverConfig::default()
+    })
+}
+
+/// A balanced AND tree and a right-associated AND chain over `n` inputs:
+/// equivalent, not structurally collapsible, and (for `n` past the
+/// random-sim horizon) only decidable by the heavy engines — the shape
+/// that triggers a concurrent race. `corrupt` flips the second build's
+/// output so the pair is disprovable instead.
+fn hard_pair(n: usize, corrupt: bool) -> Aig {
+    let mut a = Aig::new();
+    let xs = a.add_inputs(n);
+    let f = a.and_all(xs.iter().copied());
+    a.add_po(f);
+    let mut b = Aig::new();
+    let ys = b.add_inputs(n);
+    let mut g = ys[n - 1];
+    for &y in ys[..n - 1].iter().rev() {
+        g = b.and(y, g);
+    }
+    if corrupt {
+        g = !g;
+    }
+    b.add_po(g);
+    miter(&a, &b).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random equivalent pairs (an AIG against its cleaned self) and
+    /// random unrelated pairs: the adaptive dispatcher and the fixed
+    /// sequence agree on every verdict, and both are sound.
+    #[test]
+    fn adaptive_agrees_with_fixed_sequence(
+        seed in any::<u64>(),
+        pis in 2usize..7,
+        ands in 2usize..40,
+        equivalent in any::<bool>(),
+    ) {
+        let a = random_aig(pis, ands, 2, seed);
+        let b = if equivalent {
+            a.clean()
+        } else {
+            random_aig(pis, ands, 2, seed.wrapping_add(1))
+        };
+        let m = miter(&a, &b).unwrap();
+        let exec = Executor::new();
+        let fixed = portfolio_check(&m, &exec, &PortfolioConfig::default());
+        let adaptive =
+            adaptive_prover(Duration::from_millis(2)).prove(&m, &exec, &CancelToken::never());
+        prop_assert_eq!(
+            fixed.verdict.is_equivalent(),
+            adaptive.verdict.is_equivalent(),
+            "fixed {:?} vs adaptive {:?}",
+            fixed.verdict,
+            adaptive.verdict
+        );
+        prop_assert_eq!(
+            matches!(fixed.verdict, Verdict::Undecided),
+            matches!(adaptive.verdict, Verdict::Undecided)
+        );
+        match &adaptive.verdict {
+            Verdict::Equivalent => prop_assert!(brute_equivalent(&m)),
+            Verdict::NotEquivalent(cex) => prop_assert!(cex.fires(&m)),
+            Verdict::Undecided => {}
+        }
+    }
+
+    /// A concurrent race under a deadline that may trip anywhere —
+    /// before dispatch, mid-race, or never. Whatever engines get
+    /// cancelled with partial work, the dispatcher never turns that
+    /// partial work into a fabricated `Equal` on a disprovable miter,
+    /// and a counter-example it does return always fires.
+    #[test]
+    fn deadline_cancelled_race_never_fabricates_equal(
+        n in 8usize..20,
+        corrupt in any::<bool>(),
+        deadline_us in 0u64..2000,
+    ) {
+        let m = hard_pair(n, corrupt);
+        let exec = Executor::new();
+        // A 1µs race threshold forces every non-prefilter class into the
+        // concurrent path, maximizing cancelled-engine interleavings.
+        let prover = adaptive_prover(Duration::from_micros(1));
+        let token = CancelToken::with_deadline(Duration::from_micros(deadline_us));
+        let outcome = prover.prove(&m, &exec, &token);
+        match &outcome.verdict {
+            Verdict::Equivalent => {
+                prop_assert!(!corrupt, "race fabricated Equal on a disprovable miter");
+            }
+            Verdict::NotEquivalent(cex) => {
+                prop_assert!(corrupt, "race disproved an equivalent miter");
+                prop_assert!(cex.fires(&m), "race fabricated a counter-example");
+            }
+            Verdict::Undecided => {}
+        }
+    }
+
+    /// The same race without a deadline always decides, and decides
+    /// correctly — racing costs completeness nothing when time allows.
+    #[test]
+    fn unbounded_race_decides_correctly(n in 8usize..20, corrupt in any::<bool>()) {
+        let m = hard_pair(n, corrupt);
+        let exec = Executor::new();
+        let prover = adaptive_prover(Duration::from_micros(1));
+        let outcome = prover.prove(&m, &exec, &CancelToken::never());
+        match &outcome.verdict {
+            Verdict::Equivalent => prop_assert!(!corrupt),
+            Verdict::NotEquivalent(cex) => {
+                prop_assert!(corrupt);
+                prop_assert!(cex.fires(&m));
+            }
+            Verdict::Undecided => prop_assert!(false, "unbounded race left a miter undecided"),
+        }
+    }
+}

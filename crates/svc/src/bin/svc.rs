@@ -18,6 +18,9 @@
 //! EOF performs a final drain (with stats) and exits. Flags:
 //! `--workers N`, `--exec-threads N`, `--deadline-ms N` (default for
 //! submits without one), `--sat` (SAT fallback on undecided shards),
+//! `--prover sequential|adaptive` (how undecided shards are finished:
+//! the fixed engine sequence, or the service-wide adaptive dispatcher
+//! with per-class engine racing; sequential is the default),
 //! `--connected` (shard by connected components instead of per output),
 //! `--cache-capacity N` (result-cache LRU bound, 0 disables caching),
 //! `--trace PATH` (write a Chrome-trace JSON of the whole run at exit;
@@ -28,7 +31,7 @@ use std::io::{BufRead, Write};
 use std::time::Duration;
 
 use parsweep_aig::{miter, read_aiger_file, Aig, Lit};
-use parsweep_sat::Verdict;
+use parsweep_sat::{ProverMode, Verdict};
 use parsweep_svc::jsonl::{emit_object, get, parse_object, JsonValue};
 use parsweep_svc::{CecService, JobResult, ShardPolicy, SvcConfig};
 use parsweep_trace as trace;
@@ -54,13 +57,22 @@ fn main() {
                 cfg.default_deadline = Some(Duration::from_millis(num("--deadline-ms") as u64));
             }
             "--sat" => cfg.sat_fallback = true,
+            "--prover" => {
+                let name = next("--prover");
+                cfg.prover = ProverMode::from_name(&name).unwrap_or_else(|| {
+                    die(&format!(
+                        "--prover needs 'sequential' or 'adaptive', got '{name}'"
+                    ))
+                });
+            }
             "--connected" => cfg.shard_policy = ShardPolicy::Connected,
             "--cache-capacity" => cfg.cache_capacity = num("--cache-capacity"),
             "--trace" => trace_path = Some(next("--trace")),
             "--help" | "-h" => {
                 println!(
                     "usage: svc [--workers N] [--exec-threads N] [--deadline-ms N] [--sat] \
-                     [--connected] [--cache-capacity N] [--trace PATH]"
+                     [--prover sequential|adaptive] [--connected] [--cache-capacity N] \
+                     [--trace PATH]"
                 );
                 println!("reads JSON-lines requests on stdin; see module docs");
                 return;

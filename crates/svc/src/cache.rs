@@ -30,10 +30,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use parsweep_aig::Aig;
-use parsweep_sat::Verdict;
+use parsweep_sat::{EngineKind, Verdict};
 
 /// Default [`ResultCache::capacity`]: distinct cone structures retained.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Entry format version written by this build. Version 1 entries (the
+/// original cache) carry a verdict only; version 2 adds [`RoutingInfo`]
+/// so a hit can pre-seed the adaptive prover's difficulty model. Old
+/// callers keep using [`ResultCache::insert`]/[`ResultCache::lookup`],
+/// which read and write the version-1 subset unchanged.
+pub const CACHE_ENTRY_VERSION: u32 = 2;
+
+/// How a cached verdict was won: the deciding engine and its cost. A
+/// routed cache hit replays this into the adaptive prover's difficulty
+/// model, so a restarted or cold dispatcher starts from the fleet's
+/// history instead of static priors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutingInfo {
+    /// Engine that decided the cone.
+    pub engine: EngineKind,
+    /// Wall-clock cost of the winning attempt, in microseconds.
+    pub cost_micros: u64,
+}
 
 /// A concurrent, capacity-bounded map from canonical cone structure to
 /// settled verdict.
@@ -51,6 +70,7 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    routing_hits: AtomicU64,
     /// Set when a structural verification began while the bucket lock was
     /// held — the timing-insensitive regression probe for the
     /// verify-outside-the-lock contract (meaningful in single-threaded
@@ -85,6 +105,10 @@ struct CacheEntry {
     id: u64,
     cone: Aig,
     verdict: Verdict,
+    /// Format version this entry was written with; routing is only
+    /// present from version 2 on.
+    version: u32,
+    routing: Option<RoutingInfo>,
     last_used: AtomicU64,
 }
 
@@ -110,6 +134,7 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            routing_hits: AtomicU64::new(0),
             #[cfg(test)]
             verified_under_lock: std::sync::atomic::AtomicBool::new(false),
         }
@@ -186,10 +211,11 @@ impl ResultCache {
         false
     }
 
-    /// Looks up a cone by its structural hash, verifying structure
-    /// exactly (outside the bucket lock). Counts a hit or a miss; a hit
-    /// refreshes the entry's recency.
-    pub fn lookup(&self, hash: u64, cone: &Aig) -> Option<Verdict> {
+    /// The verified-hit path shared by [`lookup`](Self::lookup) and
+    /// [`lookup_routed`](Self::lookup_routed): candidates snapshot under
+    /// the lock, structural verification outside it, hit/miss accounting
+    /// and recency touch.
+    fn lookup_entry(&self, hash: u64, cone: &Aig) -> Option<Arc<CacheEntry>> {
         let candidates: Vec<Arc<CacheEntry>> = {
             let inner = self.lock();
             inner.buckets.get(&hash).cloned().unwrap_or_default()
@@ -198,7 +224,7 @@ impl ResultCache {
             Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 self.touch(hash, &entry);
-                Some(entry.verdict.clone())
+                Some(entry)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -207,11 +233,63 @@ impl ResultCache {
         }
     }
 
+    /// Looks up a cone by its structural hash, verifying structure
+    /// exactly (outside the bucket lock). Counts a hit or a miss; a hit
+    /// refreshes the entry's recency.
+    pub fn lookup(&self, hash: u64, cone: &Aig) -> Option<Verdict> {
+        self.lookup_entry(hash, cone).map(|e| e.verdict.clone())
+    }
+
+    /// Like [`lookup`](Self::lookup), but also returns the entry's
+    /// [`RoutingInfo`] when one was recorded (version-2 entries written
+    /// by [`insert_routed`](Self::insert_routed)). A hit that carries
+    /// routing counts toward [`routing_hits`](Self::routing_hits).
+    pub fn lookup_routed(&self, hash: u64, cone: &Aig) -> Option<(Verdict, Option<RoutingInfo>)> {
+        let entry = self.lookup_entry(hash, cone)?;
+        let routing = if entry.version >= 2 {
+            entry.routing
+        } else {
+            None
+        };
+        if routing.is_some() {
+            self.routing_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((entry.verdict.clone(), routing))
+    }
+
     /// Records a settled verdict for a cone, evicting least-recently-used
     /// entries beyond capacity. `Undecided` is ignored, as is a duplicate
     /// of an already-cached structure (first proof wins; the duplicate
-    /// counts as a recency touch).
+    /// counts as a recency touch). Writes a version-1 entry — the format
+    /// this cache shipped with — so pre-routing callers are bit-for-bit
+    /// unchanged.
     pub fn insert(&self, hash: u64, cone: &Aig, verdict: &Verdict) {
+        self.insert_versioned(hash, cone, verdict, 1, None);
+    }
+
+    /// Records a settled verdict together with how it was won. Writes a
+    /// [`CACHE_ENTRY_VERSION`] entry whose routing a later
+    /// [`lookup_routed`](Self::lookup_routed) replays into the prover's
+    /// difficulty model. First proof wins: a duplicate insert never
+    /// rewrites an existing entry's routing.
+    pub fn insert_routed(
+        &self,
+        hash: u64,
+        cone: &Aig,
+        verdict: &Verdict,
+        routing: Option<RoutingInfo>,
+    ) {
+        self.insert_versioned(hash, cone, verdict, CACHE_ENTRY_VERSION, routing);
+    }
+
+    fn insert_versioned(
+        &self,
+        hash: u64,
+        cone: &Aig,
+        verdict: &Verdict,
+        version: u32,
+        routing: Option<RoutingInfo>,
+    ) {
         if matches!(verdict, Verdict::Undecided) || self.capacity == 0 {
             return;
         }
@@ -229,6 +307,8 @@ impl ResultCache {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             cone: cone.clone(),
             verdict: verdict.clone(),
+            version,
+            routing,
             last_used: AtomicU64::new(0),
         });
         let mut inner = self.lock();
@@ -280,6 +360,12 @@ impl ResultCache {
     /// Entries dropped by the LRU bound.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hits whose entry carried [`RoutingInfo`] — lookups that pre-seeded
+    /// the adaptive prover's engine routing.
+    pub fn routing_hits(&self) -> u64 {
+        self.routing_hits.load(Ordering::Relaxed)
     }
 
     /// Cached structures currently held.
@@ -355,6 +441,63 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routed_entries_round_trip_engine_and_cost() {
+        let cache = ResultCache::new();
+        let cone = and_cone(false);
+        let hash = cone.structural_hash();
+        let routing = RoutingInfo {
+            engine: EngineKind::SatSweep,
+            cost_micros: 1234,
+        };
+        cache.insert_routed(hash, &cone, &Verdict::Equivalent, Some(routing));
+        assert_eq!(
+            cache.lookup_routed(hash, &cone),
+            Some((Verdict::Equivalent, Some(routing)))
+        );
+        assert_eq!(cache.routing_hits(), 1);
+        // The legacy lookup still reads the same entry's verdict.
+        assert_eq!(cache.lookup(hash, &cone), Some(Verdict::Equivalent));
+        assert_eq!(cache.routing_hits(), 1, "legacy lookup never counts");
+    }
+
+    #[test]
+    fn legacy_entries_carry_no_routing() {
+        // A PR 3-era insert is a version-1 entry: lookup_routed finds the
+        // verdict but no routing, and the routing-hit counter stays put.
+        let cache = ResultCache::new();
+        let cone = and_cone(false);
+        let hash = cone.structural_hash();
+        cache.insert(hash, &cone, &Verdict::Equivalent);
+        assert_eq!(
+            cache.lookup_routed(hash, &cone),
+            Some((Verdict::Equivalent, None))
+        );
+        assert_eq!(cache.routing_hits(), 0);
+    }
+
+    #[test]
+    fn first_proof_keeps_its_routing_on_duplicate_routed_insert() {
+        let cache = ResultCache::new();
+        let cone = and_cone(false);
+        let hash = cone.structural_hash();
+        let first = RoutingInfo {
+            engine: EngineKind::ExhaustivePo,
+            cost_micros: 10,
+        };
+        cache.insert_routed(hash, &cone, &Verdict::Equivalent, Some(first));
+        let second = RoutingInfo {
+            engine: EngineKind::SatSweep,
+            cost_micros: 99,
+        };
+        cache.insert_routed(hash, &cone, &Verdict::Equivalent, Some(second));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.lookup_routed(hash, &cone),
+            Some((Verdict::Equivalent, Some(first)))
+        );
     }
 
     #[test]

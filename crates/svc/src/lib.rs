@@ -48,7 +48,7 @@ mod pool;
 mod service;
 mod shard;
 
-pub use cache::{ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{ResultCache, RoutingInfo, CACHE_ENTRY_VERSION, DEFAULT_CACHE_CAPACITY};
 pub use pool::WorkerPool;
 pub use service::{CecService, JobId, JobResult, JobStats, SvcConfig, SvcStats};
 pub use shard::{shard_miter, Shard, ShardPolicy};

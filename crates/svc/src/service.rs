@@ -17,16 +17,22 @@ use std::time::Duration;
 
 use parsweep_aig::{Aig, Var};
 use parsweep_core::{
-    combined_check_cancellable, sim_sweep_cancellable, CombinedConfig, EngineConfig,
+    build_prover, combined_check_cancellable, combined_check_with_prover, sim_sweep_cancellable,
+    CombinedConfig, EngineConfig,
 };
 use parsweep_par::{CancelToken, Executor, LaunchStats};
-use parsweep_sat::{SweepConfig, Verdict};
+use parsweep_sat::{
+    EngineKind, PortfolioConfig, ProveOutcome, Prover, ProverConfig, ProverMode, SweepConfig,
+    Verdict,
+};
 use parsweep_sim::Cex;
 use parsweep_trace as trace;
-use parsweep_trace::metrics::{render_counter, render_gauge, render_histogram, Histogram};
+use parsweep_trace::metrics::{
+    render_counter, render_gauge, render_histogram, render_labeled_counter, Histogram,
+};
 use parsweep_trace::Clock;
 
-use crate::cache::{ResultCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{ResultCache, RoutingInfo, DEFAULT_CACHE_CAPACITY};
 use crate::pool::WorkerPool;
 use crate::shard::{shard_miter, ShardPolicy};
 
@@ -45,6 +51,14 @@ pub struct SvcConfig {
     pub sat_fallback: bool,
     /// SAT fallback parameters (used only with `sat_fallback`).
     pub sat: SweepConfig,
+    /// How undecided shards are finished. [`ProverMode::Sequential`] (the
+    /// compatibility default) keeps the pre-adaptive behavior: plain
+    /// sim-sweep, or the fixed-sequence combined flow under
+    /// `sat_fallback`. [`ProverMode::Adaptive`] routes every shard
+    /// through one service-wide adaptive [`Prover`] shared across
+    /// workers, so the difficulty model learns from the whole fleet and
+    /// routed cache hits pre-seed it.
+    pub prover: ProverMode,
     /// How miters split into shards.
     pub shard_policy: ShardPolicy,
     /// Deadline applied to jobs submitted without an explicit one.
@@ -66,6 +80,7 @@ impl Default for SvcConfig {
             engine: EngineConfig::default(),
             sat_fallback: false,
             sat: SweepConfig::default(),
+            prover: ProverMode::default(),
             shard_policy: ShardPolicy::PerOutput,
             default_deadline: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
@@ -131,6 +146,9 @@ pub struct SvcStats {
     pub cache_len: usize,
     /// Cache entries dropped by the LRU capacity bound.
     pub cache_evictions: u64,
+    /// Cache hits whose entry carried engine-routing info, replayed into
+    /// the adaptive prover's difficulty model.
+    pub cache_routing_hits: u64,
     /// Jobs that settled with their cancel token tripped (deadline or
     /// explicit cancellation).
     pub cancellations: u64,
@@ -305,6 +323,11 @@ pub struct CecService {
     pool: WorkerPool,
     execs: Arc<Vec<Executor>>,
     cache: Arc<ResultCache>,
+    /// One adaptive dispatcher for the whole fleet (used in
+    /// [`ProverMode::Adaptive`]): sharing it across workers is what makes
+    /// the difficulty model learn from every shard, not just a worker's
+    /// own slice of the traffic.
+    prover: Arc<Prover>,
     next_id: AtomicU64,
     shared: Arc<SvcShared>,
     shards_total: AtomicU64,
@@ -324,11 +347,23 @@ impl CecService {
                 .collect::<Vec<_>>(),
         );
         let cache = Arc::new(ResultCache::with_capacity(cfg.cache_capacity));
+        let prover = Arc::new(build_prover(
+            ProverConfig {
+                mode: cfg.prover,
+                ..ProverConfig::default()
+            },
+            &PortfolioConfig {
+                sweep: cfg.sat.clone(),
+                ..PortfolioConfig::default()
+            },
+            &cfg.engine,
+        ));
         CecService {
             cfg,
             pool,
             execs,
             cache,
+            prover,
             next_id: AtomicU64::new(1),
             shared: Arc::new(SvcShared::new()),
             shards_total: AtomicU64::new(0),
@@ -418,6 +453,8 @@ impl CecService {
             let engine_cfg = self.cfg.engine.clone();
             let sat_cfg = self.cfg.sat.clone();
             let sat_fallback = self.cfg.sat_fallback;
+            let prover = Arc::clone(&self.prover);
+            let mode = self.cfg.prover;
             self.pool.spawn(move |worker| {
                 let queue_wait = {
                     let now = shared.clock.now();
@@ -439,6 +476,8 @@ impl CecService {
                     &engine_cfg,
                     &sat_cfg,
                     sat_fallback,
+                    &prover,
+                    mode,
                     &shared.token,
                 );
                 span.arg_u64("cache_hit", u64::from(outcome.cache_hit));
@@ -501,9 +540,16 @@ impl CecService {
             cache_misses: self.cache.misses(),
             cache_len: self.cache.len(),
             cache_evictions: self.cache.evictions(),
+            cache_routing_hits: self.cache.routing_hits(),
             cancellations: self.shared.cancellations.load(Ordering::Relaxed),
             worker_utilization: self.pool.utilization(),
         }
+    }
+
+    /// Snapshot of the shared adaptive dispatcher's per-engine statistics
+    /// (all zeros until a job runs in [`ProverMode::Adaptive`]).
+    pub fn prover_stats(&self) -> parsweep_sat::ProverStats {
+        self.prover.stats()
     }
 
     /// The launch profile of the whole worker fleet: every per-worker
@@ -565,6 +611,12 @@ impl CecService {
             "Result-cache entries dropped by the LRU capacity bound.",
             stats.cache_evictions,
         );
+        render_counter(
+            &mut out,
+            "parsweep_cache_routing_hits",
+            "Result-cache hits whose entry pre-seeded the adaptive prover's routing.",
+            stats.cache_routing_hits,
+        );
         render_gauge(
             &mut out,
             "parsweep_cache_entries",
@@ -625,6 +677,34 @@ impl CecService {
             "Replays of kernel graphs that were fully verified at build time.",
             launch.static_verified_replays,
         );
+        let prove = trace::metrics::prove_counters();
+        let engine_series = |slots: &[AtomicU64; trace::metrics::PROVE_ENGINE_SLOTS]| {
+            EngineKind::ALL
+                .iter()
+                .map(|k| (k.name(), slots[k.slot()].load(Ordering::Relaxed)))
+                .collect::<Vec<_>>()
+        };
+        render_labeled_counter(
+            &mut out,
+            "parsweep_prove_engine_wins_total",
+            "Dispatch attempts that decided their class, per engine.",
+            "engine",
+            &engine_series(&prove.wins),
+        );
+        render_labeled_counter(
+            &mut out,
+            "parsweep_prove_engine_losses_total",
+            "Dispatch attempts that finished undecided, per engine.",
+            "engine",
+            &engine_series(&prove.losses),
+        );
+        render_labeled_counter(
+            &mut out,
+            "parsweep_prove_engine_cancelled_total",
+            "Dispatch attempts cancelled when a rival engine won the race, per engine.",
+            "engine",
+            &engine_series(&prove.cancelled),
+        );
         let sim = trace::metrics::sim_counters();
         render_counter(
             &mut out,
@@ -672,8 +752,14 @@ impl CecService {
     }
 }
 
-/// Settles one cone: cache first, engine (plus optional SAT fallback)
-/// otherwise. The returned verdict is over the *cone's* PIs.
+/// Settles one cone: cache first, engine otherwise. In
+/// [`ProverMode::Sequential`] the engine path is the pre-adaptive one
+/// (sim-sweep, plus the fixed-sequence combined flow under
+/// `sat_fallback`) and cache entries stay version-1. In
+/// [`ProverMode::Adaptive`] the shard runs through the shared dispatcher,
+/// the winning `(engine, cost)` is recorded into the cache, and a routed
+/// hit replays its record into the difficulty model before returning.
+/// The returned verdict is over the *cone's* PIs.
 #[allow(clippy::too_many_arguments)]
 fn prove_shard(
     cone: &Aig,
@@ -683,6 +769,8 @@ fn prove_shard(
     engine_cfg: &EngineConfig,
     sat_cfg: &SweepConfig,
     sat_fallback: bool,
+    prover: &Prover,
+    mode: ProverMode,
     token: &CancelToken,
 ) -> ShardOutcome {
     if token.is_cancelled() {
@@ -694,9 +782,14 @@ fn prove_shard(
     }
     let cached = {
         let _span = trace::span("svc", "job.cache_probe");
-        cache.lookup(hash, cone)
+        cache.lookup_routed(hash, cone)
     };
-    if let Some(verdict) = cached {
+    if let Some((verdict, routing)) = cached {
+        if let Some(route) = routing {
+            // Replay the cached win into the difficulty model: the next
+            // cold cone of this shape routes like the proved one did.
+            prover.observe_hint(route.engine, &prover.difficulty(cone), route.cost_micros);
+        }
         trace::instant(
             "svc",
             "job.verdict",
@@ -707,26 +800,80 @@ fn prove_shard(
             cache_hit: true,
         };
     }
-    let verdict = if sat_fallback {
-        let cfg = CombinedConfig {
-            engine: engine_cfg.clone(),
-            sat: sat_cfg.clone(),
-            ec_transfer: true,
-        };
-        combined_check_cancellable(cone, exec, &cfg, token).verdict
-    } else {
-        sim_sweep_cancellable(cone, exec, engine_cfg, token).verdict
-    };
-    cache.insert(hash, cone, &verdict);
-    trace::instant(
-        "svc",
-        "job.verdict",
-        vec![("source", trace::ArgValue::Str("engine".into()))],
-    );
-    ShardOutcome {
-        verdict,
-        cache_hit: false,
+    match mode {
+        ProverMode::Sequential => {
+            let verdict = if sat_fallback {
+                let cfg = CombinedConfig {
+                    engine: engine_cfg.clone(),
+                    sat: sat_cfg.clone(),
+                    ec_transfer: true,
+                    prover: ProverMode::Sequential,
+                };
+                combined_check_cancellable(cone, exec, &cfg, token).verdict
+            } else {
+                sim_sweep_cancellable(cone, exec, engine_cfg, token).verdict
+            };
+            cache.insert(hash, cone, &verdict);
+            trace::instant(
+                "svc",
+                "job.verdict",
+                vec![("source", trace::ArgValue::Str("engine".into()))],
+            );
+            ShardOutcome {
+                verdict,
+                cache_hit: false,
+            }
+        }
+        ProverMode::Adaptive => {
+            let cfg = CombinedConfig {
+                engine: engine_cfg.clone(),
+                sat: sat_cfg.clone(),
+                ec_transfer: true,
+                prover: ProverMode::Adaptive,
+            };
+            let result = combined_check_with_prover(cone, exec, &cfg, prover, token);
+            let routing = shard_routing(result.engine_seconds, &result.verdict, &result.dispatch);
+            cache.insert_routed(hash, cone, &result.verdict, routing);
+            trace::instant(
+                "svc",
+                "job.verdict",
+                vec![("source", trace::ArgValue::Str("dispatch".into()))],
+            );
+            ShardOutcome {
+                verdict: result.verdict,
+                cache_hit: false,
+            }
+        }
     }
+}
+
+/// The routing record a decided adaptive shard leaves in the cache: the
+/// engine that decided the most expensive dispatched cone (the one worth
+/// pre-seeding), or the sim engine itself when no residual cone was
+/// dispatched. `None` for undecided shards — the cache never stores them
+/// anyway.
+fn shard_routing(
+    engine_seconds: f64,
+    verdict: &Verdict,
+    dispatch: &[ProveOutcome],
+) -> Option<RoutingInfo> {
+    if matches!(verdict, Verdict::Undecided) {
+        return None;
+    }
+    let micros = |s: f64| (s * 1e6) as u64;
+    dispatch
+        .iter()
+        .filter(|o| !matches!(o.verdict, Verdict::Undecided))
+        .filter_map(|o| o.engine.map(|e| (e, o.seconds)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(engine, seconds)| RoutingInfo {
+            engine,
+            cost_micros: micros(seconds),
+        })
+        .or(Some(RoutingInfo {
+            engine: EngineKind::SimSweep,
+            cost_micros: micros(engine_seconds),
+        }))
 }
 
 /// Lifts a cone-local verdict to the submitted miter: counter-example
@@ -859,6 +1006,7 @@ mod tests {
             cache_misses: 6,
             cache_len: 6,
             cache_evictions: 2,
+            cache_routing_hits: 0,
             cancellations: 1,
             worker_utilization: 0.5,
         };
@@ -924,6 +1072,70 @@ mod tests {
         let text = svc.metrics_text();
         assert!(text.contains("parsweep_cache_evictions_total 1"), "{text}");
         assert!(text.contains("# TYPE parsweep_job_latency_seconds histogram"));
+    }
+
+    #[test]
+    fn adaptive_mode_agrees_and_routes_repeat_traffic() {
+        let svc = CecService::new(SvcConfig {
+            workers: 1,
+            prover: ProverMode::Adaptive,
+            ..SvcConfig::default()
+        });
+        let m = miter(&xor_net(3, false), &xor_net(3, true)).unwrap();
+        let id = svc.submit(m.clone());
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        // Identical cones within the job: the first proof is cached as a
+        // routed entry, so the sibling hits replay routing hints.
+        assert!(r.stats.cache_hits >= 1, "stats: {:?}", r.stats);
+        let stats = svc.stats();
+        assert!(stats.cache_routing_hits >= 1, "stats: {stats:?}");
+        assert!(svc.prover_stats().routing_hints >= 1);
+        // A resubmitted job settles fully from the routed cache.
+        let id = svc.submit(m);
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert_eq!(r.stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn adaptive_mode_lifts_a_firing_cex() {
+        let a = xor_net(2, false);
+        let mut b = xor_net(2, true);
+        let po0 = b.po(0);
+        b.set_po(0, !po0);
+        let m = miter(&a, &b).unwrap();
+        let svc = CecService::new(SvcConfig {
+            prover: ProverMode::Adaptive,
+            ..SvcConfig::default()
+        });
+        let id = svc.submit(m.clone());
+        match svc.wait(id).unwrap().verdict {
+            Verdict::NotEquivalent(cex) => assert!(cex.fires(&m), "lifted cex must fire"),
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_text_renders_prover_and_routing_series() {
+        let svc = CecService::new(SvcConfig {
+            workers: 1,
+            prover: ProverMode::Adaptive,
+            ..SvcConfig::default()
+        });
+        let m = miter(&xor_net(2, false), &xor_net(2, true)).unwrap();
+        svc.submit(m);
+        svc.drain();
+        let text = svc.metrics_text();
+        assert!(
+            text.contains("parsweep_prove_engine_wins_total{engine=\"structural\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("parsweep_prove_engine_cancelled_total{engine=\"sat_sweep\"}"),
+            "{text}"
+        );
+        assert!(text.contains("parsweep_cache_routing_hits"), "{text}");
     }
 
     #[test]

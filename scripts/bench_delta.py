@@ -8,12 +8,18 @@ prints ``path: prev -> curr (delta, pct)``. Fields present in only one
 file are listed as added/removed.
 
 Without ``--max-regress`` the delta is a report, not a gate: exits 0.
-With ``--max-regress PCT`` it also gates pool-dispatched kernel launch
-counts (leaves whose last path segment is ``launches`` or
-``total_launches`` — ``inline_launches`` is deliberately not gated,
-since moving work from the pool to the inline fast path grows it by
-design): any such count that regresses by more than PCT percent fails
-the run with exit 1.
+With ``--max-regress PCT`` it also gates:
+
+* pool-dispatched kernel launch counts (leaves whose last path segment
+  is ``launches`` or ``total_launches`` — ``inline_launches`` is
+  deliberately not gated, since moving work from the pool to the inline
+  fast path grows it by design);
+* prover-dispatch wall times (leaves named ``sequential_seconds`` or
+  ``adaptive_seconds``), with a 10 ms absolute noise floor so timer
+  jitter on millisecond-sized rows cannot fail a run.
+
+Any gated leaf that regresses by more than PCT percent (and, for wall
+times, by more than the noise floor) fails the run with exit 1.
 """
 
 import json
@@ -69,6 +75,36 @@ def summarize_sanitizer_overhead(curr_raw):
         print(f"  {name}: dynamic {dyn:.3f}s vs verified {ver:.3f}s (+{pct:.1f}% sanitizer overhead)")
 
 
+def summarize_prover_dispatch(curr_raw):
+    """Report the fixed-sequence vs adaptive-dispatch wall times the
+    runtime bench records for its hard-cone rows (``prover_dispatch``
+    entries): which engine decided each side and what the concurrent
+    race with early-cancel bought."""
+    rows = curr_raw.get("prover_dispatch") if isinstance(curr_raw, dict) else None
+    if not rows:
+        return
+    print("prover dispatch (fixed sequence vs adaptive race):")
+    for row in rows:
+        try:
+            name = row["name"]
+            seq, ada = row["sequential_seconds"], row["adaptive_seconds"]
+            seq_eng, ada_eng = row["sequential_engine"], row["adaptive_engine"]
+            raced, speedup = row["raced"], row["speedup"]
+        except (KeyError, TypeError):
+            continue
+        mode = "raced" if raced else "solo"
+        print(
+            f"  {name}: sequential {seq:.3f}s ({seq_eng}) vs "
+            f"adaptive {ada:.3f}s ({ada_eng}, {mode}) — {speedup:.2f}x"
+        )
+
+
+# Wall-clock leaves are gated with an absolute floor on top of the
+# percentage: a millisecond-sized row can double from scheduler jitter
+# alone, and that is not a regression worth failing CI over.
+WALL_NOISE_FLOOR_SECONDS = 0.010
+
+
 def main():
     max_regress, paths = parse_args(sys.argv[1:])
     if paths is None:
@@ -96,19 +132,23 @@ def main():
     if prev == curr:
         print("  no numeric changes")
     summarize_sanitizer_overhead(curr_raw)
+    summarize_prover_dispatch(curr_raw)
     if max_regress is None:
         return 0
     regressions = []
     for key in keys:
-        if key.rsplit(".", 1)[-1] not in ("launches", "total_launches"):
-            continue
+        leaf = key.rsplit(".", 1)[-1]
         if key not in prev or key not in curr:
             continue
         allowed = prev[key] * (1.0 + max_regress / 100.0)
-        if curr[key] > allowed:
-            regressions.append((key, prev[key], curr[key]))
+        if leaf in ("launches", "total_launches"):
+            if curr[key] > allowed:
+                regressions.append((key, prev[key], curr[key]))
+        elif leaf in ("sequential_seconds", "adaptive_seconds"):
+            if curr[key] > allowed and curr[key] - prev[key] > WALL_NOISE_FLOOR_SECONDS:
+                regressions.append((key, prev[key], curr[key]))
     if regressions:
-        print(f"launch-count regressions beyond {max_regress:g}%:", file=sys.stderr)
+        print(f"gated-leaf regressions beyond {max_regress:g}%:", file=sys.stderr)
         for key, p, c in regressions:
             print(f"  {key}: {p} -> {c}", file=sys.stderr)
         return 1
