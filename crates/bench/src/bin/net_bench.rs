@@ -1,0 +1,401 @@
+//! Saturation benchmark for the TCP front-end: clients-vs-throughput.
+//!
+//! The traffic models the arrangement the multi-client server exists
+//! for: a fleet of clients sweeping the *same* suite of miters — CI
+//! shards or engineers all verifying one design revision. Each phase
+//! uses a fresh suite of structurally distinct random miters written as
+//! AIGER files; every client of the phase submits the whole suite,
+//! starting at a round-robin offset so the first client to reach a
+//! miter proves it and the rest settle from the shared whole-job memo
+//! and miter-file cache. Against that:
+//!
+//! * **Baseline** — one synchronous client driving the stdin `svc`
+//!   binary as a subprocess (the shipped single-client front-end,
+//!   shipped defaults) through its own all-unique suite of the same
+//!   kind of miters: per job, submit → read the ack → drain → read the
+//!   stats event. This is what each client would pay running the suite
+//!   alone — per-user svc processes share nothing. Falls back to an
+//!   in-process submit+wait loop when the binary is not built.
+//! * **Saturation sweep** — an in-process [`NetServer`] with shard
+//!   fusing on, driven by 1, 2, 4, … concurrent pipelining clients on
+//!   mixed lanes. Each phase records throughput and the worker pool's
+//!   busy-window utilization delta.
+//!
+//! Emits `BENCH_net.json` with the full clients-vs-throughput curve.
+//!
+//! Usage: `net_bench [tiny|small|medium] [output.json]`
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use parsweep_aig::random::random_aig;
+use parsweep_aig::write_aiger_file;
+use parsweep_bench::harness::Scale;
+use parsweep_net::{AdmissionConfig, NetClient, NetConfig, NetServer};
+use parsweep_svc::jsonl::{emit_object, get, parse_object, JsonValue};
+use parsweep_svc::{CecService, Lane, SvcConfig};
+
+/// Suite miter shape: `random_aig(COLD_PIS, COLD_ANDS, COLD_POS, seed)`.
+/// Sized so one fresh solve costs a few hundred microseconds — real
+/// prove/disprove work, large against per-job transport overhead.
+const COLD_PIS: usize = 14;
+const COLD_ANDS: usize = 1400;
+const COLD_POS: usize = 12;
+/// Pipelining window per saturation client.
+const WINDOW: usize = 8;
+
+/// One phase's suite: structurally distinct random miters on disk,
+/// submitted by every client of the phase.
+struct Suite {
+    files: Vec<PathBuf>,
+}
+
+impl Suite {
+    /// Writes `count` fresh miters for phase `tag` under `dir`.
+    fn generate(dir: &Path, tag: usize, count: usize) -> Suite {
+        std::fs::create_dir_all(dir).expect("create suite dir");
+        let files = (0..count)
+            .map(|n| {
+                let seed = 0x5eed_0000 + ((tag as u64) << 20) + n as u64;
+                let aig = random_aig(COLD_PIS, COLD_ANDS, COLD_POS, seed);
+                let path = dir.join(format!("suite_{tag}_{n}.aig"));
+                write_aiger_file(&aig, &path).expect("write suite miter");
+                path
+            })
+            .collect();
+        Suite { files }
+    }
+
+    fn submit_line(&self, idx: usize, lane: Lane, id: u64) -> String {
+        let path = self.files[idx].to_string_lossy().into_owned();
+        emit_object(&[
+            ("op", JsonValue::Str("submit".into())),
+            ("miter", JsonValue::Str(path)),
+            ("lane", JsonValue::Str(lane.name().into())),
+            ("id", JsonValue::Num(id as f64)),
+        ])
+    }
+}
+
+struct PhaseResult {
+    clients: usize,
+    jobs: usize,
+    wall: f64,
+    jobs_per_sec: f64,
+    utilization: f64,
+    queued: u64,
+    rejected: u64,
+}
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+
+    let (client_counts, suite_len, baseline_jobs): (&[usize], usize, usize) = match scale {
+        Scale::Tiny => (&[1, 2, 4, 8], 240, 320),
+        Scale::Small => (&[1, 2, 4, 8, 16], 320, 480),
+        Scale::Medium => (&[1, 2, 4, 8, 16, 32], 480, 640),
+    };
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let dir = std::env::temp_dir().join(format!("parsweep_net_bench_{}", std::process::id()));
+    eprintln!(
+        "# net saturation bench ({scale:?}, {workers} workers, \
+         {} suites of {suite_len} + baseline {baseline_jobs} miters)",
+        client_counts.len(),
+    );
+
+    // --- Baseline: synchronous single client over the stdin front-end,
+    // sweeping its own all-unique suite.
+    let baseline_suite = Suite::generate(&dir, 999, baseline_jobs);
+    let (transport, baseline_wall) = run_baseline(&baseline_suite);
+    let baseline_jps = baseline_jobs as f64 / baseline_wall;
+    eprintln!(
+        "baseline ({transport}): {baseline_jobs} jobs in {baseline_wall:.3}s = {baseline_jps:.1} jobs/s"
+    );
+
+    // --- Saturation sweep: one server, phases of 1..N pipelining clients
+    // all sweeping that phase's shared suite.
+    let mut server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            svc: SvcConfig {
+                workers,
+                fuse_threshold: 64,
+                ..SvcConfig::default()
+            },
+            admission: AdmissionConfig {
+                max_in_flight: 16,
+                queue_capacity: 4096,
+                per_client_max: 8,
+            },
+            max_connections: 256,
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+
+    // Transport warmup off the clock (connection setup, first dispatch).
+    {
+        let mut client = NetClient::connect(addr).expect("warmup connect");
+        for corrupt in [false, true] {
+            client
+                .check_demo(3, Lane::Interactive, corrupt)
+                .unwrap()
+                .unwrap();
+        }
+    }
+
+    let mut phases: Vec<PhaseResult> = Vec::new();
+    for (phase, &clients) in client_counts.iter().enumerate() {
+        let suite = std::sync::Arc::new(Suite::generate(&dir, phase, suite_len));
+        let jobs = suite_len * clients;
+        let (busy0, window0) = server.svc().busy_window();
+        let adm0 = server.admission_stats();
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let suite = std::sync::Arc::clone(&suite);
+                std::thread::spawn(move || run_client(addr, &suite, c, clients))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("bench client");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let (busy1, window1) = server.svc().busy_window();
+        let adm1 = server.admission_stats();
+        let busy = (busy1 - busy0).as_secs_f64();
+        let window = (window1 - window0).as_secs_f64();
+        let utilization = if window > 0.0 {
+            (busy / (window * workers as f64)).min(1.0)
+        } else {
+            0.0
+        };
+        let jobs_per_sec = jobs as f64 / wall;
+        eprintln!(
+            "clients {clients:>3}: {jobs} jobs in {wall:.3}s = {jobs_per_sec:>8.1} jobs/s \
+             ({:.2}x baseline), util {utilization:.3}, queued {}, rejected {}",
+            jobs_per_sec / baseline_jps,
+            adm1.queued - adm0.queued,
+            adm1.rejected - adm0.rejected,
+        );
+        phases.push(PhaseResult {
+            clients,
+            jobs,
+            wall,
+            jobs_per_sec,
+            utilization,
+            queued: adm1.queued - adm0.queued,
+            rejected: adm1.rejected - adm0.rejected,
+        });
+    }
+
+    server.stop();
+    let stats = server.svc().stats();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let peak = phases
+        .iter()
+        .filter(|p| p.clients >= 4)
+        .max_by(|a, b| a.jobs_per_sec.total_cmp(&b.jobs_per_sec))
+        .expect("a phase with >=4 clients");
+    let speedup = peak.jobs_per_sec / baseline_jps;
+    eprintln!(
+        "peak: {:.1} jobs/s at {} clients = {speedup:.2}x baseline, util {:.3}",
+        peak.jobs_per_sec, peak.clients, peak.utilization
+    );
+    if speedup < 5.0 {
+        eprintln!("net_bench: WARNING peak speedup {speedup:.2}x below the 5x target");
+    }
+    if peak.utilization < 0.5 {
+        eprintln!(
+            "net_bench: WARNING utilization {:.3} below the 0.5 target",
+            peak.utilization
+        );
+    }
+
+    let mut phases_json = Vec::new();
+    for p in &phases {
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            concat!(
+                "    {{\"clients\": {}, \"jobs\": {}, \"wall_seconds\": {:.6}, ",
+                "\"jobs_per_sec\": {:.3}, \"speedup_vs_baseline\": {:.3}, ",
+                "\"worker_utilization\": {:.6}, \"queued\": {}, \"rejected\": {}}}"
+            ),
+            p.clients,
+            p.jobs,
+            p.wall,
+            p.jobs_per_sec,
+            p.jobs_per_sec / baseline_jps,
+            p.utilization,
+            p.queued,
+            p.rejected,
+        );
+        phases_json.push(j);
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": \"{:?}\",\n",
+            "  \"workers\": {},\n",
+            "  \"traffic\": {{\"suite_jobs_per_phase\": {}, \"clients_share_suite\": true, ",
+            "\"miter\": {{\"pis\": {}, \"ands\": {}, \"pos\": {}}}}},\n",
+            "  \"baseline\": {{\"transport\": \"{}\", \"jobs\": {}, \"wall_seconds\": {:.6}, ",
+            "\"jobs_per_sec\": {:.3}}},\n",
+            "  \"phases\": [\n{}\n  ],\n",
+            "  \"peak\": {{\"clients\": {}, \"jobs_per_sec\": {:.3}, ",
+            "\"speedup_vs_baseline\": {:.3}, \"worker_utilization\": {:.6}}},\n",
+            "  \"jobs_completed\": {},\n",
+            "  \"job_memo_hits\": {},\n",
+            "  \"fused_shards\": {},\n",
+            "  \"fused_dispatches\": {},\n",
+            "  \"cache_hit_rate\": {:.6}\n",
+            "}}\n"
+        ),
+        scale,
+        workers,
+        suite_len,
+        COLD_PIS,
+        COLD_ANDS,
+        COLD_POS,
+        transport,
+        baseline_jobs,
+        baseline_wall,
+        baseline_jps,
+        phases_json.join(",\n"),
+        peak.clients,
+        peak.jobs_per_sec,
+        speedup,
+        peak.utilization,
+        stats.jobs_completed,
+        stats.job_memo_hits,
+        stats.fused_shards,
+        stats.fused_dispatches,
+        stats.cache_hit_rate(),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}
+
+/// One saturation client: sweeps the whole shared suite starting at a
+/// round-robin offset (client `c` of `n` starts `suite_len * c / n` in),
+/// so concurrent clients never submit the same miter at the same
+/// moment — the first to arrive proves it, later ones hit the shared
+/// memo. Fire-and-forget pipelining: submits stream out without waiting
+/// for acks, throttling on *results* (at most [`WINDOW`] unresolved
+/// jobs). The bench sizes the queue so nothing is ever rejected — a
+/// reject here is a config bug and panics.
+fn run_client(addr: SocketAddr, suite: &Suite, client_idx: usize, clients: usize) {
+    let mut client = NetClient::connect(addr).expect("client connect");
+    let n = suite.files.len();
+    let start = n * client_idx / clients;
+    let mut outstanding = 0usize;
+    let drain_one = |client: &mut NetClient, outstanding: &mut usize| loop {
+        let event = client.read_event().expect("event");
+        match get(&event, "event").and_then(JsonValue::as_str) {
+            Some("result") => {
+                *outstanding -= 1;
+                return;
+            }
+            Some("submitted") => {}
+            other => panic!("unexpected event {other:?}: {event:?}"),
+        }
+    };
+    for k in 0..n {
+        // Lanes alternate per job, not per client: interactive jobs get
+        // priority, so a client stuck all-batch would fall behind the
+        // all-interactive ones until their suite frontiers collide and
+        // they duplicate in-flight work.
+        let lane = if (client_idx + k).is_multiple_of(2) {
+            Lane::Interactive
+        } else {
+            Lane::Batch
+        };
+        let line = suite.submit_line((start + k) % n, lane, k as u64 + 1);
+        client.send_line(&line).expect("submit");
+        outstanding += 1;
+        while outstanding >= WINDOW {
+            drain_one(&mut client, &mut outstanding);
+        }
+    }
+    while outstanding > 0 {
+        drain_one(&mut client, &mut outstanding);
+    }
+}
+
+/// Runs the synchronous single-client baseline; returns the transport
+/// label and the timed wall seconds.
+fn run_baseline(suite: &Suite) -> (String, f64) {
+    match try_subprocess_baseline(suite) {
+        Some(wall) => ("stdin-subprocess".into(), wall),
+        None => {
+            eprintln!("net_bench: svc binary not found, using in-process baseline");
+            ("in-process".into(), inprocess_baseline(suite))
+        }
+    }
+}
+
+/// The shipped front-end as a subprocess: per job a synchronous
+/// submit→ack→drain→stats exchange over its stdio pipes.
+fn try_subprocess_baseline(suite: &Suite) -> Option<f64> {
+    let svc_path = std::env::current_exe().ok()?.parent()?.join("svc");
+    if !svc_path.exists() {
+        return None;
+    }
+    let mut child = std::process::Command::new(&svc_path)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .ok()?;
+    let mut stdin = child.stdin.take().expect("child stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout")).lines();
+    let mut round_trip = |line: &str, until: &str| {
+        writeln!(stdin, "{line}").expect("write to svc");
+        for reply in stdout.by_ref() {
+            let reply = reply.expect("read from svc");
+            let fields = parse_object(&reply).expect("svc event");
+            match get(&fields, "event").and_then(JsonValue::as_str) {
+                Some(e) if e == until => return,
+                Some("error") => panic!("svc error: {reply}"),
+                _ => {}
+            }
+        }
+        panic!("svc closed its pipe early");
+    };
+    // Transport warmup off the clock, mirroring the server phases'.
+    round_trip(r#"{"op":"submit","demo":"adder","width":3}"#, "submitted");
+    round_trip(r#"{"op":"drain"}"#, "stats");
+    let start = Instant::now();
+    for idx in 0..suite.files.len() {
+        round_trip(&suite.submit_line(idx, Lane::Interactive, 0), "submitted");
+        round_trip(r#"{"op":"drain"}"#, "stats");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    drop(stdin);
+    let _ = child.wait();
+    Some(wall)
+}
+
+/// In-process fallback baseline: the same synchronous one-job-at-a-time
+/// cadence against a bare service with shipped defaults.
+fn inprocess_baseline(suite: &Suite) -> f64 {
+    let svc = CecService::new(SvcConfig::default());
+    let start = Instant::now();
+    for path in &suite.files {
+        let id = svc.submit(parsweep_aig::read_aiger_file(path).expect("suite miter"));
+        svc.wait(id);
+    }
+    start.elapsed().as_secs_f64()
+}

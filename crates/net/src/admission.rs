@@ -1,0 +1,505 @@
+//! Admission control with backpressure and per-client fairness.
+//!
+//! The server cannot let every connection pour jobs straight into the
+//! service: one bulk client would fill the worker queues and every other
+//! client's latency would go to the moon. [`Admission`] sits between the
+//! protocol and [`parsweep_svc::CecService`] and enforces three things:
+//!
+//! * **A bounded in-flight budget.** At most `max_in_flight` jobs run in
+//!   the service at once. An offer beyond the budget is *queued*; an
+//!   offer beyond the queue bound is *rejected* with a `retry_after_ms`
+//!   hint derived from an EWMA of recent job durations.
+//! * **Two priority lanes.** `interactive` drains ahead of `batch`, but
+//!   one grant in every [`BATCH_SHARE`] prefers batch, so bulk traffic
+//!   keeps flowing under an interactive flood (the mirror image of the
+//!   worker pool's lane rotation).
+//! * **Round-robin across clients, with quotas.** Within a lane, queued
+//!   jobs drain one client at a time in rotation — a client with 100
+//!   queued jobs gets the same grant rate as one with 2 — and no client
+//!   holds more than `per_client_max` in-flight jobs, so even an empty
+//!   queue cannot be monopolized.
+//!
+//! The controller is payload-generic and lock-simple (one mutex, no
+//! internal threads): `offer` and `settle` both return the [`Grant`]s
+//! they unblocked, and the *caller* submits those to the service outside
+//! the lock.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use parsweep_svc::Lane;
+
+/// One queued-or-granted grant prefers the batch lane out of every
+/// `BATCH_SHARE` grants (the rest prefer interactive).
+pub const BATCH_SHARE: u64 = 4;
+
+/// Admission-control parameters.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Jobs allowed in the service at once (the backpressure budget).
+    pub max_in_flight: usize,
+    /// Queued jobs allowed per lane before offers are rejected.
+    pub queue_capacity: usize,
+    /// In-flight jobs allowed per client (the fairness quota).
+    pub per_client_max: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight: 8,
+            queue_capacity: 64,
+            per_client_max: 4,
+        }
+    }
+}
+
+/// The verdict on one [`Admission::offer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The offered job itself was granted immediately.
+    Accepted,
+    /// The job was queued; `depth` jobs sit ahead of it in its lane.
+    Queued {
+        /// Queued jobs ahead of this one in the same lane.
+        depth: usize,
+    },
+    /// The lane's queue is full; retry after roughly this many ms.
+    Rejected {
+        /// Backoff hint from the recent-job-duration EWMA and the
+        /// current backlog.
+        retry_after_ms: u64,
+    },
+}
+
+/// A job released by the controller: submit it to the service now.
+pub struct Grant<T> {
+    /// The client the job belongs to.
+    pub client: u64,
+    /// The lane it was queued on.
+    pub lane: Lane,
+    /// The caller's payload, returned verbatim.
+    pub payload: T,
+}
+
+/// Counter snapshot for metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Offers granted immediately.
+    pub accepted: u64,
+    /// Offers that waited in a lane queue first.
+    pub queued: u64,
+    /// Offers turned away with a retry hint.
+    pub rejected: u64,
+    /// Jobs currently running in the service.
+    pub in_flight: usize,
+    /// Jobs currently waiting, per lane (`[interactive, batch]`).
+    pub queue_depth: [usize; 2],
+}
+
+struct QueuedJob<T> {
+    client: u64,
+    payload: T,
+}
+
+/// One lane's queue: per-client FIFOs drained round-robin.
+struct LaneQueue<T> {
+    /// Client rotation order; a client appears at most once.
+    rotation: VecDeque<u64>,
+    items: HashMap<u64, VecDeque<QueuedJob<T>>>,
+    len: usize,
+}
+
+impl<T> LaneQueue<T> {
+    fn new() -> Self {
+        LaneQueue {
+            rotation: VecDeque::new(),
+            items: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, job: QueuedJob<T>) {
+        let per_client = self.items.entry(job.client).or_default();
+        if per_client.is_empty() && !self.rotation.contains(&job.client) {
+            self.rotation.push_back(job.client);
+        }
+        per_client.push_back(job);
+        self.len += 1;
+    }
+
+    /// Pops the next job in client rotation, skipping clients at quota.
+    /// The served client moves to the back of the rotation.
+    fn pop_fair(&mut self, at_quota: impl Fn(u64) -> bool) -> Option<QueuedJob<T>> {
+        for _ in 0..self.rotation.len() {
+            let client = *self.rotation.front()?;
+            let queue = self.items.get_mut(&client);
+            let empty = queue.as_ref().is_none_or(|q| q.is_empty());
+            if empty {
+                self.rotation.pop_front();
+                self.items.remove(&client);
+                continue;
+            }
+            if at_quota(client) {
+                self.rotation.rotate_left(1);
+                continue;
+            }
+            let queue = queue.expect("non-empty checked");
+            let job = queue.pop_front().expect("non-empty checked");
+            self.len -= 1;
+            if queue.is_empty() {
+                self.items.remove(&client);
+                self.rotation.pop_front();
+            } else {
+                self.rotation.rotate_left(1);
+            }
+            return Some(job);
+        }
+        None
+    }
+
+    fn purge(&mut self, client: u64) -> Vec<T> {
+        let drained: Vec<T> = self
+            .items
+            .remove(&client)
+            .map(|q| q.into_iter().map(|j| j.payload).collect())
+            .unwrap_or_default();
+        self.len -= drained.len();
+        self.rotation.retain(|&c| c != client);
+        drained
+    }
+}
+
+struct State<T> {
+    in_flight: usize,
+    per_client: HashMap<u64, usize>,
+    lanes: [LaneQueue<T>; 2],
+    grants: u64,
+    /// EWMA of settled-job durations, in microseconds (seed: 5ms).
+    ewma_job_micros: f64,
+    accepted: u64,
+    queued: u64,
+    rejected: u64,
+}
+
+/// The admission controller. See the module docs for the policy.
+pub struct Admission<T> {
+    cfg: AdmissionConfig,
+    state: Mutex<State<T>>,
+}
+
+impl<T> Admission<T> {
+    /// A controller with the given bounds.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission {
+            cfg,
+            state: Mutex::new(State {
+                in_flight: 0,
+                per_client: HashMap::new(),
+                lanes: [LaneQueue::new(), LaneQueue::new()],
+                grants: 0,
+                ewma_job_micros: 5_000.0,
+                accepted: 0,
+                queued: 0,
+                rejected: 0,
+            }),
+        }
+    }
+
+    /// Offers one job. The [`Decision`] concerns the offered job itself;
+    /// the returned grants are *other* (queued) jobs the attempt
+    /// unblocked — submit every one of them, then (on `Accepted`) the
+    /// offered payload is the last grant in the list.
+    pub fn offer(&self, client: u64, lane: Lane, payload: T) -> (Decision, Vec<Grant<T>>) {
+        let mut st = self.state.lock().unwrap();
+        // Drain whatever is already eligible, so an idle-but-backlogged
+        // controller never lets a newcomer jump the queue.
+        let mut grants = self.pump(&mut st);
+        let quota_free = st.per_client.get(&client).copied().unwrap_or(0) < self.cfg.per_client_max;
+        // After the pump, every still-queued job is blocked (budget or
+        // its client's quota) — so accepting here never jumps an
+        // eligible job, and a budget-free offer from an under-quota
+        // client implies that client has nothing queued either.
+        if st.in_flight < self.cfg.max_in_flight && quota_free {
+            st.in_flight += 1;
+            *st.per_client.entry(client).or_insert(0) += 1;
+            st.grants += 1;
+            st.accepted += 1;
+            grants.push(Grant {
+                client,
+                lane,
+                payload,
+            });
+            return (Decision::Accepted, grants);
+        }
+        let depth = st.lanes[lane.index()].len;
+        if depth < self.cfg.queue_capacity {
+            st.lanes[lane.index()].push(QueuedJob { client, payload });
+            st.queued += 1;
+            return (Decision::Queued { depth }, grants);
+        }
+        st.rejected += 1;
+        let retry_after_ms = self.retry_hint(&st);
+        (Decision::Rejected { retry_after_ms }, grants)
+    }
+
+    /// Records one settled job (releasing budget and the client's quota
+    /// slot) and returns the queued jobs that freed up.
+    pub fn settle(&self, client: u64, duration: Duration) -> Vec<Grant<T>> {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight = st.in_flight.saturating_sub(1);
+        if let Some(count) = st.per_client.get_mut(&client) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                st.per_client.remove(&client);
+            }
+        }
+        // EWMA with alpha 1/8: smooth enough to ride out one slow job,
+        // fresh enough to track a workload shift within ~10 jobs.
+        let micros = duration.as_secs_f64() * 1e6;
+        st.ewma_job_micros += (micros - st.ewma_job_micros) / 8.0;
+        self.pump(&mut st)
+    }
+
+    /// Drops a disconnected client's *queued* jobs (in-flight ones still
+    /// settle normally) and returns their payloads plus any grants the
+    /// freed queue slots unblocked.
+    pub fn purge_client(&self, client: u64) -> (Vec<T>, Vec<Grant<T>>) {
+        let mut st = self.state.lock().unwrap();
+        let mut dropped = Vec::new();
+        for lane in &mut st.lanes {
+            dropped.extend(lane.purge(client));
+        }
+        let grants = self.pump(&mut st);
+        (dropped, grants)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        let st = self.state.lock().unwrap();
+        AdmissionStats {
+            accepted: st.accepted,
+            queued: st.queued,
+            rejected: st.rejected,
+            in_flight: st.in_flight,
+            queue_depth: [st.lanes[0].len, st.lanes[1].len],
+        }
+    }
+
+    /// The backoff a rejected client should observe right now.
+    pub fn current_retry_hint_ms(&self) -> u64 {
+        self.retry_hint(&self.state.lock().unwrap())
+    }
+
+    /// Expected time until the backlog ahead of a new arrival drains:
+    /// `(in_flight + queued) * ewma_job_time / max_in_flight`, clamped
+    /// to [1ms, 60s].
+    fn retry_hint(&self, st: &State<T>) -> u64 {
+        let backlog = st.in_flight + st.lanes[0].len + st.lanes[1].len;
+        let ms =
+            (backlog as f64 * st.ewma_job_micros) / (self.cfg.max_in_flight.max(1) as f64 * 1e3);
+        (ms.ceil() as u64).clamp(1, 60_000)
+    }
+
+    /// Grants queued jobs while budget allows, honoring lane weighting
+    /// and client rotation. Caller holds the lock.
+    fn pump(&self, st: &mut State<T>) -> Vec<Grant<T>> {
+        let mut grants = Vec::new();
+        while st.in_flight < self.cfg.max_in_flight {
+            // Every BATCH_SHARE-th grant prefers batch, mirroring the
+            // worker pool's anti-starvation rotation.
+            let order = if st.grants % BATCH_SHARE == BATCH_SHARE - 1 {
+                [Lane::Batch, Lane::Interactive]
+            } else {
+                [Lane::Interactive, Lane::Batch]
+            };
+            let mut granted = false;
+            for lane in order {
+                let per_client = &st.per_client;
+                let quota = self.cfg.per_client_max;
+                let job = st.lanes[lane.index()]
+                    .pop_fair(|c| per_client.get(&c).copied().unwrap_or(0) >= quota);
+                if let Some(job) = job {
+                    st.in_flight += 1;
+                    *st.per_client.entry(job.client).or_insert(0) += 1;
+                    st.grants += 1;
+                    grants.push(Grant {
+                        client: job.client,
+                        lane,
+                        payload: job.payload,
+                    });
+                    granted = true;
+                    break;
+                }
+            }
+            if !granted {
+                break;
+            }
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_in_flight: usize, queue_capacity: usize, per_client_max: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            max_in_flight,
+            queue_capacity,
+            per_client_max,
+        }
+    }
+
+    fn offer(a: &Admission<u32>, client: u64, lane: Lane, payload: u32) -> Decision {
+        let (d, grants) = a.offer(client, lane, payload);
+        // Tests drive the controller synchronously; unblocked grants are
+        // settled by the test when it wants them to finish.
+        assert!(
+            grants.len() <= 1 || matches!(d, Decision::Accepted),
+            "offers in these tests never unblock queued work"
+        );
+        d
+    }
+
+    #[test]
+    fn budget_accepts_then_queues_then_rejects() {
+        let a: Admission<u32> = Admission::new(cfg(2, 2, 8));
+        assert_eq!(offer(&a, 1, Lane::Interactive, 0), Decision::Accepted);
+        assert_eq!(offer(&a, 1, Lane::Interactive, 1), Decision::Accepted);
+        assert_eq!(
+            offer(&a, 1, Lane::Interactive, 2),
+            Decision::Queued { depth: 0 }
+        );
+        assert_eq!(
+            offer(&a, 1, Lane::Interactive, 3),
+            Decision::Queued { depth: 1 }
+        );
+        match offer(&a, 1, Lane::Interactive, 4) {
+            Decision::Rejected { retry_after_ms } => assert!(retry_after_ms >= 1),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let stats = a.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.queued, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.queue_depth, [2, 0]);
+    }
+
+    #[test]
+    fn settle_grants_queued_fifo() {
+        let a: Admission<u32> = Admission::new(cfg(1, 8, 8));
+        assert_eq!(offer(&a, 1, Lane::Interactive, 10), Decision::Accepted);
+        offer(&a, 1, Lane::Interactive, 11);
+        offer(&a, 1, Lane::Interactive, 12);
+        let grants = a.settle(1, Duration::from_millis(1));
+        assert_eq!(grants.len(), 1, "budget 1: exactly one grant per settle");
+        assert_eq!(grants[0].payload, 11);
+        let grants = a.settle(1, Duration::from_millis(1));
+        assert_eq!(grants[0].payload, 12);
+    }
+
+    #[test]
+    fn rotation_alternates_between_flooder_and_light_client() {
+        let a: Admission<u32> = Admission::new(cfg(1, 64, 64));
+        assert_eq!(offer(&a, 1, Lane::Batch, 0), Decision::Accepted);
+        // Client 1 floods; client 2 queues two jobs behind the flood.
+        for i in 1..=10 {
+            offer(&a, 1, Lane::Batch, i);
+        }
+        offer(&a, 2, Lane::Batch, 100);
+        offer(&a, 2, Lane::Batch, 101);
+        let mut order = Vec::new();
+        for _ in 0..12 {
+            for g in a.settle(order.last().copied().unwrap_or(1), Duration::from_millis(1)) {
+                order.push(g.client);
+            }
+        }
+        // Client 2's two jobs must both land within the first four
+        // grants: round-robin, not FIFO-behind-the-flood.
+        let first_four: Vec<u64> = order.iter().take(4).copied().collect();
+        assert_eq!(
+            first_four.iter().filter(|&&c| c == 2).count(),
+            2,
+            "order: {order:?}"
+        );
+    }
+
+    #[test]
+    fn batch_gets_a_share_under_interactive_pressure() {
+        let a: Admission<u32> = Admission::new(cfg(1, 64, 64));
+        assert_eq!(offer(&a, 1, Lane::Interactive, 0), Decision::Accepted);
+        for i in 1..=10 {
+            offer(&a, 1, Lane::Interactive, i);
+        }
+        offer(&a, 2, Lane::Batch, 100);
+        let mut lanes = Vec::new();
+        for _ in 0..8 {
+            for g in a.settle(1, Duration::from_millis(1)) {
+                lanes.push(g.lane);
+            }
+        }
+        let batch_pos = lanes
+            .iter()
+            .position(|&l| l == Lane::Batch)
+            .expect("batch job granted");
+        assert!(
+            batch_pos < BATCH_SHARE as usize,
+            "batch waited {batch_pos} grants under flood: {lanes:?}"
+        );
+    }
+
+    #[test]
+    fn per_client_quota_queues_even_with_free_budget() {
+        let a: Admission<u32> = Admission::new(cfg(8, 8, 2));
+        assert_eq!(offer(&a, 1, Lane::Interactive, 0), Decision::Accepted);
+        assert_eq!(offer(&a, 1, Lane::Interactive, 1), Decision::Accepted);
+        // Budget has 6 free slots, but client 1 is at quota.
+        assert!(matches!(
+            offer(&a, 1, Lane::Interactive, 2),
+            Decision::Queued { .. }
+        ));
+        // A different client sails through — even with client 1 queued,
+        // because client 1's queued job is quota-blocked, not eligible.
+        let (d, grants) = a.offer(2, Lane::Interactive, 100);
+        assert_eq!(d, Decision::Accepted);
+        assert_eq!(grants.len(), 1);
+        // Once client 1 settles one job, its queued job is granted.
+        let grants = a.settle(1, Duration::from_millis(1));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].payload, 2);
+    }
+
+    #[test]
+    fn purge_drops_only_queued_jobs() {
+        let a: Admission<u32> = Admission::new(cfg(1, 8, 8));
+        assert_eq!(offer(&a, 1, Lane::Interactive, 0), Decision::Accepted);
+        offer(&a, 1, Lane::Interactive, 1);
+        offer(&a, 2, Lane::Interactive, 100);
+        let (dropped, grants) = a.purge_client(1);
+        assert_eq!(dropped, vec![1]);
+        assert!(grants.is_empty(), "budget still held by client 1");
+        // Client 1's in-flight job settles; client 2's queued job drains.
+        let grants = a.settle(1, Duration::from_millis(1));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].client, 2);
+        assert_eq!(a.stats().queue_depth, [0, 0]);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog() {
+        let a: Admission<u32> = Admission::new(cfg(1, 4, 8));
+        assert_eq!(offer(&a, 1, Lane::Interactive, 0), Decision::Accepted);
+        let small = a.current_retry_hint_ms();
+        for i in 0..4 {
+            offer(&a, 1, Lane::Interactive, i);
+        }
+        let large = a.current_retry_hint_ms();
+        assert!(
+            large > small,
+            "deeper backlog must push the hint up: {small} vs {large}"
+        );
+    }
+}

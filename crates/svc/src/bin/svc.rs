@@ -7,33 +7,39 @@
 //! * `{"op":"submit","left":"a.aag","right":"b.aag"}` — miter two files;
 //! * `{"op":"submit","demo":"adder","width":8}` — built-in demo miter
 //!   (two structurally different `width`-bit adders), handy offline;
-//! * any submit may add `"deadline_ms":N` and `"corrupt":true` (demo
-//!   only: flips a PO so the miter is disproved);
+//! * any submit may add `"deadline_ms":N`, `"lane":"interactive"|"batch"`
+//!   (scheduling priority), `"id":N` (echoed on the response) and
+//!   `"corrupt":true` (demo only: flips a PO so the miter is disproved);
 //! * `{"op":"drain"}` — settle all outstanding jobs, emit their results;
 //! * `{"op":"stats"}` — emit the service counters;
 //! * `{"op":"metrics"}` — emit a Prometheus-style text snapshot of the
 //!   service counters and latency histograms (as the `text` field of the
 //!   response event).
 //!
-//! EOF performs a final drain (with stats) and exits. Flags:
-//! `--workers N`, `--exec-threads N`, `--deadline-ms N` (default for
-//! submits without one), `--sat` (SAT fallback on undecided shards),
-//! `--prover sequential|adaptive` (how undecided shards are finished:
-//! the fixed engine sequence, or the service-wide adaptive dispatcher
-//! with per-class engine racing; sequential is the default),
-//! `--connected` (shard by connected components instead of per output),
-//! `--cache-capacity N` (result-cache LRU bound, 0 disables caching),
-//! `--trace PATH` (write a Chrome-trace JSON of the whole run at exit;
-//! also honoured from the `PARSWEEP_TRACE` environment variable; needs a
-//! build with the `trace` feature to record anything).
+//! EOF, SIGINT, SIGTERM, and a broken stdout pipe all take the same
+//! graceful exit: stop reading requests, drain every job still in
+//! flight, emit their results and a final stats event. This is the thin
+//! single-client wrapper over the shared front-end core
+//! ([`parsweep_svc::frontend`]); the multi-client TCP server
+//! (`parsweep-net`) layers admission control and fairness over the same
+//! core. Flags: `--workers N`, `--exec-threads N`, `--deadline-ms N`
+//! (default for submits without one), `--sat` (SAT fallback on undecided
+//! shards), `--prover sequential|adaptive` (how undecided shards are
+//! finished), `--connected` (shard by connected components instead of
+//! per output), `--fuse-threshold N` (batch cone shards below N nodes
+//! into fused dispatches; 0 disables), `--cache-capacity N`
+//! (result-cache LRU bound, 0 disables caching), `--trace PATH` (write a
+//! Chrome-trace JSON of the whole run at exit; also honoured from the
+//! `PARSWEEP_TRACE` environment variable; needs a build with the `trace`
+//! feature to record anything).
 
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
-use parsweep_aig::{miter, read_aiger_file, Aig, Lit};
-use parsweep_sat::{ProverMode, Verdict};
-use parsweep_svc::jsonl::{emit_object, get, parse_object, JsonValue};
-use parsweep_svc::{CecService, JobResult, ShardPolicy, SvcConfig};
+use parsweep_sat::ProverMode;
+use parsweep_svc::frontend::{handle_request, result_fields, stats_fields, MiterCache};
+use parsweep_svc::jsonl::{emit_object, JsonValue};
+use parsweep_svc::{shutdown, CecService, ShardPolicy, SvcConfig};
 use parsweep_trace as trace;
 
 fn main() {
@@ -66,13 +72,14 @@ fn main() {
                 });
             }
             "--connected" => cfg.shard_policy = ShardPolicy::Connected,
+            "--fuse-threshold" => cfg.fuse_threshold = num("--fuse-threshold"),
             "--cache-capacity" => cfg.cache_capacity = num("--cache-capacity"),
             "--trace" => trace_path = Some(next("--trace")),
             "--help" | "-h" => {
                 println!(
                     "usage: svc [--workers N] [--exec-threads N] [--deadline-ms N] [--sat] \
-                     [--prover sequential|adaptive] [--connected] [--cache-capacity N] \
-                     [--trace PATH]"
+                     [--prover sequential|adaptive] [--connected] [--fuse-threshold N] \
+                     [--cache-capacity N] [--trace PATH]"
                 );
                 println!("reads JSON-lines requests on stdin; see module docs");
                 return;
@@ -91,12 +98,17 @@ fn main() {
         }
     }
 
+    shutdown::install_signal_handlers();
     let svc = CecService::new(cfg);
+    let files = MiterCache::default();
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
 
     for line in stdin.lock().lines() {
+        if shutdown::requested() {
+            break;
+        }
         let line = match line {
             Ok(l) => l,
             Err(_) => break,
@@ -104,31 +116,33 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        match handle_request(&svc, &line) {
-            Ok(events) => {
-                for event in events {
-                    let _ = writeln!(out, "{event}");
-                }
-            }
-            Err(msg) => {
-                let _ = writeln!(
-                    out,
-                    "{}",
-                    emit_object(&[
-                        ("event", JsonValue::Str("error".into())),
-                        ("message", JsonValue::Str(msg)),
-                    ])
-                );
-            }
+        let events = match handle_request(&svc, &files, &line) {
+            Ok(events) => events,
+            Err(msg) => vec![emit_object(&[
+                ("event", JsonValue::Str("error".into())),
+                ("message", JsonValue::Str(msg)),
+            ])],
+        };
+        let mut broken = false;
+        for event in events {
+            // Rust ignores SIGPIPE, so a consumer hanging up surfaces
+            // here as a write error: treat it like a shutdown request.
+            broken |= writeln!(out, "{event}").is_err();
         }
-        let _ = out.flush();
+        broken |= out.flush().is_err();
+        if broken {
+            shutdown::request();
+            break;
+        }
     }
 
-    // EOF: settle everything still in flight.
+    // EOF, signal, or broken pipe: settle everything still in flight and
+    // report. Writes may fail if the pipe is gone; draining still runs so
+    // in-flight work finishes (and a trace, if any, is complete).
     for result in svc.drain() {
-        let _ = writeln!(out, "{}", result_event(&result));
+        let _ = writeln!(out, "{}", emit_object(&result_fields(&result)));
     }
-    let _ = writeln!(out, "{}", stats_event(&svc));
+    let _ = writeln!(out, "{}", emit_object(&stats_fields(&svc)));
     let _ = out.flush();
 
     if let Some(path) = trace_path.filter(|_| trace::compiled()) {
@@ -143,153 +157,4 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("svc: {msg}");
     std::process::exit(2);
-}
-
-fn handle_request(svc: &CecService, line: &str) -> Result<Vec<String>, String> {
-    let fields = parse_object(line).map_err(|e| e.to_string())?;
-    let op = get(&fields, "op")
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| "missing 'op'".to_string())?;
-    match op {
-        "submit" => {
-            let m = load_miter(&fields)?;
-            let deadline = get(&fields, "deadline_ms")
-                .and_then(JsonValue::as_f64)
-                .map(|ms| Duration::from_millis(ms.max(0.0) as u64));
-            let id = match deadline {
-                Some(d) => svc.submit_with_deadline(m, Some(d)),
-                None => svc.submit(m),
-            };
-            Ok(vec![emit_object(&[
-                ("event", JsonValue::Str("submitted".into())),
-                ("job", JsonValue::Num(id.0 as f64)),
-            ])])
-        }
-        "drain" => {
-            let mut events: Vec<String> = svc.drain().iter().map(result_event).collect();
-            events.push(stats_event(svc));
-            Ok(events)
-        }
-        "stats" => Ok(vec![stats_event(svc)]),
-        "metrics" => Ok(vec![emit_object(&[
-            ("event", JsonValue::Str("metrics".into())),
-            ("text", JsonValue::Str(svc.metrics_text())),
-        ])]),
-        other => Err(format!("unknown op '{other}'")),
-    }
-}
-
-fn load_miter(fields: &[(String, JsonValue)]) -> Result<Aig, String> {
-    if let Some(path) = get(fields, "miter").and_then(JsonValue::as_str) {
-        return read_aiger_file(path).map_err(|e| format!("{path}: {e:?}"));
-    }
-    if let (Some(left), Some(right)) = (
-        get(fields, "left").and_then(JsonValue::as_str),
-        get(fields, "right").and_then(JsonValue::as_str),
-    ) {
-        let a = read_aiger_file(left).map_err(|e| format!("{left}: {e:?}"))?;
-        let b = read_aiger_file(right).map_err(|e| format!("{right}: {e:?}"))?;
-        return miter(&a, &b).map_err(|e| format!("miter: {e:?}"));
-    }
-    if let Some(demo) = get(fields, "demo").and_then(JsonValue::as_str) {
-        let width = get(fields, "width")
-            .and_then(JsonValue::as_f64)
-            .map(|w| w as usize)
-            .unwrap_or(8)
-            .clamp(1, 256);
-        let corrupt = get(fields, "corrupt")
-            .and_then(JsonValue::as_bool)
-            .unwrap_or(false);
-        return demo_miter(demo, width, corrupt);
-    }
-    Err("submit needs 'miter', 'left'+'right', or 'demo'".into())
-}
-
-/// Two structurally different `width`-bit adders, mitered; `corrupt`
-/// flips one PO so the miter is satisfiable.
-fn demo_miter(kind: &str, width: usize, corrupt: bool) -> Result<Aig, String> {
-    if kind != "adder" {
-        return Err(format!("unknown demo '{kind}' (try \"adder\")"));
-    }
-    let a = demo_adder(width, true);
-    let mut b = demo_adder(width, false);
-    if corrupt {
-        let po0 = b.po(0);
-        b.set_po(0, !po0);
-    }
-    miter(&a, &b).map_err(|e| format!("miter: {e:?}"))
-}
-
-fn demo_adder(width: usize, ripple: bool) -> Aig {
-    let mut aig = Aig::new();
-    let a = aig.add_inputs(width);
-    let b = aig.add_inputs(width);
-    let mut carry = Lit::FALSE;
-    for i in 0..width {
-        let axb = aig.xor(a[i], b[i]);
-        let sum = aig.xor(axb, carry);
-        carry = if ripple {
-            let t = aig.and(a[i], b[i]);
-            let u = aig.and(axb, carry);
-            aig.or(t, u)
-        } else {
-            aig.maj3(a[i], b[i], carry)
-        };
-        aig.add_po(sum);
-    }
-    aig.add_po(carry);
-    aig
-}
-
-fn result_event(result: &JobResult) -> String {
-    let verdict = match &result.verdict {
-        Verdict::Equivalent => "equivalent",
-        Verdict::NotEquivalent(_) => "not-equivalent",
-        Verdict::Undecided => "undecided",
-    };
-    let mut fields = vec![
-        ("event", JsonValue::Str("result".into())),
-        ("job", JsonValue::Num(result.id.0 as f64)),
-        ("verdict", JsonValue::Str(verdict.into())),
-        ("shards", JsonValue::Num(result.stats.shards as f64)),
-        ("cache_hits", JsonValue::Num(result.stats.cache_hits as f64)),
-        (
-            "cache_misses",
-            JsonValue::Num(result.stats.cache_misses as f64),
-        ),
-        (
-            "queue_wait_ms",
-            JsonValue::Num(result.stats.queue_wait.as_secs_f64() * 1000.0),
-        ),
-        (
-            "total_ms",
-            JsonValue::Num(result.stats.total.as_secs_f64() * 1000.0),
-        ),
-        ("cancelled", JsonValue::Bool(result.stats.cancelled)),
-    ];
-    if let Verdict::NotEquivalent(cex) = &result.verdict {
-        let bits: String = cex
-            .inputs()
-            .iter()
-            .map(|&b| if b { '1' } else { '0' })
-            .collect();
-        fields.push(("cex", JsonValue::Str(bits)));
-    }
-    emit_object(&fields)
-}
-
-fn stats_event(svc: &CecService) -> String {
-    let s = svc.stats();
-    emit_object(&[
-        ("event", JsonValue::Str("stats".into())),
-        ("jobs_submitted", JsonValue::Num(s.jobs_submitted as f64)),
-        ("jobs_completed", JsonValue::Num(s.jobs_completed as f64)),
-        ("shards", JsonValue::Num(s.shards_total as f64)),
-        ("cache_hits", JsonValue::Num(s.cache_hits as f64)),
-        ("cache_misses", JsonValue::Num(s.cache_misses as f64)),
-        ("cache_hit_rate", JsonValue::Num(s.cache_hit_rate())),
-        ("cache_evictions", JsonValue::Num(s.cache_evictions as f64)),
-        ("cancellations", JsonValue::Num(s.cancellations as f64)),
-        ("worker_utilization", JsonValue::Num(s.worker_utilization)),
-    ])
 }

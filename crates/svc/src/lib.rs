@@ -43,12 +43,16 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod frontend;
 pub mod jsonl;
 mod pool;
 mod service;
 mod shard;
+pub mod shutdown;
 
 pub use cache::{ResultCache, RoutingInfo, CACHE_ENTRY_VERSION, DEFAULT_CACHE_CAPACITY};
-pub use pool::WorkerPool;
-pub use service::{CecService, JobId, JobResult, JobStats, SvcConfig, SvcStats};
+pub use pool::{Lane, WorkerPool};
+pub use service::{
+    CecService, ClientStats, JobId, JobResult, JobStats, SubmitOpts, SvcConfig, SvcStats,
+};
 pub use shard::{shard_miter, Shard, ShardPolicy};

@@ -1,10 +1,24 @@
-//! A work-stealing worker pool on std primitives.
+//! A lane-aware work-stealing worker pool on std primitives.
 //!
-//! Each worker owns a deque; submission round-robins jobs across the
-//! deques, a worker pops its own deque from the front and steals from the
-//! back of others when idle. A single gate (mutex + condvar over the
-//! pending-job count) puts truly idle workers to sleep without a lost
-//! wakeup: a worker only waits while the pending count is zero.
+//! Each worker owns one deque *per priority lane*; submission round-robins
+//! jobs across the deques of the job's lane, a worker pops its own deque
+//! from the front and steals from the back of others when idle. A single
+//! gate (mutex + condvar over the pending-job count) puts truly idle
+//! workers to sleep without a lost wakeup: a worker only waits while the
+//! pending count is zero.
+//!
+//! **Lanes** ([`Lane`]): interactive work is preferred over batch work,
+//! but not absolutely — every [`BATCH_SHARE`]'th dequeue checks the batch
+//! deques first, so a flood of interactive jobs cannot starve batch work
+//! entirely, while batch floods never delay interactive jobs by more than
+//! the job currently executing.
+//!
+//! **Utilization accounting**: busy time is measured against the pool's
+//! *active window* — from the first job dequeue to the last job settle
+//! (extended to "now" while anything is pending or running) — not against
+//! whole-process wall clock. A service that sits idle between bursts
+//! therefore reports how busy its workers were *while there was work*,
+//! which is the number a saturation bench needs.
 //!
 //! The pool exists to multiplex many *small* sub-jobs (sharded CEC cones)
 //! over a few OS threads; jobs are plain `FnOnce(worker)` closures — the
@@ -16,9 +30,62 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// Priority lane of a submitted job.
+///
+/// Interactive work is drained preferentially (see [`BATCH_SHARE`]);
+/// batch work fills whatever capacity remains, with an anti-starvation
+/// share so heavy interactive traffic cannot park batch jobs forever.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Latency-sensitive traffic: drained first.
+    #[default]
+    Interactive,
+    /// Throughput traffic: drained when no interactive work is queued,
+    /// plus a guaranteed share of dequeues under contention.
+    Batch,
+}
+
+impl Lane {
+    /// Both lanes, interactive first.
+    pub const ALL: [Lane; 2] = [Lane::Interactive, Lane::Batch];
+
+    /// Dense index (0 = interactive, 1 = batch) for per-lane arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Lane::Interactive => 0,
+            Lane::Batch => 1,
+        }
+    }
+
+    /// Wire name, as used in the JSONL protocol's `"lane"` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Batch => "batch",
+        }
+    }
+
+    /// Parses a wire name; `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Lane> {
+        match name {
+            "interactive" => Some(Lane::Interactive),
+            "batch" => Some(Lane::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Every `BATCH_SHARE`'th dequeue prefers the batch lane, so batch work
+/// keeps a guaranteed 1/`BATCH_SHARE` share of worker attention under
+/// sustained interactive load.
+const BATCH_SHARE: u64 = 4;
+
+/// Sentinel for "no dequeue recorded yet" in the busy-window accounting.
+const NEVER: u64 = u64::MAX;
 
 struct Gate {
     pending: usize,
@@ -26,55 +93,80 @@ struct Gate {
 }
 
 struct Shared {
-    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// `lanes[lane][worker]` — one deque per worker per lane.
+    lanes: [Vec<Mutex<VecDeque<Job>>>; 2],
     gate: Mutex<Gate>,
     wake: Condvar,
+    started: Instant,
     busy_nanos: AtomicU64,
     executed: AtomicU64,
     steals: AtomicU64,
+    /// Total dequeues, for the batch anti-starvation rotation.
+    dequeues: AtomicU64,
+    /// Jobs currently executing.
+    running: AtomicUsize,
+    /// Nanos (since `started`) of the first job dequeue; [`NEVER`] until
+    /// a job runs.
+    first_dequeue_nanos: AtomicU64,
+    /// Nanos (since `started`) of the most recent job settle.
+    last_settle_nanos: AtomicU64,
 }
 
 impl Shared {
-    /// Pops a job: own deque front first, then steal from the back of the
-    /// other deques (oldest work first, minimizing contention with the
-    /// owner popping the front).
+    /// Pops a job: preferred lane first (own deque front, then steal from
+    /// the back of the other deques — oldest work first, minimizing
+    /// contention with the owner popping the front), then the other lane.
     fn take_job(&self, me: usize) -> Option<Job> {
-        if let Some(job) = self.deques[me].lock().unwrap().pop_front() {
-            return Some(job);
-        }
-        for offset in 1..self.deques.len() {
-            let victim = (me + offset) % self.deques.len();
-            if let Some(job) = self.deques[victim].lock().unwrap().pop_back() {
-                self.steals.fetch_add(1, Ordering::Relaxed);
+        let n = self.dequeues.fetch_add(1, Ordering::Relaxed);
+        let order = if n % BATCH_SHARE == BATCH_SHARE - 1 {
+            [Lane::Batch, Lane::Interactive]
+        } else {
+            [Lane::Interactive, Lane::Batch]
+        };
+        for lane in order {
+            let deques = &self.lanes[lane.index()];
+            if let Some(job) = deques[me].lock().unwrap().pop_front() {
                 return Some(job);
+            }
+            for offset in 1..deques.len() {
+                let victim = (me + offset) % deques.len();
+                if let Some(job) = deques[victim].lock().unwrap().pop_back() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
             }
         }
         None
     }
 }
 
-/// A fixed-size work-stealing thread pool.
+/// A fixed-size lane-aware work-stealing thread pool.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     next: AtomicUsize,
-    started: Instant,
 }
 
 impl WorkerPool {
     /// Starts `workers` threads (at least one).
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
+        let mk_deques = || (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         let shared = Arc::new(Shared {
-            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            lanes: [mk_deques(), mk_deques()],
             gate: Mutex::new(Gate {
                 pending: 0,
                 shutdown: false,
             }),
             wake: Condvar::new(),
+            started: Instant::now(),
             busy_nanos: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            dequeues: AtomicU64::new(0),
+            running: AtomicUsize::new(0),
+            first_dequeue_nanos: AtomicU64::new(NEVER),
+            last_settle_nanos: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -89,7 +181,6 @@ impl WorkerPool {
             shared,
             handles,
             next: AtomicUsize::new(0),
-            started: Instant::now(),
         }
     }
 
@@ -98,15 +189,19 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Enqueues a job on the next deque (round-robin) and wakes a worker.
-    /// The job receives the index of the worker that executes it (which,
-    /// with stealing, need not be the deque it was enqueued on).
+    /// Enqueues an interactive-lane job (see [`WorkerPool::spawn_in`]).
     pub fn spawn<F: FnOnce(usize) + Send + 'static>(&self, job: F) {
-        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
-        self.shared.deques[slot]
-            .lock()
-            .unwrap()
-            .push_back(Box::new(job));
+        self.spawn_in(Lane::Interactive, job);
+    }
+
+    /// Enqueues a job on the next deque of `lane` (round-robin) and wakes
+    /// a worker. The job receives the index of the worker that executes
+    /// it (which, with stealing, need not be the deque it was enqueued
+    /// on).
+    pub fn spawn_in<F: FnOnce(usize) + Send + 'static>(&self, lane: Lane, job: F) {
+        let deques = &self.shared.lanes[lane.index()];
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % deques.len();
+        deques[slot].lock().unwrap().push_back(Box::new(job));
         let mut gate = self.shared.gate.lock().unwrap();
         gate.pending += 1;
         drop(gate);
@@ -123,15 +218,38 @@ impl WorkerPool {
         self.shared.steals.load(Ordering::Relaxed)
     }
 
-    /// Fraction of the pool's thread-time spent executing jobs since the
-    /// pool started (0.0–1.0).
+    /// Busy time and active-window accounting: total thread-time spent
+    /// executing jobs, and the wall span from the first job dequeue to
+    /// the last settle (extended to now while work is pending or
+    /// running). Both are zero before any job ran.
+    pub fn busy_window(&self) -> (Duration, Duration) {
+        let busy = Duration::from_nanos(self.shared.busy_nanos.load(Ordering::Relaxed));
+        let first = self.shared.first_dequeue_nanos.load(Ordering::Relaxed);
+        if first == NEVER {
+            return (busy, Duration::ZERO);
+        }
+        let active = self.shared.running.load(Ordering::Relaxed) > 0 || {
+            let gate = self.shared.gate.lock().unwrap();
+            gate.pending > 0
+        };
+        let end = if active {
+            self.shared.started.elapsed().as_nanos() as u64
+        } else {
+            self.shared.last_settle_nanos.load(Ordering::Relaxed)
+        };
+        (busy, Duration::from_nanos(end.saturating_sub(first)))
+    }
+
+    /// Fraction of the pool's thread-time spent executing jobs across the
+    /// pool's *active window* — first dequeue to last settle — rather
+    /// than whole-process wall clock (0.0–1.0; 0.0 before any job ran).
     pub fn utilization(&self) -> f64 {
-        let wall = self.started.elapsed().as_secs_f64() * self.handles.len() as f64;
-        if wall <= 0.0 {
+        let (busy, window) = self.busy_window();
+        let denom = window.as_secs_f64() * self.handles.len() as f64;
+        if denom <= 0.0 {
             return 0.0;
         }
-        let busy = self.shared.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
-        (busy / wall).min(1.0)
+        (busy.as_secs_f64() / denom).min(1.0)
     }
 }
 
@@ -157,11 +275,24 @@ fn worker_loop(shared: &Shared, me: usize) {
                     let mut gate = shared.gate.lock().unwrap();
                     gate.pending -= 1;
                 }
+                shared.running.fetch_add(1, Ordering::Relaxed);
                 let t = Instant::now();
+                let since_start = t.duration_since(shared.started).as_nanos() as u64;
+                let _ = shared.first_dequeue_nanos.compare_exchange(
+                    NEVER,
+                    since_start,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
                 job(me);
                 shared
                     .busy_nanos
                     .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                shared.last_settle_nanos.fetch_max(
+                    shared.started.elapsed().as_nanos() as u64,
+                    Ordering::Relaxed,
+                );
+                shared.running.fetch_sub(1, Ordering::Relaxed);
                 shared.executed.fetch_add(1, Ordering::Relaxed);
             }
             None => {
@@ -195,7 +326,12 @@ mod tests {
         let counter = Arc::new(Counter::new(0));
         for i in 0..100u64 {
             let counter = Arc::clone(&counter);
-            pool.spawn(move |_w| {
+            let lane = if i % 3 == 0 {
+                Lane::Batch
+            } else {
+                Lane::Interactive
+            };
+            pool.spawn_in(lane, move |_w| {
                 counter.fetch_add(i + 1, Ordering::Relaxed);
             });
         }
@@ -267,5 +403,81 @@ mod tests {
         let (tx, rx) = std::sync::mpsc::channel();
         pool.spawn(move |w| tx.send(w).unwrap());
         assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(0));
+    }
+
+    #[test]
+    fn utilization_uses_active_window_not_process_wall() {
+        let pool = WorkerPool::new(1);
+        // Let process wall clock accumulate while the pool is idle: the
+        // old accounting would dilute utilization by this idle time.
+        std::thread::sleep(Duration::from_millis(30));
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.spawn(move |_w| {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.executed() < 1 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let (busy, window) = pool.busy_window();
+        assert!(busy >= Duration::from_millis(15), "busy: {busy:?}");
+        assert!(
+            window < Duration::from_millis(200),
+            "window must exclude pre-first-job idle: {window:?}"
+        );
+        assert!(
+            pool.utilization() > 0.5,
+            "one 20ms job in a ~20ms window: {:.3}",
+            pool.utilization()
+        );
+    }
+
+    #[test]
+    fn busy_window_zero_before_any_job() {
+        let pool = WorkerPool::new(2);
+        std::thread::sleep(Duration::from_millis(5));
+        let (busy, window) = pool.busy_window();
+        assert_eq!(busy, Duration::ZERO);
+        assert_eq!(window, Duration::ZERO);
+        assert_eq!(pool.utilization(), 0.0);
+    }
+
+    #[test]
+    fn batch_lane_shares_dequeues_under_interactive_flood() {
+        // One worker, blocked while we enqueue: a batch job plus many
+        // interactive jobs. The anti-starvation rotation must run the
+        // batch job well before the interactive backlog is exhausted.
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        pool.spawn(move |_w| {
+            let _ = gate_rx.recv(); // hold the worker
+        });
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..12u64 {
+            let order = Arc::clone(&order);
+            pool.spawn_in(Lane::Interactive, move |_w| {
+                order.lock().unwrap().push(format!("i{i}"));
+            });
+        }
+        let order2 = Arc::clone(&order);
+        pool.spawn_in(Lane::Batch, move |_w| {
+            order2.lock().unwrap().push("batch".into());
+        });
+        gate_tx.send(()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.executed() < 14 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let order = order.lock().unwrap().clone();
+        let pos = order
+            .iter()
+            .position(|s| s == "batch")
+            .expect("batch job ran");
+        assert!(
+            pos < order.len() - 1,
+            "batch job must not be last behind the whole interactive flood: {order:?}"
+        );
     }
 }

@@ -8,6 +8,16 @@
 //! client cancellations into the engine's phase boundaries, so a job
 //! that runs out of time settles promptly on a *partial* — never wrong —
 //! verdict.
+//!
+//! The service is the shared core of both front-ends: the single-client
+//! stdin loop (`svc` binary) and the multi-client TCP server
+//! (`parsweep-net`). Jobs carry [`SubmitOpts`] — a priority [`Lane`]
+//! and a client id — so the pool can drain lanes fairly and the service
+//! can report per-client effort ([`ClientStats`]). Cone shards below
+//! [`SvcConfig::fuse_threshold`] nodes are *fused*: batched into one
+//! pooled dispatch so tiny jobs stop paying per-shard scheduling
+//! overhead (verdicts are unchanged — each cone still proves
+//! separately, on one worker, inside the fused dispatch).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -33,8 +43,12 @@ use parsweep_trace::metrics::{
 use parsweep_trace::Clock;
 
 use crate::cache::{ResultCache, RoutingInfo, DEFAULT_CACHE_CAPACITY};
-use crate::pool::WorkerPool;
-use crate::shard::{shard_miter, ShardPolicy};
+use crate::pool::{Lane, WorkerPool};
+use crate::shard::{shard_miter, Shard, ShardPolicy};
+
+/// Default capacity of the whole-job result memo
+/// ([`SvcConfig::job_memo_capacity`]).
+pub const DEFAULT_JOB_MEMO_CAPACITY: usize = 4096;
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -61,11 +75,27 @@ pub struct SvcConfig {
     pub prover: ProverMode,
     /// How miters split into shards.
     pub shard_policy: ShardPolicy,
+    /// Shards with fewer nodes than this are *fused*: consecutive tiny
+    /// shards of one job are batched into a single pooled dispatch
+    /// (closing a batch once its cumulative node count reaches the
+    /// threshold), so small jobs pay one scheduling round-trip instead
+    /// of one per cone. `0` (the default) disables fusing.
+    pub fuse_threshold: usize,
     /// Deadline applied to jobs submitted without an explicit one.
     pub default_deadline: Option<Duration>,
     /// Cone structures the result cache retains before evicting
     /// least-recently-used entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Settled whole-job results the job memo retains, keyed on the
+    /// submitted miter's structural hash. A duplicate submission of an
+    /// already-settled miter settles instantly with the prior verdict —
+    /// no re-shard, no re-hash, no dispatch — which is what keeps a
+    /// fleet of clients sweeping the *same* suite from re-paying the
+    /// per-job decomposition cost per client. Jobs that settle with a
+    /// tripped cancel token are never memoized (their verdict is
+    /// partial); concurrent in-flight duplicates each prove fresh (the
+    /// memo only serves *settled* results). `0` disables the memo.
+    pub job_memo_capacity: usize,
     /// Time source for every duration the service reports (queue waits,
     /// job totals). Inject a [`parsweep_trace::ManualClock`] for
     /// deterministic timing in tests; defaults to the wall clock.
@@ -82,11 +112,29 @@ impl Default for SvcConfig {
             sat: SweepConfig::default(),
             prover: ProverMode::default(),
             shard_policy: ShardPolicy::PerOutput,
+            fuse_threshold: 0,
             default_deadline: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            job_memo_capacity: DEFAULT_JOB_MEMO_CAPACITY,
             clock: Arc::new(trace::WallClock::new()),
         }
     }
+}
+
+/// Per-submission options: deadline, priority lane, submitting client.
+///
+/// The default is the historical behavior: no deadline beyond the
+/// service default, interactive lane, anonymous client `0`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOpts {
+    /// Wall-time bound for this job; `None` falls back to
+    /// [`SvcConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+    /// Priority lane the job's shards are queued on.
+    pub lane: Lane,
+    /// Submitting client (a connection id in the TCP front-end); used
+    /// for per-client accounting. `0` means "anonymous / single-client".
+    pub client: u64,
 }
 
 /// Opaque job identifier returned by [`CecService::submit`].
@@ -104,6 +152,8 @@ impl fmt::Display for JobId {
 pub struct JobStats {
     /// Output-cone shards the job split into.
     pub shards: usize,
+    /// Shards that rode a fused (batched) dispatch instead of their own.
+    pub fused_shards: usize,
     /// Shards settled from the result cache.
     pub cache_hits: u64,
     /// Shards that had to be proved fresh.
@@ -114,6 +164,11 @@ pub struct JobStats {
     pub total: Duration,
     /// True if the job's token tripped (deadline or explicit cancel).
     pub cancelled: bool,
+    /// True if the job settled instantly from the whole-job result memo
+    /// (a duplicate of an already-settled miter): `shards` then reports
+    /// the prior run's decomposition, while the cache counters are zero
+    /// because nothing was dispatched.
+    pub memo_hit: bool,
 }
 
 /// The settled outcome of one job.
@@ -129,6 +184,23 @@ pub struct JobResult {
     pub stats: JobStats,
 }
 
+/// Per-client counters, snapshot by [`CecService::client_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Jobs this client submitted.
+    pub submitted: u64,
+    /// Jobs of this client fully settled.
+    pub completed: u64,
+    /// Jobs of this client that settled with a tripped cancel token.
+    pub cancelled: u64,
+    /// Result-cache hits across this client's shards.
+    pub cache_hits: u64,
+    /// Result-cache misses across this client's shards.
+    pub cache_misses: u64,
+    /// Jobs submitted per lane (`[interactive, batch]`).
+    pub jobs_by_lane: [u64; 2],
+}
+
 /// Service-wide counters, snapshot by [`CecService::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SvcStats {
@@ -138,6 +210,10 @@ pub struct SvcStats {
     pub jobs_completed: u64,
     /// Shards produced across all jobs.
     pub shards_total: u64,
+    /// Shards that rode a fused (batched) dispatch.
+    pub fused_shards: u64,
+    /// Fused dispatches issued (each carrying ≥ 2 shards).
+    pub fused_dispatches: u64,
     /// Result-cache hits across all jobs.
     pub cache_hits: u64,
     /// Result-cache misses across all jobs.
@@ -152,7 +228,12 @@ pub struct SvcStats {
     /// Jobs that settled with their cancel token tripped (deadline or
     /// explicit cancellation).
     pub cancellations: u64,
-    /// Worker-pool busy fraction since service start (0.0–1.0).
+    /// Jobs settled instantly by the whole-job result memo (duplicate
+    /// submissions of an already-settled miter).
+    pub job_memo_hits: u64,
+    /// Worker-pool busy fraction over the pool's active window — first
+    /// job dequeue to last settle — not whole-process wall clock
+    /// (0.0–1.0).
     pub worker_utilization: f64,
 }
 
@@ -172,15 +253,19 @@ impl fmt::Display for SvcStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "jobs {}/{} | shards {} | cache {:.0}% of {} lookups ({} cones, {} evicted) | \
-             {} cancelled | workers {:.0}% busy",
+            "jobs {}/{} | shards {} ({} fused in {} dispatches) | \
+             cache {:.0}% of {} lookups ({} cones, {} evicted) | \
+             {} memoized | {} cancelled | workers {:.0}% busy",
             self.jobs_completed,
             self.jobs_submitted,
             self.shards_total,
+            self.fused_shards,
+            self.fused_dispatches,
             100.0 * self.cache_hit_rate(),
             self.cache_hits + self.cache_misses,
             self.cache_len,
             self.cache_evictions,
+            self.job_memo_hits,
             self.cancellations,
             100.0 * self.worker_utilization
         )
@@ -200,23 +285,75 @@ struct JobAgg {
     result: Option<JobResult>,
 }
 
-/// Service-lifetime counters and latency histograms shared by every job's
-/// settle path — the backing store of [`CecService::metrics_text`].
+/// Service-lifetime counters, per-client accounting and latency
+/// histograms shared by every job's settle path — the backing store of
+/// [`CecService::metrics_text`].
 struct SvcShared {
     completed_jobs: AtomicU64,
     cancellations: AtomicU64,
+    fused_shards: AtomicU64,
+    fused_dispatches: AtomicU64,
+    jobs_by_lane: [AtomicU64; 2],
+    clients: Mutex<HashMap<u64, ClientStats>>,
     queue_wait: Histogram,
     job_latency: Histogram,
+    job_memo: Mutex<JobMemo>,
+    job_memo_hits: AtomicU64,
 }
 
 impl SvcShared {
-    fn new() -> Self {
+    fn new(memo_capacity: usize) -> Self {
         SvcShared {
             completed_jobs: AtomicU64::new(0),
             cancellations: AtomicU64::new(0),
+            fused_shards: AtomicU64::new(0),
+            fused_dispatches: AtomicU64::new(0),
+            jobs_by_lane: [AtomicU64::new(0), AtomicU64::new(0)],
+            clients: Mutex::new(HashMap::new()),
             queue_wait: Histogram::latency_default(),
             job_latency: Histogram::latency_default(),
+            job_memo: Mutex::new(JobMemo::new(memo_capacity)),
+            job_memo_hits: AtomicU64::new(0),
         }
+    }
+}
+
+/// FIFO-bounded memo of settled whole-job results, keyed on the
+/// submitted miter's [`Aig::structural_hash`]. FIFO (not LRU) keeps the
+/// insert path a push + occasional pop; duplicate-heavy traffic re-hits
+/// entries soon after insertion, where the two policies behave the same.
+struct JobMemo {
+    map: HashMap<u64, JobResult>,
+    order: std::collections::VecDeque<u64>,
+    capacity: usize,
+}
+
+impl JobMemo {
+    fn new(capacity: usize) -> Self {
+        JobMemo {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<JobResult> {
+        self.map.get(&key).cloned()
+    }
+
+    /// First settle of a structure wins; racing duplicates that proved
+    /// concurrently are equal anyway, so re-inserts are dropped.
+    fn insert(&mut self, key: u64, result: JobResult) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.order.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, result);
+        self.order.push_back(key);
     }
 }
 
@@ -227,6 +364,13 @@ struct JobShared {
     /// Clock reading at submission.
     submitted: Duration,
     shards: usize,
+    fused_shards: usize,
+    lane: Lane,
+    client: u64,
+    /// Whole-miter structural hash; settle inserts the composed result
+    /// into the service's job memo under this key. `None` when the memo
+    /// is disabled or the job itself settled from the memo.
+    memo_key: Option<u64>,
     agg: Mutex<JobAgg>,
     done: Condvar,
 }
@@ -263,21 +407,43 @@ impl JobShared {
                 .unwrap_or_default();
             let total = self.clock.since(self.submitted);
             let cancelled = self.token.is_cancelled();
-            agg.result = Some(JobResult {
+            let result = JobResult {
                 id: self.id,
                 verdict,
                 stats: JobStats {
                     shards: self.shards,
+                    fused_shards: self.fused_shards,
                     cache_hits: agg.cache_hits,
                     cache_misses: agg.cache_misses,
                     queue_wait,
                     total,
                     cancelled,
+                    memo_hit: false,
                 },
-            });
+            };
+            if let Some(key) = self.memo_key {
+                // Decided verdicts are final either way: Equivalent means
+                // every shard proved, NotEquivalent carries a concrete
+                // cex (the token trips on disproof only to stop sibling
+                // shards). Undecided may be a deadline artifact or an
+                // engine give-up a rerun could improve on — never
+                // memoize it.
+                if !matches!(result.verdict, Verdict::Undecided) {
+                    svc.job_memo.lock().unwrap().insert(key, result.clone());
+                }
+            }
+            agg.result = Some(result);
             svc.completed_jobs.fetch_add(1, Ordering::Relaxed);
             if cancelled {
                 svc.cancellations.fetch_add(1, Ordering::Relaxed);
+            }
+            {
+                let mut clients = svc.clients.lock().unwrap();
+                let entry = clients.entry(self.client).or_default();
+                entry.completed += 1;
+                entry.cancelled += u64::from(cancelled);
+                entry.cache_hits += agg.cache_hits;
+                entry.cache_misses += agg.cache_misses;
             }
             svc.queue_wait.observe(queue_wait.as_secs_f64());
             svc.job_latency.observe(total.as_secs_f64());
@@ -286,6 +452,7 @@ impl JobShared {
                 "job.settled",
                 vec![
                     ("job", trace::ArgValue::U64(self.id.0)),
+                    ("client", trace::ArgValue::U64(self.client)),
                     ("cancelled", trace::ArgValue::U64(u64::from(cancelled))),
                 ],
             );
@@ -297,6 +464,15 @@ impl JobShared {
 struct ShardOutcome {
     verdict: Verdict,
     cache_hit: bool,
+}
+
+/// One shard's dispatchable payload: the extracted cone, its cache key,
+/// and the PI positions that lift a cone counter-example back to the
+/// submitted miter.
+struct ShardTask {
+    cone: Aig,
+    hash: u64,
+    lift: Vec<usize>,
 }
 
 /// A multi-client combinational-equivalence-checking job service.
@@ -358,6 +534,7 @@ impl CecService {
             },
             &cfg.engine,
         ));
+        let shared = Arc::new(SvcShared::new(cfg.job_memo_capacity));
         CecService {
             cfg,
             pool,
@@ -365,7 +542,7 @@ impl CecService {
             cache,
             prover,
             next_id: AtomicU64::new(1),
-            shared: Arc::new(SvcShared::new()),
+            shared,
             shards_total: AtomicU64::new(0),
             jobs: Mutex::new(HashMap::new()),
         }
@@ -373,14 +550,41 @@ impl CecService {
 
     /// Submits a miter under the configured default deadline.
     pub fn submit(&self, miter: Aig) -> JobId {
-        self.submit_with_deadline(miter, self.cfg.default_deadline)
+        self.submit_with_opts(miter, SubmitOpts::default())
     }
 
     /// Submits a miter; `deadline` (if any) bounds the job's wall time,
     /// after which it settles with a partial verdict.
     pub fn submit_with_deadline(&self, miter: Aig, deadline: Option<Duration>) -> JobId {
+        self.submit_with_opts(
+            miter,
+            SubmitOpts {
+                deadline,
+                ..SubmitOpts::default()
+            },
+        )
+    }
+
+    /// Submits a miter with explicit lane, client and deadline options.
+    pub fn submit_with_opts(&self, miter: Aig, opts: SubmitOpts) -> JobId {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let token = match deadline {
+        self.shared.jobs_by_lane[opts.lane.index()].fetch_add(1, Ordering::Relaxed);
+        {
+            let mut clients = self.shared.clients.lock().unwrap();
+            let entry = clients.entry(opts.client).or_default();
+            entry.submitted += 1;
+            entry.jobs_by_lane[opts.lane.index()] += 1;
+        }
+        // Duplicate of an already-settled miter: settle instantly from
+        // the job memo, skipping shard extraction and dispatch entirely.
+        let memo_key = (self.cfg.job_memo_capacity > 0).then(|| miter.structural_hash());
+        if let Some(key) = memo_key {
+            let prior = self.shared.job_memo.lock().unwrap().lookup(key);
+            if let Some(prior) = prior {
+                return self.settle_from_memo(id, prior, &opts);
+            }
+        }
+        let token = match opts.deadline.or(self.cfg.default_deadline) {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
         };
@@ -392,17 +596,34 @@ impl CecService {
             "job.submitted",
             vec![
                 ("job", trace::ArgValue::U64(id.0)),
+                ("client", trace::ArgValue::U64(opts.client)),
+                ("lane", trace::ArgValue::Str(opts.lane.name().into())),
                 ("shards", trace::ArgValue::U64(shards.len() as u64)),
             ],
         );
+
+        // Positions of the parent's PIs, for lifting cone counter-examples.
+        let mut pi_position = vec![usize::MAX; miter.num_nodes()];
+        for (p, pi) in miter.pis().iter().enumerate() {
+            pi_position[pi.index()] = p;
+        }
+        let parent_pis = miter.num_pis();
+        let (singles, groups) = plan_dispatches(shards, &pi_position, self.cfg.fuse_threshold);
+        let fused_shards: usize = groups.iter().map(Vec::len).sum();
+        let total_shards = singles.len() + fused_shards;
+
         let shared = Arc::new(JobShared {
             id,
             token: token.clone(),
             clock: Arc::clone(&self.cfg.clock),
             submitted: self.cfg.clock.now(),
-            shards: shards.len(),
+            shards: total_shards,
+            fused_shards,
+            lane: opts.lane,
+            client: opts.client,
+            memo_key,
             agg: Mutex::new(JobAgg {
-                remaining: shards.len(),
+                remaining: total_shards,
                 undecided: 0,
                 cex: None,
                 cache_hits: 0,
@@ -414,7 +635,7 @@ impl CecService {
         });
         self.jobs.lock().unwrap().insert(id.0, Arc::clone(&shared));
 
-        if shards.is_empty() {
+        if total_shards == 0 {
             // Every PO was already constant false: proved as submitted.
             let mut agg = shared.agg.lock().unwrap();
             agg.result = Some(JobResult {
@@ -426,51 +647,130 @@ impl CecService {
                 },
             });
             self.shared.completed_jobs.fetch_add(1, Ordering::Relaxed);
+            {
+                let mut clients = self.shared.clients.lock().unwrap();
+                clients.entry(opts.client).or_default().completed += 1;
+            }
             shared.done.notify_all();
             return id;
         }
 
-        // Positions of the parent's PIs, for lifting cone counter-examples.
-        let mut pi_position = vec![usize::MAX; miter.num_nodes()];
-        for (p, pi) in miter.pis().iter().enumerate() {
-            pi_position[pi.index()] = p;
+        for task in singles {
+            self.dispatch(vec![task], &shared, parent_pis, false);
         }
-        let parent_pis = miter.num_pis();
+        self.shared
+            .fused_shards
+            .fetch_add(fused_shards as u64, Ordering::Relaxed);
+        self.shared
+            .fused_dispatches
+            .fetch_add(groups.len() as u64, Ordering::Relaxed);
+        for group in groups {
+            self.dispatch(group, &shared, parent_pis, true);
+        }
+        id
+    }
 
-        for shard in shards {
-            let lift: Vec<usize> = shard
-                .extraction
-                .pi_map
-                .iter()
-                .map(|v: &Var| pi_position[v.index()])
-                .collect();
-            let cone = shard.extraction.cone;
-            let hash = shard.hash;
-            let shared = Arc::clone(&shared);
-            let execs = Arc::clone(&self.execs);
-            let cache = Arc::clone(&self.cache);
-            let svc_shared = Arc::clone(&self.shared);
-            let engine_cfg = self.cfg.engine.clone();
-            let sat_cfg = self.cfg.sat.clone();
-            let sat_fallback = self.cfg.sat_fallback;
-            let prover = Arc::clone(&self.prover);
-            let mode = self.cfg.prover;
-            self.pool.spawn(move |worker| {
-                let queue_wait = {
-                    let now = shared.clock.now();
-                    let mut agg = shared.agg.lock().unwrap();
-                    if agg.first_start.is_none() {
-                        agg.first_start = Some(now);
-                    }
-                    now.saturating_sub(shared.submitted)
-                };
-                trace::set_thread_label(&format!("svc-worker-{worker}"));
-                let mut span = trace::span("svc", "job.shard");
-                span.arg_u64("job", shared.id.0);
-                span.arg_f64("queue_wait", queue_wait.as_secs_f64());
+    /// Settles a duplicate submission instantly from the job memo: the
+    /// prior run's verdict under a fresh job id, with zero dispatched
+    /// shards and `memo_hit` marked in the stats.
+    fn settle_from_memo(&self, id: JobId, prior: JobResult, opts: &SubmitOpts) -> JobId {
+        let submitted = self.cfg.clock.now();
+        let result = JobResult {
+            id,
+            verdict: prior.verdict,
+            stats: JobStats {
+                shards: prior.stats.shards,
+                queue_wait: Duration::ZERO,
+                total: self.cfg.clock.since(submitted),
+                memo_hit: true,
+                ..JobStats::default()
+            },
+        };
+        let total = result.stats.total;
+        let shared = Arc::new(JobShared {
+            id,
+            token: CancelToken::new(),
+            clock: Arc::clone(&self.cfg.clock),
+            submitted,
+            shards: result.stats.shards,
+            fused_shards: 0,
+            lane: opts.lane,
+            client: opts.client,
+            memo_key: None,
+            agg: Mutex::new(JobAgg {
+                remaining: 0,
+                undecided: 0,
+                cex: None,
+                cache_hits: 0,
+                cache_misses: 0,
+                first_start: None,
+                result: Some(result),
+            }),
+            done: Condvar::new(),
+        });
+        self.shared.job_memo_hits.fetch_add(1, Ordering::Relaxed);
+        self.shared.completed_jobs.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut clients = self.shared.clients.lock().unwrap();
+            clients.entry(opts.client).or_default().completed += 1;
+        }
+        self.shared.queue_wait.observe(0.0);
+        self.shared.job_latency.observe(total.as_secs_f64());
+        trace::instant(
+            "svc",
+            "job.memo_hit",
+            vec![
+                ("job", trace::ArgValue::U64(id.0)),
+                ("client", trace::ArgValue::U64(opts.client)),
+            ],
+        );
+        self.jobs.lock().unwrap().insert(id.0, shared);
+        id
+    }
+
+    /// Queues one pool dispatch carrying one (`singles`) or several
+    /// (`fused`) shard tasks; every task settles individually.
+    fn dispatch(
+        &self,
+        tasks: Vec<ShardTask>,
+        shared: &Arc<JobShared>,
+        parent_pis: usize,
+        fused: bool,
+    ) {
+        let shared = Arc::clone(shared);
+        let execs = Arc::clone(&self.execs);
+        let cache = Arc::clone(&self.cache);
+        let svc_shared = Arc::clone(&self.shared);
+        let engine_cfg = self.cfg.engine.clone();
+        let sat_cfg = self.cfg.sat.clone();
+        let sat_fallback = self.cfg.sat_fallback;
+        let prover = Arc::clone(&self.prover);
+        let mode = self.cfg.prover;
+        self.pool.spawn_in(shared.lane, move |worker| {
+            let queue_wait = {
+                let now = shared.clock.now();
+                let mut agg = shared.agg.lock().unwrap();
+                if agg.first_start.is_none() {
+                    agg.first_start = Some(now);
+                }
+                now.saturating_sub(shared.submitted)
+            };
+            trace::set_thread_label(&format!("svc-worker-{worker}"));
+            let mut span = trace::span(
+                "svc",
+                if fused {
+                    "job.fused_dispatch"
+                } else {
+                    "job.shard"
+                },
+            );
+            span.arg_u64("job", shared.id.0);
+            span.arg_u64("tasks", tasks.len() as u64);
+            span.arg_f64("queue_wait", queue_wait.as_secs_f64());
+            for task in tasks {
                 let outcome = prove_shard(
-                    &cone,
-                    hash,
+                    &task.cone,
+                    task.hash,
                     &execs[worker],
                     &cache,
                     &engine_cfg,
@@ -480,16 +780,13 @@ impl CecService {
                     mode,
                     &shared.token,
                 );
-                span.arg_u64("cache_hit", u64::from(outcome.cache_hit));
-                drop(span);
                 let lifted = ShardOutcome {
-                    verdict: lift_verdict(outcome.verdict, &cone, &lift, parent_pis),
+                    verdict: lift_verdict(outcome.verdict, &task.cone, &task.lift, parent_pis),
                     cache_hit: outcome.cache_hit,
                 };
                 shared.settle_shard(lifted, &svc_shared);
-            });
-        }
-        id
+            }
+        });
     }
 
     /// Cancels a job; in-flight shards stop at their next phase boundary.
@@ -515,6 +812,18 @@ impl CecService {
         agg.result.clone()
     }
 
+    /// Blocks until the job settles, then removes it from the service —
+    /// the long-running front-end variant of [`CecService::wait`]: a
+    /// server that waits per job must also drop settled bookkeeping, or
+    /// the job table grows without bound.
+    pub fn wait_take(&self, id: JobId) -> Option<JobResult> {
+        let result = self.wait(id);
+        if result.is_some() {
+            self.jobs.lock().unwrap().remove(&id.0);
+        }
+        result
+    }
+
     /// Waits for every outstanding job and returns their results in
     /// submission order, removing them from the service.
     pub fn drain(&self) -> Vec<JobResult> {
@@ -536,14 +845,46 @@ impl CecService {
             jobs_submitted: self.next_id.load(Ordering::Relaxed) - 1,
             jobs_completed: self.shared.completed_jobs.load(Ordering::Relaxed),
             shards_total: self.shards_total.load(Ordering::Relaxed),
+            fused_shards: self.shared.fused_shards.load(Ordering::Relaxed),
+            fused_dispatches: self.shared.fused_dispatches.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_len: self.cache.len(),
             cache_evictions: self.cache.evictions(),
             cache_routing_hits: self.cache.routing_hits(),
             cancellations: self.shared.cancellations.load(Ordering::Relaxed),
+            job_memo_hits: self.shared.job_memo_hits.load(Ordering::Relaxed),
             worker_utilization: self.pool.utilization(),
         }
+    }
+
+    /// Per-client counters, sorted by client id.
+    pub fn client_stats(&self) -> Vec<(u64, ClientStats)> {
+        let mut entries: Vec<(u64, ClientStats)> = self
+            .shared
+            .clients
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&id, &stats)| (id, stats))
+            .collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        entries
+    }
+
+    /// Drops a client's accounting entry (returning it), so a server
+    /// whose clients come and go keeps the per-client table bounded by
+    /// *active* connections. In-flight jobs of the client still settle
+    /// normally; their completion re-creates a fresh entry.
+    pub fn forget_client(&self, client: u64) -> Option<ClientStats> {
+        self.shared.clients.lock().unwrap().remove(&client)
+    }
+
+    /// Busy time and active-window span of the worker pool (see
+    /// [`crate::WorkerPool::busy_window`]); a saturation bench diffs this
+    /// across phases to compute per-phase utilization.
+    pub fn busy_window(&self) -> (Duration, Duration) {
+        self.pool.busy_window()
     }
 
     /// Snapshot of the shared adaptive dispatcher's per-engine statistics
@@ -581,6 +922,21 @@ impl CecService {
             "Jobs fully settled.",
             stats.jobs_completed,
         );
+        render_labeled_counter(
+            &mut out,
+            "parsweep_jobs_by_lane_total",
+            "Jobs submitted per priority lane.",
+            "lane",
+            &Lane::ALL
+                .iter()
+                .map(|l| {
+                    (
+                        l.name(),
+                        self.shared.jobs_by_lane[l.index()].load(Ordering::Relaxed),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
         render_counter(
             &mut out,
             "parsweep_shards_total",
@@ -589,9 +945,27 @@ impl CecService {
         );
         render_counter(
             &mut out,
+            "parsweep_fused_shards_total",
+            "Shards batched into fused dispatches instead of their own.",
+            stats.fused_shards,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_fused_dispatches_total",
+            "Fused pool dispatches issued (each carrying several tiny shards).",
+            stats.fused_dispatches,
+        );
+        render_counter(
+            &mut out,
             "parsweep_cancellations_total",
             "Jobs settled with a tripped cancel token.",
             stats.cancellations,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_job_memo_hits_total",
+            "Jobs settled instantly by the whole-job result memo.",
+            stats.job_memo_hits,
         );
         render_counter(
             &mut out,
@@ -626,8 +1000,14 @@ impl CecService {
         render_gauge(
             &mut out,
             "parsweep_worker_utilization",
-            "Worker-pool busy fraction since service start.",
+            "Worker-pool busy fraction over the pool's active window.",
             stats.worker_utilization,
+        );
+        render_gauge(
+            &mut out,
+            "parsweep_clients",
+            "Clients with an accounting entry (active connections plus the anonymous lane).",
+            self.shared.clients.lock().unwrap().len() as f64,
         );
         render_counter(
             &mut out,
@@ -750,6 +1130,64 @@ impl CecService {
         );
         out
     }
+}
+
+/// Splits a job's shards into per-shard dispatches (`singles`) and fused
+/// batches (`groups`): shards smaller than `fuse_threshold` nodes are
+/// packed, in shard order, into batches that close once their cumulative
+/// node count reaches the threshold. A batch that would hold a single
+/// shard degenerates into a per-shard dispatch. `lift` maps are computed
+/// here so the dispatch path no longer needs the parent miter.
+fn plan_dispatches(
+    shards: Vec<Shard>,
+    pi_position: &[usize],
+    fuse_threshold: usize,
+) -> (Vec<ShardTask>, Vec<Vec<ShardTask>>) {
+    let mut singles = Vec::new();
+    let mut groups: Vec<Vec<ShardTask>> = Vec::new();
+    let mut open: Vec<ShardTask> = Vec::new();
+    let mut open_nodes = 0usize;
+    for shard in shards {
+        let lift: Vec<usize> = shard
+            .extraction
+            .pi_map
+            .iter()
+            .map(|v: &Var| pi_position[v.index()])
+            .collect();
+        let cone = shard.extraction.cone;
+        let nodes = cone.num_nodes();
+        let task = ShardTask {
+            cone,
+            hash: shard.hash,
+            lift,
+        };
+        if fuse_threshold > 0 && nodes < fuse_threshold {
+            open_nodes += nodes;
+            open.push(task);
+            if open_nodes >= fuse_threshold {
+                groups.push(std::mem::take(&mut open));
+                open_nodes = 0;
+            }
+        } else {
+            singles.push(task);
+        }
+    }
+    match open.len() {
+        0 => {}
+        1 => singles.push(open.pop().expect("len checked")),
+        _ => groups.push(open),
+    }
+    // A "fused" batch of one shard is just a single dispatch.
+    let mut i = 0;
+    while i < groups.len() {
+        if groups[i].len() == 1 {
+            let mut g = groups.swap_remove(i);
+            singles.push(g.pop().expect("len checked"));
+        } else {
+            i += 1;
+        }
+    }
+    (singles, groups)
 }
 
 /// Settles one cone: cache first, engine otherwise. In
@@ -993,7 +1431,83 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.jobs_submitted, 2);
         assert_eq!(stats.jobs_completed, 2);
-        assert!(stats.cache_hits > 0, "duplicate job must hit the cache");
+        assert!(
+            stats.cache_hits > 0 || stats.job_memo_hits > 0,
+            "a duplicate job must reuse prior work one way or the other: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_submission_settles_from_the_job_memo() {
+        // Same disproof twice: the duplicate must report the identical
+        // (still firing) counter-example without dispatching anything.
+        let a = xor_net(3, false);
+        let mut b = xor_net(3, true);
+        let po1 = b.po(1);
+        b.set_po(1, !po1);
+        let m = miter(&a, &b).unwrap();
+        let svc = CecService::new(SvcConfig::default());
+        let first = svc.wait_take(svc.submit(m.clone())).unwrap();
+        let shards_before = svc.stats().shards_total;
+        let second = svc.wait_take(svc.submit(m.clone())).unwrap();
+        assert!(second.stats.memo_hit, "stats: {:?}", second.stats);
+        assert!(!first.stats.memo_hit);
+        assert_eq!(second.stats.shards, first.stats.shards);
+        assert_eq!(
+            svc.stats().shards_total,
+            shards_before,
+            "memo hits must not re-shard"
+        );
+        match (&first.verdict, &second.verdict) {
+            (Verdict::NotEquivalent(x), Verdict::NotEquivalent(y)) => {
+                assert_eq!(x.inputs(), y.inputs());
+                assert!(y.fires(&m));
+            }
+            other => panic!("expected matching disproofs, got {other:?}"),
+        }
+        assert_eq!(svc.stats().job_memo_hits, 1);
+    }
+
+    #[test]
+    fn job_memo_capacity_zero_disables_memoization() {
+        let svc = CecService::new(SvcConfig {
+            job_memo_capacity: 0,
+            ..SvcConfig::default()
+        });
+        let m = miter(&xor_net(2, false), &xor_net(2, true)).unwrap();
+        svc.wait_take(svc.submit(m.clone())).unwrap();
+        let r = svc.wait_take(svc.submit(m)).unwrap();
+        assert!(!r.stats.memo_hit);
+        assert_eq!(svc.stats().job_memo_hits, 0);
+    }
+
+    #[test]
+    fn cancelled_jobs_never_poison_the_memo() {
+        // A zero deadline settles the first run partial (cancelled); the
+        // rerun without a deadline must prove fresh, not replay the
+        // partial verdict.
+        let svc = CecService::new(SvcConfig {
+            workers: 1,
+            ..SvcConfig::default()
+        });
+        let m = miter(&xor_net(3, false), &xor_net(3, true)).unwrap();
+        let first = svc
+            .wait_take(svc.submit_with_deadline(m.clone(), Some(Duration::ZERO)))
+            .unwrap();
+        assert!(first.stats.cancelled);
+        let second = svc.wait_take(svc.submit(m)).unwrap();
+        assert!(!second.stats.memo_hit, "partial results must not memoize");
+        assert_eq!(second.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn wait_take_removes_the_job() {
+        let svc = CecService::new(SvcConfig::default());
+        let m = miter(&xor_net(2, false), &xor_net(2, true)).unwrap();
+        let id = svc.submit(m);
+        let r = svc.wait_take(id).expect("job exists");
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert!(svc.wait(id).is_none(), "wait_take must drop the entry");
     }
 
     #[test]
@@ -1002,18 +1516,23 @@ mod tests {
             jobs_submitted: 4,
             jobs_completed: 3,
             shards_total: 12,
+            fused_shards: 4,
+            fused_dispatches: 2,
             cache_hits: 6,
             cache_misses: 6,
             cache_len: 6,
             cache_evictions: 2,
             cache_routing_hits: 0,
             cancellations: 1,
+            job_memo_hits: 5,
             worker_utilization: 0.5,
         };
         let text = s.to_string();
         assert!(text.contains("jobs 3/4"), "{text}");
+        assert!(text.contains("4 fused in 2 dispatches"), "{text}");
         assert!(text.contains("cache 50%"), "{text}");
         assert!(text.contains("2 evicted"), "{text}");
+        assert!(text.contains("5 memoized"), "{text}");
         assert!(text.contains("1 cancelled"), "{text}");
     }
 
@@ -1154,5 +1673,92 @@ mod tests {
             text.contains("parsweep_queue_wait_seconds_count 1"),
             "{text}"
         );
+        assert!(
+            text.contains("parsweep_jobs_by_lane_total{lane=\"interactive\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fused_dispatches_preserve_verdicts_and_count() {
+        // Six tiny XOR cones: under a generous fuse threshold they batch
+        // into fused dispatches, with identical verdicts and per-shard
+        // cache accounting.
+        let m = miter(&xor_net(6, false), &xor_net(6, true)).unwrap();
+        let svc = CecService::new(SvcConfig {
+            workers: 1,
+            fuse_threshold: 1 << 20,
+            ..SvcConfig::default()
+        });
+        let id = svc.submit(m.clone());
+        let r = svc.wait(id).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert_eq!(r.stats.shards, 6);
+        assert_eq!(r.stats.fused_shards, 6, "stats: {:?}", r.stats);
+        assert_eq!(r.stats.cache_hits + r.stats.cache_misses, 6);
+        let stats = svc.stats();
+        assert_eq!(stats.fused_shards, 6);
+        assert!(stats.fused_dispatches >= 1);
+
+        // Unfused control on a fresh service: same verdict.
+        let control = CecService::new(SvcConfig {
+            workers: 1,
+            ..SvcConfig::default()
+        });
+        let id = control.submit(m);
+        assert_eq!(control.wait(id).unwrap().verdict, Verdict::Equivalent);
+        assert_eq!(control.stats().fused_shards, 0);
+    }
+
+    #[test]
+    fn fused_disproof_still_lifts_a_firing_cex() {
+        let a = xor_net(4, false);
+        let mut b = xor_net(4, true);
+        let po2 = b.po(2);
+        b.set_po(2, !po2);
+        let m = miter(&a, &b).unwrap();
+        let svc = CecService::new(SvcConfig {
+            fuse_threshold: 1 << 20,
+            ..SvcConfig::default()
+        });
+        let id = svc.submit(m.clone());
+        match svc.wait(id).unwrap().verdict {
+            Verdict::NotEquivalent(cex) => assert!(cex.fires(&m), "lifted cex must fire"),
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_client_stats_track_lanes_and_completion() {
+        let svc = CecService::new(SvcConfig::default());
+        let m = miter(&xor_net(2, false), &xor_net(2, true)).unwrap();
+        let a = svc.submit_with_opts(
+            m.clone(),
+            SubmitOpts {
+                lane: Lane::Interactive,
+                client: 7,
+                ..SubmitOpts::default()
+            },
+        );
+        let b = svc.submit_with_opts(
+            m,
+            SubmitOpts {
+                lane: Lane::Batch,
+                client: 7,
+                ..SubmitOpts::default()
+            },
+        );
+        svc.wait(a).unwrap();
+        svc.wait(b).unwrap();
+        let clients = svc.client_stats();
+        let (_, c7) = clients
+            .iter()
+            .find(|(id, _)| *id == 7)
+            .expect("client 7 tracked");
+        assert_eq!(c7.submitted, 2);
+        assert_eq!(c7.completed, 2);
+        assert_eq!(c7.jobs_by_lane, [1, 1]);
+        assert!(svc.forget_client(7).is_some());
+        assert!(svc.forget_client(7).is_none(), "entry dropped");
     }
 }

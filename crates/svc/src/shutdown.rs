@@ -1,0 +1,103 @@
+//! Graceful-shutdown plumbing shared by every front-end.
+//!
+//! One process-wide flag, set from Unix signal handlers (SIGINT /
+//! SIGTERM) or programmatically (broken stdout pipe, TCP server stop):
+//! front-end loops poll [`requested`] between requests and, once it
+//! trips, stop accepting work, drain what is in flight, report final
+//! stats, and exit — instead of dying mid-job. Signal handlers may only
+//! touch async-signal-safe state, so the handler does exactly one thing:
+//! a relaxed store into a static [`AtomicBool`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide shutdown request. Static because signal handlers
+/// cannot carry closure state.
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once a shutdown has been requested (signal or programmatic).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Requests a graceful shutdown — the programmatic twin of a SIGINT,
+/// used when stdout's pipe breaks or a server is asked to stop.
+pub fn request() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Re-arms the flag. Test-only: signal state is process-global, and the
+/// test harness runs many tests in one process.
+#[cfg(test)]
+pub(crate) fn reset() {
+    REQUESTED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::c_int;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`. Declared directly — libc is always linked
+        /// by std on Unix — to avoid pulling in a crate for two signal
+        /// numbers.
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    /// Async-signal-safe by construction: one relaxed atomic store.
+    extern "C" fn on_signal(_signum: c_int) {
+        super::request();
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the POSIX function with the declared
+        // signature; `on_signal` is a non-unwinding `extern "C"` fn that
+        // performs only an async-signal-safe atomic store.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag. A no-op
+/// on non-Unix platforms (the flag still works programmatically).
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the flag is process-global state, and the
+    // harness runs tests concurrently.
+    #[test]
+    fn flag_trips_programmatically_and_from_sigint() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+
+        #[cfg(unix)]
+        {
+            extern "C" {
+                /// POSIX `raise(3)`: deliver a signal to the calling thread.
+                fn raise(signum: std::os::raw::c_int) -> std::os::raw::c_int;
+            }
+            install_signal_handlers();
+            reset();
+            // SAFETY: raising SIGINT with our handler installed performs
+            // one atomic store and returns; no other process state is
+            // touched.
+            unsafe {
+                raise(2);
+            }
+            assert!(requested(), "handler must set the flag");
+        }
+        reset();
+    }
+}

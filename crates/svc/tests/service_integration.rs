@@ -130,6 +130,10 @@ fn multiplier(w: usize, descending: bool) -> Aig {
 fn duplicated_batch_hits_cache_and_matches_solo_runs() {
     let cfg = SvcConfig {
         workers: 2,
+        // This test exercises the *cone-level* result cache; the
+        // whole-job memo would settle the duplicate before any shard
+        // probes it.
+        job_memo_capacity: 0,
         ..SvcConfig::default()
     };
     let engine_cfg = cfg.engine.clone();
@@ -232,8 +236,13 @@ fn cache_shared_across_jobs_with_common_cones() {
     // Two separately built miters of the same equivalent pair:
     // structurally identical cones settle from the cache across job
     // boundaries. Jobs run back to back so every shard of the second job
-    // finds the first job's inserts.
-    let svc = CecService::new(SvcConfig::default());
+    // finds the first job's inserts. The whole-job memo is disabled: the
+    // two miters hash identically, and a memo hit would bypass the cone
+    // cache this test is about.
+    let svc = CecService::new(SvcConfig {
+        job_memo_capacity: 0,
+        ..SvcConfig::default()
+    });
     let m1 = miter(&ripple_adder(6), &cla_adder(6)).unwrap();
     let m2 = miter(&ripple_adder(6), &cla_adder(6)).unwrap();
     let j1 = svc.submit(m1);

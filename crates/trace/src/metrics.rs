@@ -248,6 +248,55 @@ pub fn render_histogram(out: &mut String, name: &str, help: &str, snap: &Histogr
     ));
 }
 
+/// Appends a labeled `gauge` family in exposition format: one `# HELP` /
+/// `# TYPE` header, then one `name{labels} value` series per entry.
+/// Label values must not contain `"` or `\`.
+pub fn render_labeled_gauge(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    series: &[(&str, f64)],
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    for (value, v) in series {
+        out.push_str(&format!(
+            "{name}{{{label}=\"{value}\"}} {}\n",
+            fmt_value(*v)
+        ));
+    }
+}
+
+/// Appends a labeled `histogram` family in exposition format: one
+/// `# HELP` / `# TYPE` header, then each snapshot's `_bucket`/`_sum`/
+/// `_count` series tagged with its label value (e.g. per-lane latency).
+/// Label values must not contain `"` or `\`.
+pub fn render_labeled_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    series: &[(&str, HistogramSnapshot)],
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    for (value, snap) in series {
+        for (bound, cum) in snap.bounds.iter().zip(&snap.cumulative) {
+            out.push_str(&format!(
+                "{name}_bucket{{{label}=\"{value}\",le=\"{}\"}} {cum}\n",
+                fmt_value(*bound)
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{{label}=\"{value}\",le=\"+Inf\"}} {}\n\
+             {name}_sum{{{label}=\"{value}\"}} {}\n\
+             {name}_count{{{label}=\"{value}\"}} {}\n",
+            snap.count,
+            fmt_value(snap.sum_seconds),
+            snap.count
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +351,39 @@ mod tests {
             out.contains("parsweep_prove_engine_wins_total{engine=\"sat_sweep\"} 0"),
             "zero series still rendered"
         );
+        for line in out.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_histogram_renders_per_label_series() {
+        let fast = Histogram::new(&[0.01, 0.1]);
+        fast.observe(0.005);
+        let slow = Histogram::new(&[0.01, 0.1]);
+        slow.observe(0.5);
+        let mut out = String::new();
+        render_labeled_histogram(
+            &mut out,
+            "parsweep_net_latency_seconds",
+            "Per-lane job latency.",
+            "lane",
+            &[("interactive", fast.snapshot()), ("batch", slow.snapshot())],
+        );
+        assert_eq!(
+            out.matches("# TYPE parsweep_net_latency_seconds histogram")
+                .count(),
+            1,
+            "one family header"
+        );
+        assert!(
+            out.contains("parsweep_net_latency_seconds_bucket{lane=\"interactive\",le=\"0.01\"} 1")
+        );
+        assert!(out.contains("parsweep_net_latency_seconds_bucket{lane=\"batch\",le=\"+Inf\"} 1"));
+        assert!(out.contains("parsweep_net_latency_seconds_count{lane=\"batch\"} 1"));
         for line in out.lines() {
             assert!(
                 line.starts_with('#') || line.split_whitespace().count() == 2,

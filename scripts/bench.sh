@@ -5,19 +5,22 @@
 # (wall time, modeled / serialized cost-model times, launch split,
 # incremental-resim counters, arena recycling counters). Also runs the
 # job-service throughput bench, emitting BENCH_svc.json (jobs/sec, cache
-# hit rate); that step is non-blocking — a service-bench failure must not
-# fail the engine smoke run.
+# hit rate), and the network saturation bench, emitting BENCH_net.json
+# (clients-vs-throughput curve, speedup over the single-client stdin
+# baseline, worker utilization); both steps are non-blocking — a service
+# or network bench failure must not fail the engine smoke run.
 #
-# Usage: scripts/bench.sh [tiny|small|medium] [output.json] [svc-output.json]
+# Usage: scripts/bench.sh [tiny|small|medium] [output.json] [svc-output.json] [net-output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-tiny}"
 OUT="${2:-BENCH_runtime.json}"
 SVC_OUT="${3:-BENCH_svc.json}"
+NET_OUT="${4:-BENCH_net.json}"
 
 # Keep the previous run around so the delta report below has a baseline.
-for f in "$OUT" "$SVC_OUT"; do
+for f in "$OUT" "$SVC_OUT" "$NET_OUT"; do
     [ -f "$f" ] && cp "$f" "$f.prev"
 done
 
@@ -32,6 +35,17 @@ else
     echo "svc bench failed (non-blocking)" >&2
 fi
 
+# The net bench's baseline drives the shipped stdin binary as a
+# subprocess; build it first so the bench doesn't silently fall back to
+# the in-process baseline.
+if cargo build --release -p parsweep-svc --bin svc \
+    && cargo run --release -p parsweep-bench --bin net_bench -- "$SCALE" "$NET_OUT"; then
+    echo "--- $NET_OUT ---"
+    cat "$NET_OUT"
+else
+    echo "net bench failed (non-blocking)" >&2
+fi
+
 # The runtime delta gates pool-dispatched launch counts: a regression
 # beyond MAX_REGRESS percent (default 50) fails the run. The svc delta
 # stays report-only.
@@ -44,4 +58,9 @@ if [ -f "$SVC_OUT.prev" ]; then
     echo "--- delta vs previous $SVC_OUT ---"
     python3 scripts/bench_delta.py "$SVC_OUT.prev" "$SVC_OUT" || true
     rm -f "$SVC_OUT.prev"
+fi
+if [ -f "$NET_OUT.prev" ]; then
+    echo "--- delta vs previous $NET_OUT ---"
+    python3 scripts/bench_delta.py "$NET_OUT.prev" "$NET_OUT" || true
+    rm -f "$NET_OUT.prev"
 fi

@@ -99,6 +99,37 @@ def summarize_prover_dispatch(curr_raw):
         )
 
 
+def summarize_net_saturation(curr_raw):
+    """Report the network bench's clients-vs-throughput curve (``phases``
+    entries plus ``baseline``/``peak``): how throughput scales with
+    concurrent clients relative to the single-client stdin baseline."""
+    if not isinstance(curr_raw, dict):
+        return
+    phases = curr_raw.get("phases")
+    baseline = curr_raw.get("baseline")
+    if not phases or not isinstance(baseline, dict) or "jobs_per_sec" not in baseline:
+        return
+    print(f"net saturation (baseline {baseline['jobs_per_sec']:.1f} jobs/s "
+          f"over {baseline.get('transport', '?')}):")
+    for row in phases:
+        try:
+            clients, jps = row["clients"], row["jobs_per_sec"]
+            speedup, util = row["speedup_vs_baseline"], row["worker_utilization"]
+        except (KeyError, TypeError):
+            continue
+        bar = "#" * max(1, round(speedup * 4))
+        print(f"  {clients:>3} clients: {jps:>9.1f} jobs/s  {speedup:>5.2f}x  "
+              f"util {util:.3f}  {bar}")
+    peak = curr_raw.get("peak")
+    if isinstance(peak, dict):
+        try:
+            print(f"  peak: {peak['jobs_per_sec']:.1f} jobs/s at {peak['clients']} "
+                  f"clients = {peak['speedup_vs_baseline']:.2f}x baseline, "
+                  f"util {peak['worker_utilization']:.3f}")
+        except KeyError:
+            pass
+
+
 # Wall-clock leaves are gated with an absolute floor on top of the
 # percentage: a millisecond-sized row can double from scheduler jitter
 # alone, and that is not a regression worth failing CI over.
@@ -133,6 +164,7 @@ def main():
         print("  no numeric changes")
     summarize_sanitizer_overhead(curr_raw)
     summarize_prover_dispatch(curr_raw)
+    summarize_net_saturation(curr_raw)
     if max_regress is None:
         return 0
     regressions = []

@@ -30,13 +30,15 @@ cargo test -q
 echo "==> sanitizer-enabled tests (feature)"
 cargo test -p parsweep-par --features sanitize -q
 cargo test -p parsweep-svc --features sanitize -q
+cargo test -p parsweep-net --features sanitize -q
 
 echo "==> trace-enabled tests (feature)"
 cargo test -p parsweep-trace --features enabled -q
 cargo test -p parsweep-svc --features trace -q
+cargo test -p parsweep-net --features trace -q
 
 echo "==> sanitizer-enabled tests (PARSWEEP_SANITIZE=1)"
-PARSWEEP_SANITIZE=1 cargo test -p parsweep-par -p parsweep-sim -p parsweep-sat -p parsweep-core -p parsweep-svc -q
+PARSWEEP_SANITIZE=1 cargo test -p parsweep-par -p parsweep-sim -p parsweep-sat -p parsweep-core -p parsweep-svc -p parsweep-net -q
 PARSWEEP_SANITIZE=1 cargo test --test sanitizer_engine --test edge_cases -q
 
 echo "==> static effect cross-check (PARSWEEP_SANITIZE=all)"
