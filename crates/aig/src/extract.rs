@@ -132,6 +132,41 @@ impl Aig {
         h
     }
 
+    /// A second structural digest, independent of [`Aig::structural_hash`]
+    /// (different seed, different per-node encoding, reversed mixing
+    /// order). Lookups that key on `structural_hash` but cannot afford to
+    /// retain the whole network can store this fingerprint alongside the
+    /// key and re-check it on hit: for two different networks to
+    /// cross-serve, both 64-bit digests would have to collide at once.
+    pub fn structural_fingerprint(&self) -> u64 {
+        #[inline]
+        fn mix(state: u64, value: u64) -> u64 {
+            // splitmix64 again, but over a distinct constant schedule so
+            // the two digests do not collide together.
+            let mut z = state
+                .wrapping_add(0xd1b5_4a32_d192_ed03)
+                .wrapping_add(value);
+            z = (z ^ (z >> 32)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            z = (z ^ (z >> 29)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            z ^ (z >> 32)
+        }
+        let mut h = mix(0x0f1b_e12f_1b0e_12f1, self.num_pos() as u64);
+        for po in self.pos() {
+            h = mix(h, u64::from(po.code()).rotate_left(17));
+        }
+        for node in self.nodes().iter().rev() {
+            h = match node {
+                Node::Const => mix(h, 0x11),
+                Node::Input(i) => mix(h, 0x22 ^ (u64::from(*i) << 8)),
+                Node::And(a, b) => {
+                    let fanins = (u64::from(b.code()) << 32) | u64::from(a.code());
+                    mix(h, 0x33 ^ (fanins << 8))
+                }
+            };
+        }
+        mix(h, self.num_pis() as u64)
+    }
+
     /// True if `other` has exactly the same structure: node list, PO
     /// literals and PI count. The exactness check behind
     /// [`Aig::structural_hash`]-keyed caches.
@@ -241,5 +276,27 @@ mod tests {
         let mut c = a.clone();
         c.add_po(Lit::FALSE);
         assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+
+    #[test]
+    fn fingerprint_is_independent_of_primary_hash() {
+        let mut a = Aig::new();
+        let xs = a.add_inputs(2);
+        let f = a.and(xs[0], xs[1]);
+        a.add_po(f);
+        // Identical structures share both digests.
+        assert_eq!(
+            a.structural_fingerprint(),
+            a.clone().structural_fingerprint()
+        );
+        // Different structures split on the fingerprint too.
+        let mut b = a.clone();
+        b.set_po(0, !b.po(0));
+        assert_ne!(a.structural_fingerprint(), b.structural_fingerprint());
+        // The two digests of the same network disagree with each other —
+        // evidence they mix differently and will not collide in tandem.
+        for g in [&a, &b] {
+            assert_ne!(g.structural_hash(), g.structural_fingerprint());
+        }
     }
 }

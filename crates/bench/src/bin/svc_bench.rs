@@ -1,13 +1,17 @@
 //! Service throughput smoke benchmark: submits the generator suite to
 //! the CEC job service twice over — the second pass should settle from
-//! the structural result cache — and emits `BENCH_svc.json` with
-//! jobs/sec, cache hit rate, shard counts and worker utilization.
+//! the structural result cache — then runs a repeat-traffic phase of
+//! structurally *perturbed* duplicate cones (same function, different
+//! gates) that only the semantic (NPN-canonical) cache tier can settle.
+//! Emits `BENCH_svc.json` with jobs/sec, structural and semantic cache
+//! hit rates, shard counts and worker utilization.
 //!
 //! Usage: `svc [tiny|small|medium] [output.json]`
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use parsweep_aig::{miter, Aig};
 use parsweep_bench::harness::{suite, Scale};
 use parsweep_sat::Verdict;
 use parsweep_svc::{CecService, SvcConfig};
@@ -21,6 +25,84 @@ fn verdict_tag(v: &Verdict) -> &'static str {
         Verdict::NotEquivalent(_) => "NEQ",
         Verdict::Undecided => "UNDEC",
     }
+}
+
+/// A seed-coded 3-input single-PO net. The *function* depends only on
+/// `seed`; `salt` threads in strash-proof absorption redundancy
+/// (`cur & (cur | x)` == `cur`), so the same seed at different salts
+/// yields functionally identical but structurally different networks —
+/// exactly the repeat traffic a structural cache key cannot collapse.
+fn coded_net(seed: u64, salt: u64) -> Aig {
+    let mut aig = Aig::new();
+    let xs = aig.add_inputs(3);
+    let mut cur = xs[(seed % 3) as usize];
+    let mut s = seed / 3;
+    for _ in 0..5 {
+        let pick = xs[(s % 3) as usize];
+        s /= 3;
+        let pick = if s & 1 == 1 { !pick } else { pick };
+        s >>= 1;
+        cur = if s & 1 == 1 {
+            aig.and(cur, pick)
+        } else {
+            aig.xor(cur, pick)
+        };
+        s >>= 1;
+    }
+    for i in 0..salt {
+        let x = xs[((seed + i) % 3) as usize];
+        let either = aig.or(cur, x);
+        cur = aig.and(cur, either);
+    }
+    aig.add_po(cur);
+    aig
+}
+
+/// Repeat-traffic phase: `pairs` distinct function pairs are checked
+/// twice, the second time as structurally perturbed (salted) rebuilds.
+/// The second wave misses the structural cache by construction; each of
+/// its cones settles either from the semantic tier or by re-proving.
+/// Returns `(wave_shards, structural_hits, semantic_hits, wall_seconds)`
+/// for the perturbed wave.
+fn repeat_traffic(pairs: u64, workers: usize) -> (u64, u64, u64, f64) {
+    let svc = CecService::new(SvcConfig {
+        workers,
+        default_deadline: Some(JOB_DEADLINE),
+        // The whole-job memo cannot hit (the rebuilds hash differently);
+        // disabling it just keeps the accounting story clean.
+        job_memo_capacity: 0,
+        ..SvcConfig::default()
+    });
+    let wave = |salt_a: u64, salt_b: u64| -> Vec<_> {
+        (0..pairs)
+            .map(|i| {
+                // Mixed traffic: equivalent and inequivalent pairs, one
+                // NPN class per pair index.
+                let (sa, sb) = (3 + 17 * i, 3 + 17 * i + 5 * (i % 2));
+                let m = miter(&coded_net(sa, salt_a), &coded_net(sb, salt_b)).unwrap();
+                svc.submit(m)
+            })
+            .collect()
+    };
+    for id in wave(0, 1) {
+        svc.wait(id);
+    }
+    let before = svc.stats();
+    let start = Instant::now();
+    let ids = wave(2, 3);
+    let mut shards = 0u64;
+    for id in ids {
+        let r = svc.wait(id).expect("job exists");
+        shards += r.stats.shards as u64;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let after = svc.stats();
+    (
+        shards,
+        after.cache_hits - before.cache_hits,
+        after.cache_semantic_hits - before.cache_semantic_hits,
+        wall,
+    )
 }
 
 fn main() {
@@ -96,6 +178,24 @@ fn main() {
     eprintln!("{stats}");
     eprintln!("jobs/sec: {jobs_per_sec:.3}");
 
+    // Repeat-traffic phase: structurally perturbed duplicates of small
+    // cones, where only the semantic tier can collapse the re-check.
+    let repeat_pairs = match scale {
+        Scale::Tiny => 16,
+        Scale::Small => 48,
+        Scale::Medium => 128,
+    };
+    let (rt_shards, rt_structural, rt_semantic, rt_wall) = repeat_traffic(repeat_pairs, workers);
+    eprintln!(
+        "repeat traffic: {rt_shards} perturbed shards — {rt_structural} structural hits, \
+         {rt_semantic} semantic hits ({:.0}% settled without an engine run)",
+        if rt_shards > 0 {
+            100.0 * (rt_structural + rt_semantic) as f64 / rt_shards as f64
+        } else {
+            0.0
+        },
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -108,7 +208,16 @@ fn main() {
             "  \"cache_hits\": {},\n",
             "  \"cache_misses\": {},\n",
             "  \"cache_hit_rate\": {:.6},\n",
+            "  \"cache_semantic_hits\": {},\n",
             "  \"worker_utilization\": {:.6},\n",
+            "  \"repeat_traffic\": {{\n",
+            "    \"pairs\": {},\n",
+            "    \"perturbed_shards\": {},\n",
+            "    \"structural_hits\": {},\n",
+            "    \"semantic_hits\": {},\n",
+            "    \"settled_cached_rate\": {:.6},\n",
+            "    \"wall_seconds\": {:.6}\n",
+            "  }},\n",
             "  \"jobs\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -121,7 +230,18 @@ fn main() {
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_hit_rate(),
+        stats.cache_semantic_hits,
         stats.worker_utilization,
+        repeat_pairs,
+        rt_shards,
+        rt_structural,
+        rt_semantic,
+        if rt_shards > 0 {
+            (rt_structural + rt_semantic) as f64 / rt_shards as f64
+        } else {
+            0.0
+        },
+        rt_wall,
         cases_json.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write benchmark json");

@@ -1,0 +1,119 @@
+//! Exact truth tables of small single-output cones.
+//!
+//! The semantic cache keys a cone by the NPN-canonical form of its truth
+//! table; this module computes that table by one bit-parallel pass over
+//! the cone in topological order, seeding each input with its projection
+//! pattern. Complementation XORs full words, so for `k < 6` the result
+//! carries dirty don't-care upper bits — it is returned through
+//! [`TruthTable::from_sim_words`] and must be [`TruthTable::masked`]
+//! (or canonicalized, which masks at its boundary) before any word-level
+//! comparison.
+
+use parsweep_aig::{Aig, Node};
+
+use crate::npn::MAX_NPN_VARS;
+use crate::tt::{projection_word, word_len, TruthTable};
+
+/// Computes the exact truth table of a single-output cone.
+///
+/// Returns `None` when the AIG is not a cone the canonicalizer can
+/// handle: more than one primary output, or more than `max_vars`
+/// (clamped to [`MAX_NPN_VARS`]) primary inputs.
+pub fn cone_truth_table(aig: &Aig, max_vars: usize) -> Option<TruthTable> {
+    let k = aig.num_pis();
+    if aig.num_pos() != 1 || k > max_vars.min(MAX_NPN_VARS) {
+        return None;
+    }
+    let wlen = word_len(k);
+    let mut words = vec![0u64; aig.num_nodes() * wlen];
+    for (idx, node) in aig.nodes().iter().enumerate() {
+        match *node {
+            Node::Const => {} // words already zero
+            Node::Input(pi) => {
+                for w in 0..wlen {
+                    words[idx * wlen + w] = projection_word(pi as usize, w);
+                }
+            }
+            Node::And(a, b) => {
+                let ma = if a.is_complemented() { u64::MAX } else { 0 };
+                let mb = if b.is_complemented() { u64::MAX } else { 0 };
+                for w in 0..wlen {
+                    let wa = words[a.var().index() * wlen + w] ^ ma;
+                    let wb = words[b.var().index() * wlen + w] ^ mb;
+                    words[idx * wlen + w] = wa & wb;
+                }
+            }
+        }
+    }
+    let po = aig.po(0);
+    let mpo = if po.is_complemented() { u64::MAX } else { 0 };
+    let base = po.var().index() * wlen;
+    let out: Vec<u64> = (0..wlen).map(|w| words[base + w] ^ mpo).collect();
+    Some(TruthTable::from_sim_words(k, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_pointwise_eval() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let f = aig.and(xs[0], xs[1]);
+        let g = aig.or(!xs[2], xs[3]);
+        let h = aig.xor(f, g);
+        aig.add_po(!h);
+        let tt = cone_truth_table(&aig, MAX_NPN_VARS).expect("cone qualifies");
+        let want = TruthTable::from_fn(4, |i| {
+            let bits: Vec<bool> = (0..4).map(|j| i >> j & 1 == 1).collect();
+            aig.eval(&bits)[0]
+        });
+        assert_eq!(tt.masked(), want);
+    }
+
+    #[test]
+    fn complemented_po_leaves_dirty_upper_bits() {
+        // k = 2 with a complemented PO: the XOR with !0 dirties bits 4..64,
+        // which masked() must clear.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(2);
+        let f = aig.and(xs[0], xs[1]);
+        aig.add_po(!f); // NAND
+        let tt = cone_truth_table(&aig, MAX_NPN_VARS).expect("cone qualifies");
+        assert!(tt.words()[0] >> 4 != 0, "raw sim words keep don't-cares");
+        assert_eq!(tt.masked(), TruthTable::from_fn(2, |i| i != 3));
+    }
+
+    #[test]
+    fn rejects_multi_po_and_wide_cones() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(7);
+        let f = aig.and_all(xs.iter().copied());
+        aig.add_po(f);
+        assert!(cone_truth_table(&aig, MAX_NPN_VARS).is_none(), "7 PIs");
+        let mut two = Aig::new();
+        let ys = two.add_inputs(2);
+        two.add_po(ys[0]);
+        two.add_po(ys[1]);
+        assert!(cone_truth_table(&two, MAX_NPN_VARS).is_none(), "2 POs");
+        let mut narrow = Aig::new();
+        let zs = narrow.add_inputs(3);
+        let g = narrow.and_all(zs.iter().copied());
+        narrow.add_po(g);
+        assert!(cone_truth_table(&narrow, 2).is_none(), "max_vars bound");
+        assert!(cone_truth_table(&narrow, 3).is_some());
+    }
+
+    #[test]
+    fn wide_tables_use_projection_words() {
+        // k = 6 exercises the multi-word-free but full-word path.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(6);
+        let f = aig.xor(xs[0], xs[5]);
+        aig.add_po(f);
+        let tt = cone_truth_table(&aig, MAX_NPN_VARS).expect("cone qualifies");
+        let want = TruthTable::from_fn(6, |i| (i & 1 == 1) != (i >> 5 & 1 == 1));
+        assert_eq!(tt.masked(), want);
+    }
+}

@@ -33,6 +33,7 @@
 
 mod cex;
 mod classes;
+pub mod cone;
 pub mod exhaustive;
 pub mod npn;
 pub mod partial;
@@ -45,10 +46,13 @@ pub use cex::Cex;
 pub use classes::{
     find_po_counterexample, refine_classes, signature_classes, signature_classes_among,
 };
+pub use cone::cone_truth_table;
 pub use exhaustive::{
     check_windows, check_windows_cancellable, PairOutcome, SimEffort, DEFAULT_MEMORY_WORDS,
 };
-pub use npn::{apply_npn, npn_canonical, npn_equivalent, NpnTransform};
+pub use npn::{
+    apply_npn, lift_index, npn_canonical, npn_equivalent, push_index, NpnTransform, MAX_NPN_VARS,
+};
 pub use partial::{simulate, simulate_pruned, simulate_pruned_counted, Patterns, Signatures};
 pub use resim::ResimPlan;
 pub use tt::{projection_word, word_len, TruthTable, PROJECTIONS};

@@ -48,16 +48,37 @@ impl NpnTransform {
 pub fn apply_npn(tt: &TruthTable, t: &NpnTransform) -> TruthTable {
     let k = tt.num_vars();
     assert!(k <= MAX_NPN_VARS, "NPN supports up to {MAX_NPN_VARS} vars");
-    TruthTable::from_fn(k, |i| {
-        let mut src = 0usize;
-        for j in 0..k {
-            let bit = (i >> j & 1 == 1) != (t.input_neg >> j & 1 == 1);
-            if bit {
-                src |= 1 << t.perm[j] as usize;
-            }
+    TruthTable::from_fn(k, |i| tt.value(lift_index(t, k, i)) != t.output_neg)
+}
+
+/// Maps an assignment index in the transform's *canonical* (output) space
+/// back to an assignment index of the source function: bit `j` of
+/// `canon_index`, xor the input-negation mask, lands on source variable
+/// `perm[j]`. This is how a counterexample found on a canonical form is
+/// lifted back onto the cone it came from.
+pub fn lift_index(t: &NpnTransform, k: usize, canon_index: usize) -> usize {
+    let mut src = 0usize;
+    for j in 0..k {
+        let bit = (canon_index >> j & 1 == 1) != (t.input_neg >> j & 1 == 1);
+        if bit {
+            src |= 1 << t.perm[j] as usize;
         }
-        tt.value(src) != t.output_neg
-    })
+    }
+    src
+}
+
+/// Inverse of [`lift_index`]: maps a source-space assignment index into
+/// the transform's canonical space. Round-trips with `lift_index` for any
+/// transform whose `perm` is a bijection on `0..k`.
+pub fn push_index(t: &NpnTransform, k: usize, src_index: usize) -> usize {
+    let mut out = 0usize;
+    for j in 0..k {
+        let bit = (src_index >> t.perm[j] as usize & 1 == 1) != (t.input_neg >> j & 1 == 1);
+        if bit {
+            out |= 1 << j;
+        }
+    }
+    out
 }
 
 fn permutations(k: usize) -> Vec<[u8; MAX_NPN_VARS]> {
@@ -102,6 +123,11 @@ fn heap_permute(arr: &mut [u8], n: usize, out: &mut Vec<[u8; MAX_NPN_VARS]>) {
 pub fn npn_canonical(tt: &TruthTable) -> (TruthTable, NpnTransform) {
     let k = tt.num_vars();
     assert!(k <= MAX_NPN_VARS, "NPN supports up to {MAX_NPN_VARS} vars");
+    // Mask at the boundary: the lexicographic minimum below compares raw
+    // word vectors, so a `k < 6` table carrying dirty don't-care upper
+    // bits (e.g. from `TruthTable::from_sim_words`) would otherwise split
+    // an NPN class across several "canonical" forms.
+    let tt = tt.masked();
     let mut best: Option<(TruthTable, NpnTransform)> = None;
     for perm in permutations(k) {
         for input_neg in 0..1u16 << k {
@@ -111,7 +137,7 @@ pub fn npn_canonical(tt: &TruthTable) -> (TruthTable, NpnTransform) {
                     input_neg: input_neg as u8,
                     output_neg,
                 };
-                let cand = apply_npn(tt, &t);
+                let cand = apply_npn(&tt, &t);
                 let better = match &best {
                     None => true,
                     Some((b, _)) => cand.words() < b.words(),
@@ -195,6 +221,62 @@ mod tests {
             classes.insert(npn_canonical(&f).0.words().to_vec());
         }
         assert_eq!(classes.len(), 14);
+    }
+
+    #[test]
+    fn dirty_upper_bits_do_not_split_a_class() {
+        // Same 3-variable function, once clean and once with don't-care
+        // garbage above bit 8 (as a bit-parallel simulator would leave it).
+        // Canonicalization must mask at the boundary so both land on the
+        // same canonical word vector — and a clean one.
+        let clean = TruthTable::from_fn(3, |i| (i * 5 + 1) % 3 == 0);
+        let dirty = TruthTable::from_sim_words(3, vec![clean.words()[0] | !0xFFu64]);
+        assert_ne!(clean.words(), dirty.words(), "test needs dirty bits");
+        let (cc, _) = npn_canonical(&clean);
+        let (cd, _) = npn_canonical(&dirty);
+        assert_eq!(cc, cd);
+        assert_eq!(cc.words(), cd.words());
+        assert_eq!(cd.masked().words(), cd.words(), "canonical form is masked");
+    }
+
+    #[test]
+    fn lift_and_push_are_inverse() {
+        let mut rng = parsweep_aig::random::SplitMix64::new(42);
+        for k in 0..=4usize {
+            for _ in 0..10 {
+                let t = NpnTransform {
+                    perm: {
+                        let mut p = [0u8, 1, 2, 3, 4, 5];
+                        for i in (1..k).rev() {
+                            p.swap(i, rng.below(i + 1));
+                        }
+                        p
+                    },
+                    input_neg: (rng.next_u64() & ((1 << k) - 1)) as u8,
+                    output_neg: rng.bool(),
+                };
+                for i in 0..1usize << k {
+                    assert_eq!(push_index(&t, k, lift_index(&t, k, i)), i);
+                    assert_eq!(lift_index(&t, k, push_index(&t, k, i)), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_cex_lifts_back_to_the_source() {
+        // For every canonical-space assignment i, the lifted source index
+        // evaluates to canon(i) xor output_neg — the invariant the
+        // semantic cache relies on to replay counterexamples.
+        let mut rng = parsweep_aig::random::SplitMix64::new(7);
+        for _ in 0..20 {
+            let f = TruthTable::from_fn(4, |_| rng.bool());
+            let (canon, t) = npn_canonical(&f);
+            for i in 0..canon.num_bits() {
+                let src = lift_index(&t, 4, i);
+                assert_eq!(f.value(src) != t.output_neg, canon.value(i));
+            }
+        }
     }
 
     #[test]

@@ -115,6 +115,35 @@ impl TruthTable {
         tt
     }
 
+    /// Builds a table directly from raw simulation words **without**
+    /// masking the unused upper bits.
+    ///
+    /// Bit-parallel simulators hand back full 64-bit words even for
+    /// `num_vars < 6` cones, and the bits above `2^num_vars` are
+    /// don't-cares left over from whatever patterns filled the word. A
+    /// table built this way is only safe to consume through
+    /// [`TruthTable::value`] (which never reads the dirty region) or
+    /// after [`TruthTable::masked`]; comparing it with `==` or hashing
+    /// its raw [`TruthTable::words`] is meaningless until masked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != word_len(num_vars)`.
+    pub fn from_sim_words(num_vars: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), word_len(num_vars), "wrong word count");
+        TruthTable { num_vars, words }
+    }
+
+    /// Returns a copy with the unused upper bits zeroed (`num_vars < 6`),
+    /// restoring the invariant every other constructor maintains. The
+    /// canonical entry point for laundering [`TruthTable::from_sim_words`]
+    /// output before word-level comparison or hashing.
+    pub fn masked(&self) -> Self {
+        let mut tt = self.clone();
+        tt.mask_off();
+        tt
+    }
+
     /// Zeroes the unused upper bits when `num_vars < 6`.
     fn mask_off(&mut self) {
         if self.num_vars < 6 {

@@ -247,6 +247,18 @@ pub fn stats_fields(svc: &CecService) -> Vec<(&'static str, JsonValue)> {
         ("cache_misses", JsonValue::Num(s.cache_misses as f64)),
         ("cache_hit_rate", JsonValue::Num(s.cache_hit_rate())),
         ("cache_evictions", JsonValue::Num(s.cache_evictions as f64)),
+        (
+            "cache_semantic_hits",
+            JsonValue::Num(s.cache_semantic_hits as f64),
+        ),
+        (
+            "cache_persist_loaded",
+            JsonValue::Num(s.cache_persist_loaded as f64),
+        ),
+        (
+            "cache_persist_appended",
+            JsonValue::Num(s.cache_persist_appended as f64),
+        ),
         ("job_memo_hits", JsonValue::Num(s.job_memo_hits as f64)),
         ("cancellations", JsonValue::Num(s.cancellations as f64)),
         ("worker_utilization", JsonValue::Num(s.worker_utilization)),

@@ -45,13 +45,18 @@
 mod cache;
 pub mod frontend;
 pub mod jsonl;
+pub mod persist;
 mod pool;
+pub mod semantic;
 mod service;
 mod shard;
 pub mod shutdown;
 
-pub use cache::{ResultCache, RoutingInfo, CACHE_ENTRY_VERSION, DEFAULT_CACHE_CAPACITY};
+pub use cache::{
+    PersistSummary, ResultCache, RoutingInfo, CACHE_ENTRY_VERSION, DEFAULT_CACHE_CAPACITY,
+};
 pub use pool::{Lane, WorkerPool};
+pub use semantic::{semantic_signature, SemanticKey, SemanticSig, DEFAULT_SEMANTIC_MAX_VARS};
 pub use service::{
     CecService, ClientStats, JobId, JobResult, JobStats, SubmitOpts, SvcConfig, SvcStats,
 };

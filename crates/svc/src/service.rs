@@ -44,6 +44,7 @@ use parsweep_trace::Clock;
 
 use crate::cache::{ResultCache, RoutingInfo, DEFAULT_CACHE_CAPACITY};
 use crate::pool::{Lane, WorkerPool};
+use crate::semantic::{semantic_signature, DEFAULT_SEMANTIC_MAX_VARS};
 use crate::shard::{shard_miter, Shard, ShardPolicy};
 
 /// Default capacity of the whole-job result memo
@@ -96,6 +97,19 @@ pub struct SvcConfig {
     /// partial); concurrent in-flight duplicates each prove fresh (the
     /// memo only serves *settled* results). `0` disables the memo.
     pub job_memo_capacity: usize,
+    /// Largest cone input count the semantic cache tier keys: qualifying
+    /// single-PO cones are NPN-canonicalized so *functionally* equivalent
+    /// cones — resynthesized, input-permuted, negated — share one cached
+    /// verdict. Canonicalization enumerates `k! * 2^k * 2` transforms, so
+    /// the bound trades one-off keying cost against reach; `0` disables
+    /// the semantic tier.
+    pub semantic_max_vars: usize,
+    /// Path of the persistent semantic-verdict log. Settled canonical
+    /// verdicts are appended as they prove and loaded back on service
+    /// start, so a restarted service keeps its semantic corpus. A missing
+    /// file is a fresh start; corrupt lines are skipped, never fatal.
+    /// `None` (the default) keeps the cache purely in-memory.
+    pub cache_persist: Option<std::path::PathBuf>,
     /// Time source for every duration the service reports (queue waits,
     /// job totals). Inject a [`parsweep_trace::ManualClock`] for
     /// deterministic timing in tests; defaults to the wall clock.
@@ -116,6 +130,8 @@ impl Default for SvcConfig {
             default_deadline: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             job_memo_capacity: DEFAULT_JOB_MEMO_CAPACITY,
+            semantic_max_vars: DEFAULT_SEMANTIC_MAX_VARS,
+            cache_persist: None,
             clock: Arc::new(trace::WallClock::new()),
         }
     }
@@ -225,6 +241,13 @@ pub struct SvcStats {
     /// Cache hits whose entry carried engine-routing info, replayed into
     /// the adaptive prover's difficulty model.
     pub cache_routing_hits: u64,
+    /// Cache hits served by the semantic (NPN-canonical) tier: the cone
+    /// was structurally new but functionally equivalent to a settled one.
+    pub cache_semantic_hits: u64,
+    /// Semantic verdicts loaded from the persistent log at start.
+    pub cache_persist_loaded: u64,
+    /// Semantic verdicts appended to the persistent log this run.
+    pub cache_persist_appended: u64,
     /// Jobs that settled with their cancel token tripped (deadline or
     /// explicit cancellation).
     pub cancellations: u64,
@@ -254,7 +277,7 @@ impl fmt::Display for SvcStats {
         write!(
             f,
             "jobs {}/{} | shards {} ({} fused in {} dispatches) | \
-             cache {:.0}% of {} lookups ({} cones, {} evicted) | \
+             cache {:.0}% of {} lookups ({} semantic; {} cones, {} evicted) | \
              {} memoized | {} cancelled | workers {:.0}% busy",
             self.jobs_completed,
             self.jobs_submitted,
@@ -263,6 +286,7 @@ impl fmt::Display for SvcStats {
             self.fused_dispatches,
             100.0 * self.cache_hit_rate(),
             self.cache_hits + self.cache_misses,
+            self.cache_semantic_hits,
             self.cache_len,
             self.cache_evictions,
             self.job_memo_hits,
@@ -318,12 +342,42 @@ impl SvcShared {
     }
 }
 
+/// A second, independent identity of a memoized miter, checked on every
+/// memo hit. The memo does not retain the submitted miter (a whole-job
+/// memo holding thousands of full networks would dwarf the results it
+/// guards), so it cannot re-check structure exactly the way the shard
+/// cache does; instead it stores this fingerprint — an independent
+/// 64-bit digest ([`Aig::structural_fingerprint`]) plus the exact
+/// PI/PO/node counts — and refuses to serve unless the probing miter
+/// matches. A wrong verdict then needs *both* digests to collide at once
+/// on same-shaped networks, instead of riding one `structural_hash`
+/// collision straight to the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct MiterFingerprint {
+    fingerprint: u64,
+    pis: usize,
+    pos: usize,
+    nodes: usize,
+}
+
+impl MiterFingerprint {
+    fn of(miter: &Aig) -> Self {
+        MiterFingerprint {
+            fingerprint: miter.structural_fingerprint(),
+            pis: miter.num_pis(),
+            pos: miter.num_pos(),
+            nodes: miter.num_nodes(),
+        }
+    }
+}
+
 /// FIFO-bounded memo of settled whole-job results, keyed on the
-/// submitted miter's [`Aig::structural_hash`]. FIFO (not LRU) keeps the
-/// insert path a push + occasional pop; duplicate-heavy traffic re-hits
-/// entries soon after insertion, where the two policies behave the same.
+/// submitted miter's [`Aig::structural_hash`] and verified against a
+/// [`MiterFingerprint`] before serving. FIFO (not LRU) keeps the insert
+/// path a push + occasional pop; duplicate-heavy traffic re-hits entries
+/// soon after insertion, where the two policies behave the same.
 struct JobMemo {
-    map: HashMap<u64, JobResult>,
+    map: HashMap<u64, (MiterFingerprint, JobResult)>,
     order: std::collections::VecDeque<u64>,
     capacity: usize,
 }
@@ -337,13 +391,17 @@ impl JobMemo {
         }
     }
 
-    fn lookup(&self, key: u64) -> Option<JobResult> {
-        self.map.get(&key).cloned()
+    /// Serves the memoized result only if the probing miter's fingerprint
+    /// matches the one stored at settle; a `structural_hash` collision
+    /// between different miters degrades to a miss, not a wrong verdict.
+    fn lookup(&self, key: u64, probe: &MiterFingerprint) -> Option<JobResult> {
+        let (stored, result) = self.map.get(&key)?;
+        (stored == probe).then(|| result.clone())
     }
 
     /// First settle of a structure wins; racing duplicates that proved
     /// concurrently are equal anyway, so re-inserts are dropped.
-    fn insert(&mut self, key: u64, result: JobResult) {
+    fn insert(&mut self, key: u64, fingerprint: MiterFingerprint, result: JobResult) {
         if self.capacity == 0 || self.map.contains_key(&key) {
             return;
         }
@@ -352,7 +410,7 @@ impl JobMemo {
                 self.map.remove(&oldest);
             }
         }
-        self.map.insert(key, result);
+        self.map.insert(key, (fingerprint, result));
         self.order.push_back(key);
     }
 }
@@ -367,10 +425,11 @@ struct JobShared {
     fused_shards: usize,
     lane: Lane,
     client: u64,
-    /// Whole-miter structural hash; settle inserts the composed result
-    /// into the service's job memo under this key. `None` when the memo
-    /// is disabled or the job itself settled from the memo.
-    memo_key: Option<u64>,
+    /// Whole-miter structural hash plus the verification fingerprint
+    /// computed at submission; settle inserts the composed result into
+    /// the service's job memo under this pair. `None` when the memo is
+    /// disabled or the job itself settled from the memo.
+    memo_key: Option<(u64, MiterFingerprint)>,
     agg: Mutex<JobAgg>,
     done: Condvar,
 }
@@ -421,7 +480,7 @@ impl JobShared {
                     memo_hit: false,
                 },
             };
-            if let Some(key) = self.memo_key {
+            if let Some((key, fingerprint)) = self.memo_key {
                 // Decided verdicts are final either way: Equivalent means
                 // every shard proved, NotEquivalent carries a concrete
                 // cex (the token trips on disproof only to stop sibling
@@ -429,7 +488,10 @@ impl JobShared {
                 // engine give-up a rerun could improve on — never
                 // memoize it.
                 if !matches!(result.verdict, Verdict::Undecided) {
-                    svc.job_memo.lock().unwrap().insert(key, result.clone());
+                    svc.job_memo
+                        .lock()
+                        .unwrap()
+                        .insert(key, fingerprint, result.clone());
                 }
             }
             agg.result = Some(result);
@@ -522,7 +584,26 @@ impl CecService {
                 .map(|_| Executor::with_threads(cfg.exec_threads.max(1)))
                 .collect::<Vec<_>>(),
         );
-        let cache = Arc::new(ResultCache::with_capacity(cfg.cache_capacity));
+        let mut cache = ResultCache::with_capacity(cfg.cache_capacity);
+        if let Some(path) = &cfg.cache_persist {
+            // A damaged or unwritable corpus degrades to a cold cache,
+            // never a dead service: log and carry on.
+            match cache.attach_persist(path) {
+                Ok(summary) => trace::instant(
+                    "svc",
+                    "cache.persist_loaded",
+                    vec![
+                        ("loaded", trace::ArgValue::U64(summary.loaded as u64)),
+                        ("skipped", trace::ArgValue::U64(summary.skipped as u64)),
+                    ],
+                ),
+                Err(e) => eprintln!(
+                    "parsweep-svc: cache persistence at {} unavailable: {e}",
+                    path.display()
+                ),
+            }
+        }
+        let cache = Arc::new(cache);
         let prover = Arc::new(build_prover(
             ProverConfig {
                 mode: cfg.prover,
@@ -577,9 +658,15 @@ impl CecService {
         }
         // Duplicate of an already-settled miter: settle instantly from
         // the job memo, skipping shard extraction and dispatch entirely.
-        let memo_key = (self.cfg.job_memo_capacity > 0).then(|| miter.structural_hash());
-        if let Some(key) = memo_key {
-            let prior = self.shared.job_memo.lock().unwrap().lookup(key);
+        let memo_key = (self.cfg.job_memo_capacity > 0)
+            .then(|| (miter.structural_hash(), MiterFingerprint::of(&miter)));
+        if let Some((key, fingerprint)) = &memo_key {
+            let prior = self
+                .shared
+                .job_memo
+                .lock()
+                .unwrap()
+                .lookup(*key, fingerprint);
             if let Some(prior) = prior {
                 return self.settle_from_memo(id, prior, &opts);
             }
@@ -746,6 +833,7 @@ impl CecService {
         let sat_fallback = self.cfg.sat_fallback;
         let prover = Arc::clone(&self.prover);
         let mode = self.cfg.prover;
+        let semantic_max_vars = self.cfg.semantic_max_vars;
         self.pool.spawn_in(shared.lane, move |worker| {
             let queue_wait = {
                 let now = shared.clock.now();
@@ -756,18 +844,21 @@ impl CecService {
                 now.saturating_sub(shared.submitted)
             };
             trace::set_thread_label(&format!("svc-worker-{worker}"));
-            let mut span = trace::span(
+            let mut span = Some(trace::span(
                 "svc",
                 if fused {
                     "job.fused_dispatch"
                 } else {
                     "job.shard"
                 },
-            );
-            span.arg_u64("job", shared.id.0);
-            span.arg_u64("tasks", tasks.len() as u64);
-            span.arg_f64("queue_wait", queue_wait.as_secs_f64());
-            for task in tasks {
+            ));
+            if let Some(span) = span.as_mut() {
+                span.arg_u64("job", shared.id.0);
+                span.arg_u64("tasks", tasks.len() as u64);
+                span.arg_f64("queue_wait", queue_wait.as_secs_f64());
+            }
+            let last = tasks.len().saturating_sub(1);
+            for (i, task) in tasks.into_iter().enumerate() {
                 let outcome = prove_shard(
                     &task.cone,
                     task.hash,
@@ -778,12 +869,20 @@ impl CecService {
                     sat_fallback,
                     &prover,
                     mode,
+                    semantic_max_vars,
                     &shared.token,
                 );
                 let lifted = ShardOutcome {
                     verdict: lift_verdict(outcome.verdict, &task.cone, &task.lift, parent_pis),
                     cache_hit: outcome.cache_hit,
                 };
+                // The final settle can wake a drainer that immediately
+                // exports the trace, so the span must close first: an
+                // end event recorded after the export would leave the
+                // stream unbalanced.
+                if i == last {
+                    span.take();
+                }
                 shared.settle_shard(lifted, &svc_shared);
             }
         });
@@ -852,6 +951,9 @@ impl CecService {
             cache_len: self.cache.len(),
             cache_evictions: self.cache.evictions(),
             cache_routing_hits: self.cache.routing_hits(),
+            cache_semantic_hits: self.cache.semantic_hits(),
+            cache_persist_loaded: self.cache.persist_loaded(),
+            cache_persist_appended: self.cache.persist_appended(),
             cancellations: self.shared.cancellations.load(Ordering::Relaxed),
             job_memo_hits: self.shared.job_memo_hits.load(Ordering::Relaxed),
             worker_utilization: self.pool.utilization(),
@@ -990,6 +1092,24 @@ impl CecService {
             "parsweep_cache_routing_hits",
             "Result-cache hits whose entry pre-seeded the adaptive prover's routing.",
             stats.cache_routing_hits,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_cache_semantic_hits_total",
+            "Cache hits served by the semantic (NPN-canonical) tier for structurally new cones.",
+            stats.cache_semantic_hits,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_cache_persist_loaded_total",
+            "Semantic verdicts loaded from the persistent log at service start.",
+            stats.cache_persist_loaded,
+        );
+        render_counter(
+            &mut out,
+            "parsweep_cache_persist_appended_total",
+            "Semantic verdicts appended to the persistent log this run.",
+            stats.cache_persist_appended,
         );
         render_gauge(
             &mut out,
@@ -1190,14 +1310,17 @@ fn plan_dispatches(
     (singles, groups)
 }
 
-/// Settles one cone: cache first, engine otherwise. In
+/// Settles one cone: structural cache first, then the semantic
+/// (NPN-canonical) tier for qualifying small cones, engine otherwise. In
 /// [`ProverMode::Sequential`] the engine path is the pre-adaptive one
 /// (sim-sweep, plus the fixed-sequence combined flow under
 /// `sat_fallback`) and cache entries stay version-1. In
 /// [`ProverMode::Adaptive`] the shard runs through the shared dispatcher,
 /// the winning `(engine, cost)` is recorded into the cache, and a routed
 /// hit replays its record into the difficulty model before returning.
-/// The returned verdict is over the *cone's* PIs.
+/// Every settle of a semantically keyable cone also lands in the
+/// semantic tier, so the *next* functionally identical cone hits even if
+/// its structure differs. The returned verdict is over the *cone's* PIs.
 #[allow(clippy::too_many_arguments)]
 fn prove_shard(
     cone: &Aig,
@@ -1209,6 +1332,7 @@ fn prove_shard(
     sat_fallback: bool,
     prover: &Prover,
     mode: ProverMode,
+    semantic_max_vars: usize,
     token: &CancelToken,
 ) -> ShardOutcome {
     if token.is_cancelled() {
@@ -1238,6 +1362,31 @@ fn prove_shard(
             cache_hit: true,
         };
     }
+    // Structural miss: for small single-PO cones, canonicalize and probe
+    // the semantic tier. The signature is computed once and reused for
+    // the post-engine insert below.
+    let sig = if semantic_max_vars > 0 {
+        let _span = trace::span("svc", "job.semantic_key");
+        semantic_signature(cone, semantic_max_vars)
+    } else {
+        None
+    };
+    if let Some(sig) = &sig {
+        if let Some((verdict, routing)) = cache.lookup_semantic(cone, sig) {
+            if let Some(route) = routing {
+                prover.observe_hint(route.engine, &prover.difficulty(cone), route.cost_micros);
+            }
+            trace::instant(
+                "svc",
+                "job.verdict",
+                vec![("source", trace::ArgValue::Str("semantic_cache".into()))],
+            );
+            return ShardOutcome {
+                verdict,
+                cache_hit: true,
+            };
+        }
+    }
     match mode {
         ProverMode::Sequential => {
             let verdict = if sat_fallback {
@@ -1252,6 +1401,9 @@ fn prove_shard(
                 sim_sweep_cancellable(cone, exec, engine_cfg, token).verdict
             };
             cache.insert(hash, cone, &verdict);
+            if let Some(sig) = &sig {
+                cache.insert_semantic(sig, &verdict, None);
+            }
             trace::instant(
                 "svc",
                 "job.verdict",
@@ -1272,6 +1424,9 @@ fn prove_shard(
             let result = combined_check_with_prover(cone, exec, &cfg, prover, token);
             let routing = shard_routing(result.engine_seconds, &result.verdict, &result.dispatch);
             cache.insert_routed(hash, cone, &result.verdict, routing);
+            if let Some(sig) = &sig {
+                cache.insert_semantic(sig, &result.verdict, routing);
+            }
             trace::instant(
                 "svc",
                 "job.verdict",
@@ -1337,6 +1492,7 @@ fn lift_verdict(verdict: Verdict, cone: &Aig, lift: &[usize], parent_pis: usize)
 mod tests {
     use super::*;
     use parsweep_aig::miter;
+    use proptest::prelude::*;
 
     /// `width` independent XOR bits over disjoint PI pairs; the two
     /// variants build XOR differently so a miter of them does not strash
@@ -1523,6 +1679,9 @@ mod tests {
             cache_len: 6,
             cache_evictions: 2,
             cache_routing_hits: 0,
+            cache_semantic_hits: 3,
+            cache_persist_loaded: 0,
+            cache_persist_appended: 0,
             cancellations: 1,
             job_memo_hits: 5,
             worker_utilization: 0.5,
@@ -1531,6 +1690,7 @@ mod tests {
         assert!(text.contains("jobs 3/4"), "{text}");
         assert!(text.contains("4 fused in 2 dispatches"), "{text}");
         assert!(text.contains("cache 50%"), "{text}");
+        assert!(text.contains("3 semantic"), "{text}");
         assert!(text.contains("2 evicted"), "{text}");
         assert!(text.contains("5 memoized"), "{text}");
         assert!(text.contains("1 cancelled"), "{text}");
@@ -1566,6 +1726,10 @@ mod tests {
         let svc = CecService::new(SvcConfig {
             workers: 1,
             cache_capacity: 1,
+            // Both cones here compute constant 0, so the semantic tier
+            // would settle the second without a structural insert; turn
+            // it off to exercise the LRU eviction path itself.
+            semantic_max_vars: 0,
             ..SvcConfig::default()
         });
         // Two distinct cone structures through a single-entry cache: the
@@ -1760,5 +1924,121 @@ mod tests {
         assert_eq!(c7.jobs_by_lane, [1, 1]);
         assert!(svc.forget_client(7).is_some());
         assert!(svc.forget_client(7).is_none(), "entry dropped");
+    }
+
+    #[test]
+    fn colliding_memo_keys_degrade_to_a_miss() {
+        // The exact shape of the bug this memo design fixes: two
+        // *different* miters whose structural hashes collide (forced
+        // here by inserting under the same key). The unfixed memo served
+        // whatever the key found — the first miter's verdict for the
+        // second miter.
+        let a = miter(&xor_net(1, false), &xor_net(1, true)).unwrap();
+        let mut bad = xor_net(1, true);
+        let po = bad.po(0);
+        bad.set_po(0, !po);
+        let b = miter(&xor_net(1, false), &bad).unwrap();
+        assert!(!a.same_structure(&b));
+        let (fa, fb) = (MiterFingerprint::of(&a), MiterFingerprint::of(&b));
+        let mut memo = JobMemo::new(8);
+        let settled = JobResult {
+            id: JobId(1),
+            verdict: Verdict::Equivalent,
+            stats: JobStats::default(),
+        };
+        memo.insert(0x42, fa, settled);
+        assert!(
+            memo.lookup(0x42, &fa).is_some(),
+            "the genuine duplicate still hits"
+        );
+        assert!(
+            memo.lookup(0x42, &fb).is_none(),
+            "a colliding different miter must miss, not inherit Equivalent"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any two memo-key-colliding miters either share a fingerprint
+        /// because they are the same structure, or the collision degrades
+        /// to a miss — never a cross-served verdict.
+        #[test]
+        fn memo_collisions_never_cross_serve(wa in 1..5usize, wb in 1..5usize) {
+            let a = miter(&xor_net(wa, false), &xor_net(wa, true)).unwrap();
+            let b = miter(&xor_net(wb, false), &xor_net(wb, true)).unwrap();
+            let (fa, fb) = (MiterFingerprint::of(&a), MiterFingerprint::of(&b));
+            let mut memo = JobMemo::new(8);
+            let settled = JobResult {
+                id: JobId(1),
+                verdict: Verdict::Equivalent,
+                stats: JobStats::default(),
+            };
+            memo.insert(0x42, fa, settled);
+            let served = memo.lookup(0x42, &fb);
+            if a.same_structure(&b) {
+                prop_assert!(served.is_some(), "true duplicates keep hitting");
+            } else {
+                prop_assert!(served.is_none(), "colliding non-duplicate was served");
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_tier_settles_structurally_new_cones() {
+        // Two equivalent pairs whose miter cones compute the same
+        // function (constant 0 over 2 PIs) through different structure:
+        // the second job's cone misses the structural cache but settles
+        // from the semantic tier seeded by the first.
+        let m1 = miter(&xor_net(1, false), &xor_net(1, true)).unwrap();
+        let mut a = Aig::new();
+        let xs = a.add_inputs(2);
+        let t = a.and(xs[0], xs[1]);
+        a.add_po(t);
+        let mut b = Aig::new();
+        let ys = b.add_inputs(2);
+        let u = b.and(ys[0], ys[1]);
+        let v = b.and(ys[0], u); // redundant: y0 & (y0 & y1) == y0 & y1
+        b.add_po(v);
+        let m2 = miter(&a, &b).unwrap();
+        let c1 = m1.extract_cone(&[0]).cone;
+        let c2 = m2.extract_cone(&[0]).cone;
+        assert!(
+            !c1.same_structure(&c2),
+            "the cones must differ structurally"
+        );
+
+        let svc = CecService::new(SvcConfig::default());
+        let r1 = svc.wait(svc.submit(m1)).unwrap();
+        assert_eq!(r1.verdict, Verdict::Equivalent);
+        let r2 = svc.wait(svc.submit(m2)).unwrap();
+        assert_eq!(r2.verdict, Verdict::Equivalent);
+        assert_eq!(r2.stats.cache_hits, 1, "the second cone settled cached");
+        let stats = svc.stats();
+        assert_eq!(stats.cache_semantic_hits, 1, "…from the semantic tier");
+    }
+
+    #[test]
+    fn semantic_tier_respects_the_disable_switch() {
+        let svc = CecService::new(SvcConfig {
+            semantic_max_vars: 0,
+            ..SvcConfig::default()
+        });
+        let m1 = miter(&xor_net(1, false), &xor_net(1, true)).unwrap();
+        let mut a = Aig::new();
+        let xs = a.add_inputs(2);
+        let t = a.and(xs[0], xs[1]);
+        a.add_po(t);
+        let mut b = Aig::new();
+        let ys = b.add_inputs(2);
+        let u = b.and(ys[0], ys[1]);
+        let v = b.and(ys[0], u); // redundant: y0 & (y0 & y1) == y0 & y1
+        b.add_po(v);
+        let m2 = miter(&a, &b).unwrap();
+        let r1 = svc.wait(svc.submit(m1)).unwrap();
+        let r2 = svc.wait(svc.submit(m2)).unwrap();
+        assert_eq!(r1.verdict, Verdict::Equivalent);
+        assert_eq!(r2.verdict, Verdict::Equivalent);
+        assert_eq!(svc.stats().cache_semantic_hits, 0);
     }
 }

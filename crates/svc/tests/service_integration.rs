@@ -255,3 +255,128 @@ fn cache_shared_across_jobs_with_common_cones() {
     assert_eq!(r2.stats.cache_hits, r2.stats.shards as u64);
     assert_eq!(r2.stats.cache_misses, 0);
 }
+
+/// `PO = a & b` built directly, or through a redundant decomposition
+/// (`a & (a & b)`) that is functionally identical but adds a gate, so
+/// the two versions share no structural cache key.
+fn and_net(redundant: bool) -> Aig {
+    let mut aig = Aig::new();
+    let xs = aig.add_inputs(2);
+    let t = aig.and(xs[0], xs[1]);
+    let f = if redundant { aig.and(xs[0], t) } else { t };
+    aig.add_po(f);
+    aig
+}
+
+/// `PO = a | b`, optionally through the same kind of redundancy.
+fn or_net(redundant: bool) -> Aig {
+    let mut aig = Aig::new();
+    let xs = aig.add_inputs(2);
+    let t = aig.or(xs[0], xs[1]);
+    let f = if redundant { aig.or(xs[0], t) } else { t };
+    aig.add_po(f);
+    aig
+}
+
+#[test]
+fn semantic_tier_serves_cex_for_structurally_new_cone() {
+    // Two inequivalent miters of the same *function* (AND vs OR) whose
+    // cones differ structurally: the first proves through the engine and
+    // seeds the semantic tier; the second misses the structural cache
+    // but settles from the semantic tier — with a counter-example that
+    // must actually fire its own miter, not the seeding one.
+    let m1 = miter(&and_net(false), &or_net(false)).unwrap();
+    let m2 = miter(&and_net(true), &or_net(true)).unwrap();
+    let c1 = m1.extract_cone(&[0]).cone;
+    let c2 = m2.extract_cone(&[0]).cone;
+    assert!(
+        !c1.same_structure(&c2),
+        "the cones must differ structurally for the test to mean anything"
+    );
+
+    let svc = CecService::new(SvcConfig::default());
+    let r1 = svc.wait(svc.submit(m1.clone())).unwrap();
+    let r2 = svc.wait(svc.submit(m2.clone())).unwrap();
+    match &r1.verdict {
+        Verdict::NotEquivalent(cex) => assert!(cex.fires(&m1)),
+        other => panic!("AND vs OR settled {other:?}"),
+    }
+    match &r2.verdict {
+        Verdict::NotEquivalent(cex) => assert!(cex.fires(&m2), "served cex must fire its miter"),
+        other => panic!("structurally-new AND vs OR settled {other:?}"),
+    }
+    assert_eq!(r2.stats.cache_hits, 1, "second cone settled cached");
+    let stats = svc.stats();
+    assert_eq!(stats.cache_semantic_hits, 1, "…from the semantic tier");
+}
+
+#[test]
+fn persisted_semantic_corpus_survives_a_service_restart() {
+    let dir = std::env::temp_dir().join(format!("parsweep-svc-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verdicts.log");
+    std::fs::remove_file(&path).ok();
+
+    let cfg = || SvcConfig {
+        cache_persist: Some(path.clone()),
+        ..SvcConfig::default()
+    };
+    // Single-cone miters keep the run deterministic (no sibling-shard
+    // cancellation races) and every cone at 2 inputs, so each settled
+    // verdict is semantically keyable and lands in the log.
+    let eq = || miter(&and_net(false), &and_net(true)).unwrap();
+    let ne = || miter(&and_net(false), &or_net(false)).unwrap();
+
+    // First service lifetime: prove everything fresh, appending verdicts.
+    let svc1 = CecService::new(cfg());
+    let r_eq = svc1.wait(svc1.submit(eq())).unwrap();
+    let r_ne = svc1.wait(svc1.submit(ne())).unwrap();
+    assert_eq!(r_eq.verdict, Verdict::Equivalent);
+    assert!(matches!(r_ne.verdict, Verdict::NotEquivalent(_)));
+    let s1 = svc1.stats();
+    assert_eq!(s1.cache_persist_appended, 2, "stats: {s1:?}");
+    assert_eq!(s1.cache_persist_loaded, 0);
+    drop(svc1);
+
+    // Second lifetime: the structural cache and job memo start empty,
+    // but the loaded semantic corpus settles every resubmitted cone
+    // without touching the engine.
+    let svc2 = CecService::new(cfg());
+    let s2 = svc2.stats();
+    assert_eq!(s2.cache_persist_loaded, s1.cache_persist_appended);
+    let r_eq2 = svc2.wait(svc2.submit(eq())).unwrap();
+    let r_ne2 = svc2.wait(svc2.submit(ne())).unwrap();
+    assert_eq!(r_eq2.verdict, Verdict::Equivalent);
+    match &r_ne2.verdict {
+        Verdict::NotEquivalent(cex) => assert!(cex.fires(&ne())),
+        other => panic!("restarted service settled {other:?}"),
+    }
+    assert_eq!(r_eq2.stats.cache_misses, 0, "stats: {:?}", r_eq2.stats);
+    assert_eq!(r_ne2.stats.cache_misses, 0, "stats: {:?}", r_ne2.stats);
+    let s2 = svc2.stats();
+    assert_eq!(s2.cache_semantic_hits, 2, "both cones settled semantically");
+    assert_eq!(
+        s2.cache_persist_appended, 0,
+        "served verdicts must not be re-appended"
+    );
+    drop(svc2);
+
+    // Third lifetime against a damaged log: garbage lines and a torn
+    // tail are skipped, the surviving records still serve.
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(file, "not a record at all").unwrap();
+    write!(file, "sem1 3 f").unwrap(); // torn mid-record, no newline
+    drop(file);
+    let svc3 = CecService::new(cfg());
+    let s3 = svc3.stats();
+    assert_eq!(s3.cache_persist_loaded, 2, "garbage lines cost nothing");
+    let r_eq3 = svc3.wait(svc3.submit(eq())).unwrap();
+    assert_eq!(r_eq3.verdict, Verdict::Equivalent);
+    assert_eq!(r_eq3.stats.cache_misses, 0, "stats: {:?}", r_eq3.stats);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

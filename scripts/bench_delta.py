@@ -99,6 +99,29 @@ def summarize_prover_dispatch(curr_raw):
         )
 
 
+def summarize_repeat_traffic(curr_raw):
+    """Report the service bench's repeat-traffic phase (``repeat_traffic``
+    entry): how structurally perturbed duplicate cones settled — from the
+    structural cache (identical structure), the semantic NPN-canonical
+    tier (same function, new structure), or a fresh engine run."""
+    row = curr_raw.get("repeat_traffic") if isinstance(curr_raw, dict) else None
+    if not isinstance(row, dict):
+        return
+    try:
+        shards = row["perturbed_shards"]
+        structural, semantic = row["structural_hits"], row["semantic_hits"]
+        rate = row["settled_cached_rate"]
+    except (KeyError, TypeError):
+        return
+    reproved = max(0, shards - structural - semantic)
+    print("repeat traffic (structurally perturbed duplicate cones):")
+    print(
+        f"  {shards} perturbed shards: {structural} structural hits, "
+        f"{semantic} semantic hits, {reproved} re-proved "
+        f"({rate * 100.0:.1f}% settled from cache)"
+    )
+
+
 def summarize_net_saturation(curr_raw):
     """Report the network bench's clients-vs-throughput curve (``phases``
     entries plus ``baseline``/``peak``): how throughput scales with
@@ -164,6 +187,7 @@ def main():
         print("  no numeric changes")
     summarize_sanitizer_overhead(curr_raw)
     summarize_prover_dispatch(curr_raw)
+    summarize_repeat_traffic(curr_raw)
     summarize_net_saturation(curr_raw)
     if max_regress is None:
         return 0

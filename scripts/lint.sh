@@ -27,6 +27,12 @@ echo "==> tier-1 build + test"
 cargo build --release
 cargo test -q
 
+echo "==> semantic cache + persistence acceptance (explicit)"
+cargo test -p parsweep-svc --test service_integration -q semantic
+cargo test -p parsweep-svc --test service_integration -q persisted
+cargo test -p parsweep-svc --lib -q semantic
+cargo test -p parsweep-svc --lib -q memo
+
 echo "==> sanitizer-enabled tests (feature)"
 cargo test -p parsweep-par --features sanitize -q
 cargo test -p parsweep-svc --features sanitize -q
