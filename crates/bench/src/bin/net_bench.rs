@@ -103,6 +103,7 @@ fn main() {
         Scale::Tiny => (&[1, 2, 4, 8], 240, 320),
         Scale::Small => (&[1, 2, 4, 8, 16], 320, 480),
         Scale::Medium => (&[1, 2, 4, 8, 16, 32], 480, 640),
+        Scale::Large => (&[1, 2, 4, 8, 16, 32, 64], 640, 960),
     };
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
 

@@ -17,13 +17,21 @@
 //! and one synthetic multiplier-like hard cone, asserting the two agree
 //! on every verdict; `bench_delta.py` surfaces and gates the wall times.
 //!
-//! Usage: `runtime [tiny|small|medium] [output.json]`
+//! A `window_streaming` section runs the same sweep twice — whole-table
+//! residency vs the level-windowed streaming path — on Small-scale
+//! miters and records the peak-live arena reduction; a Tiny-scale
+//! invocation additionally emits a `small_cases` row set so the
+//! committed JSON always carries Small-scale data. Per-case rows
+//! include `arena_peak_live_bytes` and `arena_peak_bytes_per_node`,
+//! the memory leaves `bench_delta.py` gates.
+//!
+//! Usage: `runtime [tiny|small|medium|large] [output.json]`
 
 use std::fmt::Write as _;
 
 use parsweep_aig::{miter, Aig, Lit};
-use parsweep_bench::harness::{suite, Scale};
-use parsweep_core::{fraig, sim_sweep, EngineConfig, EngineStats, Report};
+use parsweep_bench::harness::{suite, Case, Scale};
+use parsweep_core::{fraig, sim_sweep, EngineConfig, EngineStats, Report, SigWindowConfig};
 use parsweep_par::{CancelToken, Executor, LaunchStats, SanitizerConfig};
 use parsweep_sat::{portfolio_check, PortfolioConfig, Prover, ProverConfig, ProverMode, Verdict};
 
@@ -80,7 +88,13 @@ fn maj_rounds_miter(n: usize, rounds: usize) -> Aig {
     miter(&build(n, rounds, false), &build(n, rounds, true)).expect("same interface")
 }
 
-fn case_json(name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats) -> String {
+fn case_json(
+    name: &str,
+    verdict: &str,
+    stats: &EngineStats,
+    s: &LaunchStats,
+    nodes: usize,
+) -> String {
     let mut j = String::new();
     let _ = write!(
         j,
@@ -90,6 +104,7 @@ fn case_json(name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats) ->
             "\"inline_launches\": {}, \"pruned_rounds\": {}, ",
             "\"resim_clean\": {}, \"resim_dirty\": {}, ",
             "\"arena_hits\": {}, \"arena_misses\": {}, \"arena_peak_bytes\": {}, ",
+            "\"arena_peak_live_bytes\": {}, \"arena_peak_bytes_per_node\": {:.1}, ",
             "\"static_verified_launches\": {}, \"static_verified_replays\": {}}}"
         ),
         name,
@@ -105,6 +120,8 @@ fn case_json(name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats) ->
         s.arena_hits,
         s.arena_misses,
         s.arena_peak_bytes,
+        s.arena_peak_live_bytes,
+        s.arena_peak_live_bytes as f64 / nodes.max(1) as f64,
         s.static_verified_launches,
         s.static_verified_replays,
     );
@@ -125,8 +142,18 @@ fn main() {
     let mut total_seconds = 0.0f64;
     let (mut total_modeled, mut total_serialized) = (0u64, 0u64);
     let (mut total_launches, mut total_inline) = (0u64, 0u64);
+    // Two peak aggregates: `peak_bytes` is the arena *footprint*
+    // high-water (pools never free, so across sequential cases this is a
+    // cumulative-allocation figure, not any one case's working set);
+    // `peak_live_bytes` maxes the per-case *live* peaks, which
+    // `reset_stats` rebases between cases — the honest per-case number.
     let mut peak_bytes = 0u64;
-    let mut report = |name: &str, verdict: &str, stats: &EngineStats, s: &LaunchStats| {
+    let mut peak_live_bytes = 0u64;
+    let mut report = |name: &str,
+                      verdict: &str,
+                      stats: &EngineStats,
+                      s: &LaunchStats,
+                      nodes: usize| {
         let modeled = s.modeled_time(MODEL_CORES);
         total_seconds += stats.seconds;
         total_modeled += modeled;
@@ -134,8 +161,9 @@ fn main() {
         total_launches += s.launches;
         total_inline += s.inline_launches;
         peak_bytes = peak_bytes.max(s.arena_peak_bytes);
+        peak_live_bytes = peak_live_bytes.max(s.arena_peak_live_bytes);
         eprintln!(
-            "{:<16} {} wall {:.3}s modeled {} launches {}p+{}i resim {}c/{}d arena {}h/{}m peak {}B",
+            "{:<16} {} wall {:.3}s modeled {} launches {}p+{}i resim {}c/{}d arena {}h/{}m live-peak {}B",
             name,
             verdict,
             stats.seconds,
@@ -146,9 +174,9 @@ fn main() {
             stats.resim_dirty_nodes,
             s.arena_hits,
             s.arena_misses,
-            s.arena_peak_bytes,
+            s.arena_peak_live_bytes,
         );
-        cases_json.push(case_json(name, verdict, stats, s));
+        cases_json.push(case_json(name, verdict, stats, s, nodes));
     };
 
     eprintln!("# device-runtime smoke bench ({scale:?}, modeled cores = {MODEL_CORES})");
@@ -157,7 +185,13 @@ fn main() {
         exec.reset_stats();
         let r = sim_sweep(&case.miter, &exec, &EngineConfig::scaled());
         let s = exec.stats();
-        report(&case.name, Report::new(&r).verdict_tag(), &r.stats, &s);
+        report(
+            &case.name,
+            Report::new(&r).verdict_tag(),
+            &r.stats,
+            &s,
+            case.miter.num_nodes(),
+        );
     }
     // A tighter global support bound and fewer random words than the
     // sweep rows: wide pairs fall through to later rounds and the
@@ -185,7 +219,124 @@ fn main() {
         } else {
             "unchanged"
         };
-        report(&name, verdict, &fr.stats, &s);
+        report(&name, verdict, &fr.stats, &s, case.miter.num_nodes());
+    }
+
+    // Small-scale rows, committed alongside the Tiny rows: big enough
+    // that signature-table residency is a real cost, small enough for a
+    // smoke bench. At Small scale or above the main loop already covers
+    // them, so this extra set only runs (and only appears in the JSON)
+    // for a Tiny-scale invocation.
+    let small_suite = if scale == Scale::Tiny {
+        suite(Scale::Small)
+    } else {
+        Vec::new()
+    };
+    let pick = |pool: &'static str| -> &Case {
+        let from = if small_suite.is_empty() {
+            &cases
+        } else {
+            &small_suite
+        };
+        from.iter()
+            .find(|c| c.name.starts_with(pool))
+            .expect("case names come from the suite")
+    };
+    let mut small_json = Vec::new();
+    if !small_suite.is_empty() {
+        eprintln!("# small-scale rows");
+        for base in ["log2", "voter"] {
+            let case = pick(base);
+            exec.reset_stats();
+            let r = sim_sweep(&case.miter, &exec, &EngineConfig::scaled());
+            let s = exec.stats();
+            eprintln!(
+                "{:<16} {} wall {:.3}s live-peak {}B",
+                format!("{}_small", case.name),
+                Report::new(&r).verdict_tag(),
+                r.stats.seconds,
+                s.arena_peak_live_bytes,
+            );
+            small_json.push(case_json(
+                &format!("{}_small", case.name),
+                Report::new(&r).verdict_tag(),
+                &r.stats,
+                &s,
+                case.miter.num_nodes(),
+            ));
+        }
+    }
+
+    // Residency comparison: the same sweep whole-table vs level-windowed,
+    // on Small-scale miters (the acceptance regime). Disabling the
+    // exhaustive PO phase (`k_po_all = k_po = 0`) and widening the
+    // random pattern set forces the global phase's partial-simulation
+    // signature tables to dominate the device arena — the regime the
+    // streaming path is for; at depth-doubled scale the PO supports are
+    // too wide for exhaustive tables anyway. Verdicts must match; the
+    // committed JSON records the peak-live reduction.
+    let mut window_json = Vec::new();
+    eprintln!("# window streaming (whole-table vs level-windowed residency)");
+    let stream_cfg = || {
+        let mut cfg = EngineConfig::scaled();
+        cfg.k_po_all = 0;
+        cfg.k_po = 0;
+        cfg.k_g = 12;
+        cfg.sim_words = 128;
+        cfg
+    };
+    // One Small-scale case keeps this section smoke-sized: log2's
+    // PO-phase-free sweep runs for tens of minutes at Small scale, so
+    // it stays out of the committed comparison.
+    #[allow(clippy::single_element_loop)] // the set is meant to grow
+    for base in ["voter"] {
+        let case = pick(base);
+        let resident_exec = Executor::new();
+        let resident = sim_sweep(&case.miter, &resident_exec, &stream_cfg());
+        let rs = resident_exec.stats();
+        let windowed_exec = Executor::new();
+        let windowed_cfg = stream_cfg().with_sig_window(SigWindowConfig::with_levels(4));
+        let windowed = sim_sweep(&case.miter, &windowed_exec, &windowed_cfg);
+        let ws = windowed_exec.stats();
+        assert_eq!(
+            Report::new(&resident).verdict_tag(),
+            Report::new(&windowed).verdict_tag(),
+            "{base}: windowed streaming changed the verdict"
+        );
+        assert!(
+            ws.window_spills > 0,
+            "{base}: windowed run never spilled a level"
+        );
+        let reduction = rs.arena_peak_live_bytes as f64 / ws.arena_peak_live_bytes.max(1) as f64;
+        eprintln!(
+            "{:<16} {} resident {}B windowed {}B (+{}B spill tier) reduction {:.2}x spills {}",
+            base,
+            Report::new(&windowed).verdict_tag(),
+            rs.arena_peak_live_bytes,
+            ws.arena_peak_live_bytes,
+            ws.spill_peak_bytes,
+            reduction,
+            ws.window_spills,
+        );
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            concat!(
+                "    {{\"name\": \"{}\", \"verdict\": \"{}\", ",
+                "\"resident_peak_live_bytes\": {}, \"windowed_peak_live_bytes\": {}, ",
+                "\"spill_peak_bytes\": {}, \"window_spills\": {}, ",
+                "\"window_spill_bytes\": {}, \"peak_reduction\": {:.3}}}"
+            ),
+            case.name,
+            Report::new(&windowed).verdict_tag(),
+            rs.arena_peak_live_bytes,
+            ws.arena_peak_live_bytes,
+            ws.spill_peak_bytes,
+            ws.window_spills,
+            ws.window_spill_bytes,
+            reduction,
+        );
+        window_json.push(j);
     }
 
     // Sanitizer-overhead comparison on the resim-heavy rows: the same
@@ -329,7 +480,10 @@ fn main() {
             "  \"total_launches\": {},\n",
             "  \"total_inline_launches\": {},\n",
             "  \"max_arena_peak_bytes\": {},\n",
+            "  \"max_arena_peak_live_bytes\": {},\n",
             "  \"cases\": [\n{}\n  ],\n",
+            "  \"small_cases\": [\n{}\n  ],\n",
+            "  \"window_streaming\": [\n{}\n  ],\n",
             "  \"sanitizer_overhead\": [\n{}\n  ],\n",
             "  \"prover_dispatch\": [\n{}\n  ]\n",
             "}}\n"
@@ -342,7 +496,10 @@ fn main() {
         total_launches,
         total_inline,
         peak_bytes,
+        peak_live_bytes,
         cases_json.join(",\n"),
+        small_json.join(",\n"),
+        window_json.join(",\n"),
         overhead_json.join(",\n"),
         prover_json.join(",\n"),
     );

@@ -184,6 +184,7 @@ fn main() {
         Scale::Tiny => 16,
         Scale::Small => 48,
         Scale::Medium => 128,
+        Scale::Large => 256,
     };
     let (rt_shards, rt_structural, rt_semantic, rt_wall) = repeat_traffic(repeat_pairs, workers);
     eprintln!(

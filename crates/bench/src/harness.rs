@@ -54,15 +54,20 @@ pub enum Scale {
     Small,
     /// Tens of minutes; closest laptop analogue of the paper's table.
     Medium,
+    /// Hours-long runs with miters large enough that whole-table
+    /// signature residency dominates memory — the scale the
+    /// level-windowed streaming path exists for.
+    Large,
 }
 
 impl Scale {
-    /// Parses `tiny` / `small` / `medium`.
+    /// Parses `tiny` / `small` / `medium` / `large`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "tiny" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
             _ => None,
         }
     }
@@ -76,6 +81,7 @@ pub fn suite(scale: Scale) -> Vec<Case> {
         Scale::Tiny => (6, 5, 8, 4, 8, 15, 6, 3, 1, 1),
         Scale::Small => (10, 10, 12, 6, 12, 25, 16, 6, 2, 2),
         Scale::Medium => (12, 12, 14, 8, 14, 41, 48, 12, 3, 3),
+        Scale::Large => (14, 14, 16, 10, 16, 55, 96, 20, 4, 4),
     };
     vec![
         Case::build("hyp", gen::gen_hyp(sqw), d_arith),
@@ -214,5 +220,14 @@ mod tests {
     fn case_by_name_finds_prefix() {
         assert!(case_by_name(Scale::Tiny, "voter").is_some());
         assert!(case_by_name(Scale::Tiny, "nonexistent").is_none());
+    }
+
+    #[test]
+    fn scale_parse_covers_all_presets() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("huge"), None);
     }
 }

@@ -1,6 +1,7 @@
 //! Engine configuration (the paper's §IV parameter set).
 
 use parsweep_cut::{CutParams, Pass};
+use parsweep_sim::{OdcConfig, SigWindowConfig};
 
 /// Window merging strategy for PO and global function checking (§III-B3).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,6 +64,18 @@ pub struct EngineConfig {
     /// value justification generates directed patterns that knock
     /// wide-support candidates out of the constant class.
     pub reverse_sim: bool,
+    /// Level-windowed signature streaming: `Some` bounds the device
+    /// residency of every partial-simulation table to a sliding window
+    /// of topological levels, spilling retired columns to a host (or
+    /// disk) tier. `None` (the default) keeps whole tables resident —
+    /// bit-identical to the pre-streaming pipeline.
+    pub sig_window: Option<SigWindowConfig>,
+    /// Observability don't-care-aware refinement: `Some` computes
+    /// per-node care masks each G round and diverts candidate pairs
+    /// whose disagreement is entirely unobservable to an exact bounded
+    /// replaceability check instead of discarding them. `None` (the
+    /// default) disables the layer.
+    pub odc: Option<OdcConfig>,
 }
 
 impl EngineConfig {
@@ -88,6 +101,8 @@ impl EngineConfig {
             distance1_cex: false,
             adaptive_passes: false,
             reverse_sim: false,
+            sig_window: None,
+            odc: None,
         }
     }
 
@@ -112,6 +127,8 @@ impl EngineConfig {
             distance1_cex: false,
             adaptive_passes: false,
             reverse_sim: false,
+            sig_window: None,
+            odc: None,
         }
     }
 }
@@ -138,6 +155,20 @@ impl EngineConfig {
         self.distance1_cex = true;
         self.adaptive_passes = true;
         self.reverse_sim = true;
+        self
+    }
+
+    /// Returns this configuration with level-windowed signature streaming
+    /// enabled (see [`SigWindowConfig`]).
+    pub fn with_sig_window(mut self, window: SigWindowConfig) -> Self {
+        self.sig_window = Some(window);
+        self
+    }
+
+    /// Returns this configuration with ODC-aware refinement enabled under
+    /// the default [`OdcConfig`] bounds.
+    pub fn with_odc(mut self) -> Self {
+        self.odc = Some(OdcConfig::default());
         self
     }
 }
@@ -182,5 +213,18 @@ mod tests {
         assert!(d.k_po_all <= 20, "default must be laptop-safe");
         assert_eq!(d.window_merging, MergeStrategy::Lexicographic);
         assert!(d.similarity_selection);
+    }
+
+    #[test]
+    fn streaming_and_odc_default_off() {
+        assert!(EngineConfig::paper().sig_window.is_none());
+        assert!(EngineConfig::paper().odc.is_none());
+        assert!(EngineConfig::scaled().sig_window.is_none());
+        assert!(EngineConfig::scaled().odc.is_none());
+        let c = EngineConfig::scaled()
+            .with_sig_window(SigWindowConfig::with_levels(2))
+            .with_odc();
+        assert_eq!(c.sig_window.unwrap().window_levels, 2);
+        assert_eq!(c.odc.unwrap().check_limit, 8);
     }
 }

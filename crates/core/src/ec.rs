@@ -3,8 +3,9 @@
 use parsweep_aig::{Aig, Lit, Var};
 use parsweep_par::Executor;
 use parsweep_sim::{
-    refine_classes, signature_classes, signature_classes_among, simulate, simulate_pruned_counted,
-    PairCheck, Patterns, ResimPlan, Signatures,
+    refine_classes, refine_classes_odc, signature_classes, signature_classes_among,
+    simulate_pruned_counted_with, simulate_with, OdcCandidate, OdcMasks, PairCheck, Patterns,
+    ResimPlan, SigWindowConfig, Signatures,
 };
 
 /// The engine's EC manager: wraps partial-simulation signatures and the
@@ -22,17 +23,33 @@ pub struct EcManager {
     /// Nodes the construction actually simulated: `Some(cone size)` for
     /// the pruned constructor, `None` for a full build.
     simulated_nodes: Option<usize>,
+    /// Residency policy every simulation this manager runs goes through:
+    /// `Some` streams tables level-windowed, `None` keeps them resident.
+    window: Option<SigWindowConfig>,
 }
 
 impl EcManager {
     /// Builds classes by simulating `patterns` on the miter.
     pub fn from_patterns(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Self {
-        let sigs = simulate(aig, exec, patterns);
+        Self::from_patterns_with(aig, exec, patterns, None)
+    }
+
+    /// [`EcManager::from_patterns`] under a residency policy: the initial
+    /// table and every later refinement/resimulation round stream through
+    /// the level window when `window` is `Some`.
+    pub fn from_patterns_with(
+        aig: &Aig,
+        exec: &Executor,
+        patterns: &Patterns,
+        window: Option<SigWindowConfig>,
+    ) -> Self {
+        let sigs = simulate_with(aig, exec, patterns, window.as_ref());
         let classes = signature_classes(aig, &sigs);
         EcManager {
             classes,
             sigs,
             simulated_nodes: None,
+            window,
         }
     }
 
@@ -49,10 +66,24 @@ impl EcManager {
         candidates: &[Var],
         extra_live: &[Var],
     ) -> Self {
+        Self::from_patterns_pruned_with(aig, exec, patterns, candidates, extra_live, None)
+    }
+
+    /// [`EcManager::from_patterns_pruned`] under a residency policy (see
+    /// [`EcManager::from_patterns_with`]).
+    pub fn from_patterns_pruned_with(
+        aig: &Aig,
+        exec: &Executor,
+        patterns: &Patterns,
+        candidates: &[Var],
+        extra_live: &[Var],
+        window: Option<SigWindowConfig>,
+    ) -> Self {
         let mut live: Vec<Var> = candidates.iter().chain(extra_live).copied().collect();
         live.sort_unstable();
         live.dedup();
-        let (sigs, covered) = simulate_pruned_counted(aig, exec, patterns, &live);
+        let (sigs, covered) =
+            simulate_pruned_counted_with(aig, exec, patterns, &live, window.as_ref());
         let mut among: Vec<Var> = std::iter::once(Var::FALSE)
             .chain(candidates.iter().copied())
             .collect();
@@ -63,6 +94,7 @@ impl EcManager {
             classes,
             sigs,
             simulated_nodes: Some(covered),
+            window,
         }
     }
 
@@ -99,9 +131,37 @@ impl EcManager {
         live.extend_from_slice(extra_live);
         live.sort_unstable();
         live.dedup();
-        let (fresh, covered) = simulate_pruned_counted(aig, exec, patterns, &live);
+        let (fresh, covered) =
+            simulate_pruned_counted_with(aig, exec, patterns, &live, self.window.as_ref());
         let refined = refine_classes(&mut self.classes, &self.sigs, &fresh);
         (fresh, refined, covered)
+    }
+
+    /// [`EcManager::refine_with`] with observability don't-cares: care
+    /// masks are computed over the fresh table before refinement, and
+    /// pairs whose split was entirely unobservable come back as
+    /// [`OdcCandidate`]s (at most `odc_limit`) for the engine's exact
+    /// replaceability check. Splitting itself is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refine_with_odc(
+        &mut self,
+        aig: &Aig,
+        exec: &Executor,
+        patterns: &Patterns,
+        extra_live: &[Var],
+        fanouts: &parsweep_sim::Fanouts,
+        odc_limit: usize,
+    ) -> (Signatures, usize, usize, Vec<OdcCandidate>) {
+        let mut live = self.live_vars();
+        live.extend_from_slice(extra_live);
+        live.sort_unstable();
+        live.dedup();
+        let (fresh, covered) =
+            simulate_pruned_counted_with(aig, exec, patterns, &live, self.window.as_ref());
+        let masks = OdcMasks::compute(aig, exec, &fresh, fanouts);
+        let (refined, candidates) =
+            refine_classes_odc(&mut self.classes, &self.sigs, &fresh, &masks, odc_limit);
+        (fresh, refined, covered, candidates)
     }
 
     /// Carries the EC state across a miter rewrite
@@ -122,8 +182,26 @@ impl EcManager {
         exec: &Executor,
         patterns: &Patterns,
     ) -> (usize, usize) {
-        let plan = ResimPlan::new(old, new, map, subst);
-        self.sigs = plan.resimulate(new, exec, patterns, &self.sigs);
+        self.rebuild_exempt(old, new, map, subst, &[], exec, patterns)
+    }
+
+    /// [`EcManager::rebuild`] with resim-taint exemptions: substitutions
+    /// of the listed old variables (ODC merges proven PO-preserving by
+    /// [`parsweep_sim::check_replaceable`]) do not dirty their TFO — the
+    /// memoized words stay, stale only in unobservable bits.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild_exempt(
+        &mut self,
+        old: &Aig,
+        new: &Aig,
+        map: &[Lit],
+        subst: &[Lit],
+        exempt: &[Var],
+        exec: &Executor,
+        patterns: &Patterns,
+    ) -> (usize, usize) {
+        let plan = ResimPlan::new_with_exempt(old, new, map, subst, exempt);
+        self.sigs = plan.resimulate_with(new, exec, patterns, &self.sigs, self.window.as_ref());
         let mut classes: Vec<Vec<Var>> = Vec::with_capacity(self.classes.len());
         for class in self.classes.drain(..) {
             let mut members: Vec<Var> = class

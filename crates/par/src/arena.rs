@@ -43,6 +43,16 @@ pub struct ArenaStats {
     pub peak_bytes: u64,
     /// Current footprint in bytes.
     pub footprint_bytes: u64,
+    /// Bytes currently checked out of the pools (live `PooledBuf`s only,
+    /// not idle pooled memory). Unlike `footprint_bytes` this shrinks
+    /// when buffers are dropped.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`. Because pools never free, the
+    /// footprint-based `peak_bytes` of a later workload is floored at
+    /// whatever an earlier workload in the same process allocated; this
+    /// counter is the honest per-workload demand after a
+    /// `reset_counters` rebase.
+    pub peak_live_bytes: u64,
 }
 
 /// A pool bucket: freed buffers of one element type and size class.
@@ -56,6 +66,8 @@ struct ArenaInner {
     misses: AtomicU64,
     footprint: AtomicU64,
     peak: AtomicU64,
+    live: AtomicU64,
+    peak_live: AtomicU64,
 }
 
 /// Pool size class of a requested length: the next power of two.
@@ -67,6 +79,9 @@ impl ArenaInner {
     fn take_vec<T: Default + Clone + Send + 'static>(self: &Arc<Self>, len: usize) -> Vec<T> {
         let class = size_class(len);
         let key = (TypeId::of::<T>(), class);
+        let class_bytes = (class * std::mem::size_of::<T>()) as u64;
+        let live = self.live.fetch_add(class_bytes, Ordering::Relaxed) + class_bytes;
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
         let recycled = self
             .pools
             .lock()
@@ -96,6 +111,8 @@ impl ArenaInner {
     }
 
     fn put_back<T: Send + 'static>(&self, class: usize, data: Vec<T>) {
+        let class_bytes = (class * std::mem::size_of::<T>()) as u64;
+        self.live.fetch_sub(class_bytes, Ordering::Relaxed);
         self.pools
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -142,6 +159,8 @@ impl BufferArena {
             misses: self.inner.misses.load(Ordering::Relaxed),
             peak_bytes: self.inner.peak.load(Ordering::Relaxed),
             footprint_bytes: self.inner.footprint.load(Ordering::Relaxed),
+            live_bytes: self.inner.live.load(Ordering::Relaxed),
+            peak_live_bytes: self.inner.peak_live.load(Ordering::Relaxed),
         }
     }
 
@@ -154,6 +173,9 @@ impl BufferArena {
             self.inner.footprint.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        self.inner
+            .peak_live
+            .store(self.inner.live.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 }
 
@@ -268,6 +290,23 @@ mod tests {
         let _c = arena.take::<u8>(1000);
         assert_eq!(arena.stats().hits, 1);
         assert_eq!(arena.stats().peak_bytes, 2048, "reuse adds no footprint");
+    }
+
+    #[test]
+    fn live_bytes_shrink_on_drop_but_peak_live_remembers() {
+        let arena = BufferArena::new();
+        drop(arena.take::<u8>(1024));
+        assert_eq!(arena.stats().live_bytes, 0);
+        assert_eq!(arena.stats().peak_live_bytes, 1024);
+        let _b = arena.take::<u8>(512);
+        assert_eq!(arena.stats().live_bytes, 512);
+        assert_eq!(arena.stats().peak_live_bytes, 1024);
+        // Footprint-based peak never shrinks (the 1024-class buffer
+        // still idles in its pool next to the live 512-class one); the
+        // live peak rebases to what is actually held.
+        arena.reset_counters();
+        assert_eq!(arena.stats().peak_live_bytes, 512);
+        assert_eq!(arena.stats().peak_bytes, 1536);
     }
 
     #[test]

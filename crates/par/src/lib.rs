@@ -159,6 +159,22 @@ pub struct LaunchStats {
     pub arena_misses: u64,
     /// High-water mark of the arena footprint in bytes.
     pub arena_peak_bytes: u64,
+    /// High-water mark of *live* (checked-out) arena bytes. Unlike
+    /// `arena_peak_bytes` this is not floored at the pooled footprint of
+    /// earlier workloads in the same process, so it is the honest
+    /// per-workload device-memory demand after [`Executor::reset_stats`].
+    pub arena_peak_live_bytes: u64,
+    /// High-water mark of live bytes in the executor's *spill* pool —
+    /// the host-staging tier windowed signature streaming retires
+    /// columns to. Deliberately a separate pool from the device arena:
+    /// on the modeled GPU these bytes live in pinned host memory, not
+    /// device memory.
+    pub spill_peak_bytes: u64,
+    /// Signature-column spill events (level retirements) recorded by
+    /// windowed streaming.
+    pub window_spills: u64,
+    /// Total bytes moved device→spill tier by those retirements.
+    pub window_spill_bytes: u64,
 }
 
 impl Default for LaunchStats {
@@ -179,6 +195,10 @@ impl Default for LaunchStats {
             arena_hits: 0,
             arena_misses: 0,
             arena_peak_bytes: 0,
+            arena_peak_live_bytes: 0,
+            spill_peak_bytes: 0,
+            window_spills: 0,
+            window_spill_bytes: 0,
         }
     }
 }
@@ -310,6 +330,10 @@ impl LaunchStats {
         self.arena_hits += other.arena_hits;
         self.arena_misses += other.arena_misses;
         self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
+        self.arena_peak_live_bytes = self.arena_peak_live_bytes.max(other.arena_peak_live_bytes);
+        self.spill_peak_bytes = self.spill_peak_bytes.max(other.spill_peak_bytes);
+        self.window_spills += other.window_spills;
+        self.window_spill_bytes += other.window_spill_bytes;
     }
 }
 
@@ -332,6 +356,7 @@ pub struct Executor {
     stats: Mutex<LaunchStats>,
     sanitizer: Option<Sanitizer>,
     arena: BufferArena,
+    spill: BufferArena,
     next_stream: AtomicU64,
 }
 
@@ -405,6 +430,7 @@ impl Executor {
                 })
             }),
             arena: BufferArena::new(),
+            spill: BufferArena::new(),
             next_stream: AtomicU64::new(1),
         }
     }
@@ -437,6 +463,7 @@ impl Executor {
             stats: Mutex::new(LaunchStats::default()),
             sanitizer: Some(Sanitizer::new(config)),
             arena: BufferArena::new(),
+            spill: BufferArena::new(),
             next_stream: AtomicU64::new(1),
         }
     }
@@ -526,6 +553,8 @@ impl Executor {
         s.arena_hits = a.hits;
         s.arena_misses = a.misses;
         s.arena_peak_bytes = a.peak_bytes;
+        s.arena_peak_live_bytes = a.peak_live_bytes;
+        s.spill_peak_bytes = self.spill.stats().peak_live_bytes;
         s
     }
 
@@ -534,12 +563,29 @@ impl Executor {
     pub fn reset_stats(&self) {
         *self.lock_stats() = LaunchStats::default();
         self.arena.reset_counters();
+        self.spill.reset_counters();
     }
 
     /// The executor's pooled buffer arena — allocate round-lived device
     /// buffers through it so they are recycled instead of reallocated.
     pub fn arena(&self) -> &BufferArena {
         &self.arena
+    }
+
+    /// The executor's *spill* pool: host-staging buffers that windowed
+    /// signature streaming retires columns into. Kept separate from
+    /// [`Executor::arena`] so the gated device-memory peak reflects only
+    /// the resident window, while spill-tier demand is reported through
+    /// [`LaunchStats::spill_peak_bytes`].
+    pub fn spill_pool(&self) -> &BufferArena {
+        &self.spill
+    }
+
+    /// Records `bytes` moved device→spill tier by one window retirement.
+    pub fn note_window_spill(&self, bytes: u64) {
+        let mut s = self.lock_stats();
+        s.window_spills += 1;
+        s.window_spill_bytes += bytes;
     }
 
     /// Opens a new [`Stream`] on this executor. Launches queued on it run

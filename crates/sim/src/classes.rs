@@ -3,6 +3,7 @@
 
 use parsweep_aig::{Aig, Var};
 
+use crate::odc::{OdcCandidate, OdcMasks};
 use crate::partial::{hash_canonical_words, Signatures};
 
 /// Clusters all nodes by phase-canonicalized signature.
@@ -116,6 +117,104 @@ pub fn refine_classes(classes: &mut Vec<Vec<Var>>, base: &Signatures, fresh: &Si
     out.sort_by_key(|c| c[0]);
     *classes = out;
     refined
+}
+
+/// [`refine_classes`] with observability don't-cares: exact splitting is
+/// unchanged, but pairs whose disagreement is invisible get recorded.
+///
+/// Whenever a class splits, each splintered member is compared against
+/// the class representative one more time under the member's care mask:
+/// if every differing fresh bit is a don't-care bit of the member (the
+/// flip cannot reach an output under any simulated pattern), the pair is
+/// pushed as an [`OdcCandidate`] for the exact
+/// [`crate::check_replaceable`] proof — at most `limit` candidates per
+/// call. The classes themselves still split exactly (the masks are
+/// approximate, so keeping such a pair merged would be unsound); a
+/// proven candidate is merged by the engine as a substitution instead.
+///
+/// `masks` must have been computed over `fresh`'s pattern set (widths
+/// must match). Returns the refined-class count and the candidates.
+///
+/// # Panics
+///
+/// Panics if `masks` and `fresh` disagree on the word width.
+pub fn refine_classes_odc(
+    classes: &mut Vec<Vec<Var>>,
+    base: &Signatures,
+    fresh: &Signatures,
+    masks: &OdcMasks,
+    limit: usize,
+) -> (usize, Vec<OdcCandidate>) {
+    use std::collections::HashMap;
+    assert_eq!(
+        masks.num_words(),
+        fresh.num_words(),
+        "care masks must cover the fresh pattern set"
+    );
+    let normalized_hash = |m: Var| {
+        let mask = if base.phase(m) { u64::MAX } else { 0 };
+        hash_canonical_words(fresh.sig(m).iter().map(|&w| w ^ mask))
+    };
+    let normalized = |m: Var| {
+        let mask = if base.phase(m) { u64::MAX } else { 0 };
+        fresh.sig(m).iter().map(move |&w| w ^ mask)
+    };
+    let mut refined = 0usize;
+    let mut candidates: Vec<OdcCandidate> = Vec::new();
+    let mut out: Vec<Vec<Var>> = Vec::with_capacity(classes.len());
+    for class in classes.drain(..) {
+        let repr = class[0];
+        let repr_hash = normalized_hash(repr);
+        if class[1..].iter().all(|&m| normalized_hash(m) == repr_hash) {
+            out.push(class);
+            continue;
+        }
+        refined += 1;
+        // Before splitting, sieve the divergent members: a member whose
+        // every differing bit is masked by its own don't-cares is an
+        // ODC candidate (still split — the merge needs an exact proof).
+        let repr_sig: Vec<u64> = normalized(repr).collect();
+        for &m in &class[1..] {
+            if candidates.len() >= limit {
+                break;
+            }
+            let care = masks.care(m);
+            let mut differs = false;
+            let mut observable = false;
+            for ((a, b), &c) in normalized(m).zip(repr_sig.iter()).zip(care) {
+                let diff = a ^ b;
+                differs |= diff != 0;
+                observable |= diff & c != 0;
+            }
+            if differs && !observable {
+                candidates.push(OdcCandidate {
+                    repr,
+                    member: m,
+                    complement: base.phase(repr) != base.phase(m),
+                });
+            }
+        }
+        let mut buckets: HashMap<u64, Vec<Var>> = HashMap::new();
+        for &m in &class {
+            buckets.entry(normalized_hash(m)).or_default().push(m);
+        }
+        for (_, mut members) in buckets {
+            while members.len() >= 2 {
+                let head = members[0];
+                let head_sig: Vec<u64> = normalized(head).collect();
+                let (same, rest): (Vec<Var>, Vec<Var>) = members
+                    .into_iter()
+                    .partition(|&m| normalized(m).eq(head_sig.iter().copied()));
+                if same.len() >= 2 {
+                    out.push(same);
+                }
+                members = rest;
+            }
+        }
+    }
+    out.sort_by_key(|c| c[0]);
+    *classes = out;
+    (refined, candidates)
 }
 
 /// Scans the PO signatures for a fired miter output and extracts the

@@ -36,15 +36,18 @@ mod classes;
 pub mod cone;
 pub mod exhaustive;
 pub mod npn;
+pub mod odc;
 pub mod partial;
 pub mod resim;
 pub mod reverse;
+pub mod sigwin;
 mod tt;
 mod window;
 
 pub use cex::Cex;
 pub use classes::{
-    find_po_counterexample, refine_classes, signature_classes, signature_classes_among,
+    find_po_counterexample, refine_classes, refine_classes_odc, signature_classes,
+    signature_classes_among,
 };
 pub use cone::cone_truth_table;
 pub use exhaustive::{
@@ -53,7 +56,12 @@ pub use exhaustive::{
 pub use npn::{
     apply_npn, lift_index, npn_canonical, npn_equivalent, push_index, NpnTransform, MAX_NPN_VARS,
 };
-pub use partial::{simulate, simulate_pruned, simulate_pruned_counted, Patterns, Signatures};
+pub use odc::{check_replaceable, Fanouts, OdcCandidate, OdcConfig, OdcMasks};
+pub use partial::{
+    simulate, simulate_pruned, simulate_pruned_counted, simulate_pruned_counted_with,
+    simulate_with, Patterns, Signatures,
+};
 pub use resim::ResimPlan;
+pub use sigwin::{SigWindowConfig, SpillTier};
 pub use tt::{projection_word, word_len, TruthTable, PROJECTIONS};
 pub use window::{merge_windows, merge_windows_clustered, PairCheck, Window};

@@ -182,11 +182,25 @@ impl Patterns {
 /// (`parsweep_par::BufferArena`): dropping a `Signatures` returns the
 /// words to the pool, so repeated resimulation rounds recycle one
 /// allocation instead of churning the allocator.
+///
+/// A table produced by a *windowed* run (see [`crate::sigwin`]) is
+/// backed by the spill tier instead of a resident device lease; every
+/// accessor works identically, so refinement, cex scans and dirty-cone
+/// donor reads route through the window transparently.
 #[derive(Clone, Debug)]
 pub struct Signatures {
     num_words: usize,
-    data: PooledBuf<u64>,
+    store: SigStore,
     hashes: PooledBuf<u64>,
+}
+
+/// Where a signature table's value words live.
+#[derive(Clone, Debug)]
+pub(crate) enum SigStore {
+    /// Whole-table device residency (the pre-streaming layout).
+    Resident(PooledBuf<u64>),
+    /// Level-windowed run: columns live in the spill tier.
+    Spilled(crate::sigwin::SpilledTable),
 }
 
 /// FNV-1a over phase-canonicalized signature words — the shared hash used
@@ -217,7 +231,12 @@ impl Signatures {
     /// The signature (non-complemented value words) of a variable.
     #[inline]
     pub fn sig(&self, var: Var) -> &[u64] {
-        &self.data[var.index() * self.num_words..(var.index() + 1) * self.num_words]
+        match &self.store {
+            SigStore::Resident(data) => {
+                &data[var.index() * self.num_words..(var.index() + 1) * self.num_words]
+            }
+            SigStore::Spilled(table) => table.sig(var),
+        }
     }
 
     /// The phase of a variable: the value of its first simulated bit.
@@ -226,7 +245,7 @@ impl Signatures {
     /// into the same equivalence class, ABC-style.
     #[inline]
     pub fn phase(&self, var: Var) -> bool {
-        self.data[var.index() * self.num_words] & 1 == 1
+        self.sig(var)[0] & 1 == 1
     }
 
     /// Returns an iterator over the phase-canonicalized signature words of
@@ -259,9 +278,29 @@ impl Signatures {
     ) -> Self {
         Signatures {
             num_words,
-            data,
+            store: SigStore::Resident(data),
             hashes,
         }
+    }
+
+    /// Assembles a windowed table from a spill-tier store (the streamed
+    /// driver's construction path).
+    pub(crate) fn from_spilled(
+        num_words: usize,
+        table: crate::sigwin::SpilledTable,
+        hashes: PooledBuf<u64>,
+    ) -> Self {
+        Signatures {
+            num_words,
+            store: SigStore::Spilled(table),
+            hashes,
+        }
+    }
+
+    /// True when this table is backed by the spill tier (a windowed run)
+    /// rather than a whole-table device lease.
+    pub fn is_windowed(&self) -> bool {
+        matches!(self.store, SigStore::Spilled(_))
     }
 }
 
@@ -274,6 +313,24 @@ impl Signatures {
 /// signature table is leased from the executor's buffer arena.
 pub fn simulate(aig: &Aig, exec: &Executor, patterns: &Patterns) -> Signatures {
     simulate_groups(aig, exec, patterns, &aig.level_groups())
+}
+
+/// [`simulate`] with an optional level-windowed residency policy:
+/// `None` keeps the whole table resident (bit-identical to
+/// [`simulate`]); `Some` streams levels through a bounded window and
+/// returns a spill-tier-backed table with identical contents.
+pub fn simulate_with(
+    aig: &Aig,
+    exec: &Executor,
+    patterns: &Patterns,
+    window: Option<&crate::sigwin::SigWindowConfig>,
+) -> Signatures {
+    match window {
+        None => simulate(aig, exec, patterns),
+        Some(cfg) => {
+            crate::sigwin::simulate_streamed(aig, exec, patterns, &aig.level_groups(), cfg)
+        }
+    }
 }
 
 /// Simulates only the TFI cone of `live` — the support-pruned partial
@@ -305,6 +362,20 @@ pub fn simulate_pruned_counted(
     patterns: &Patterns,
     live: &[Var],
 ) -> (Signatures, usize) {
+    simulate_pruned_counted_with(aig, exec, patterns, live, None)
+}
+
+/// [`simulate_pruned_counted`] with an optional windowed residency
+/// policy (see [`simulate_with`]) — the support-pruned simulator shares
+/// the streamed driver, so pruned refinement rounds obey the same
+/// window.
+pub fn simulate_pruned_counted_with(
+    aig: &Aig,
+    exec: &Executor,
+    patterns: &Patterns,
+    live: &[Var],
+    window: Option<&crate::sigwin::SigWindowConfig>,
+) -> (Signatures, usize) {
     let cone = aig.tfi_cone(live);
     let levels = aig.levels();
     let depth = cone
@@ -317,7 +388,11 @@ pub fn simulate_pruned_counted(
         groups[levels[v.index()] as usize].push(v);
     }
     let covered = cone.len();
-    (simulate_groups(aig, exec, patterns, &groups), covered)
+    let sigs = match window {
+        None => simulate_groups(aig, exec, patterns, &groups),
+        Some(cfg) => crate::sigwin::simulate_streamed(aig, exec, patterns, &groups, cfg),
+    };
+    (sigs, covered)
 }
 
 /// Level-parallel simulation over an explicit level grouping (every fanin
@@ -393,7 +468,7 @@ fn simulate_groups(
     }
     Signatures {
         num_words: w,
-        data,
+        store: SigStore::Resident(data),
         hashes,
     }
 }

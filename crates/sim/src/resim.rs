@@ -48,25 +48,53 @@ impl ResimPlan {
     ///
     /// Panics if `map` or `subst` do not cover `old`'s nodes.
     pub fn new(old: &Aig, new: &Aig, map: &[Lit], subst: &[Lit]) -> Self {
+        Self::new_with_exempt(old, new, map, subst, &[])
+    }
+
+    /// Like [`ResimPlan::new`], but substitutions of the listed old
+    /// variables do **not** seed taint: their TFO keeps its memoized
+    /// words instead of re-launching.
+    ///
+    /// Only sound for substitutions *proven PO-function-preserving*
+    /// (the ODC replaceability check): downstream words may then be
+    /// stale in unobservable bits only, which PO cex scans never read
+    /// and class refinement can at worst split on (splitting is always
+    /// sound). An exempt node still never donates its own words.
+    pub fn new_with_exempt(
+        old: &Aig,
+        new: &Aig,
+        map: &[Lit],
+        subst: &[Lit],
+        exempt: &[Var],
+    ) -> Self {
         assert_eq!(map.len(), old.num_nodes(), "map size mismatch");
         assert_eq!(subst.len(), old.num_nodes(), "substitution size mismatch");
+        let mut exempted = vec![false; old.num_nodes()];
+        for &v in exempt {
+            exempted[v.index()] = true;
+        }
         // Taint the substituted old nodes and everything downstream of
         // them (ascending ids: fanins are visited before fanouts).
+        // Exempt substitutions (proven observability-preserving) are
+        // not taint sources, but stay non-donors below.
+        let mut substituted = vec![false; old.num_nodes()];
         let mut tainted = vec![false; old.num_nodes()];
         for (i, node) in old.nodes().iter().enumerate() {
             let downstream = match node {
                 Node::And(a, b) => tainted[a.var().index()] || tainted[b.var().index()],
                 _ => false,
             };
-            tainted[i] = downstream || subst[i] != Var::new(i as u32).lit();
+            substituted[i] = subst[i] != Var::new(i as u32).lit();
+            tainted[i] = downstream || (substituted[i] && !exempted[i]);
         }
         // First clean old node mapping onto each new variable donates its
         // words. The constant node needs no donor (leased buffers are
-        // zeroed); tainted or dropped old nodes never donate.
+        // zeroed); tainted, substituted or dropped old nodes never
+        // donate.
         let mut source: Vec<Option<Lit>> = vec![None; new.num_nodes()];
         source[0] = Some(Lit::FALSE);
         for (i, &lit) in map.iter().enumerate() {
-            if tainted[i] || lit.is_const() {
+            if tainted[i] || substituted[i] || lit.is_const() {
                 continue;
             }
             let slot = &mut source[lit.var().index()];
@@ -130,6 +158,41 @@ impl ResimPlan {
         patterns: &Patterns,
         old_sigs: &Signatures,
     ) -> Signatures {
+        self.resimulate_with(new, exec, patterns, old_sigs, None)
+    }
+
+    /// [`ResimPlan::resimulate`] with an optional windowed residency
+    /// policy: `Some` routes copies and dirty re-evals through the
+    /// streamed driver (one [`crate::sigwin`] schedule, bounded device
+    /// residency, donors read from `old_sigs`' tier transparently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from `old_sigs`'s.
+    pub fn resimulate_with(
+        &self,
+        new: &Aig,
+        exec: &Executor,
+        patterns: &Patterns,
+        old_sigs: &Signatures,
+        window: Option<&crate::sigwin::SigWindowConfig>,
+    ) -> Signatures {
+        if let Some(cfg) = window {
+            assert_eq!(
+                patterns.num_words(),
+                old_sigs.num_words(),
+                "resimulation patterns must match the memoized table"
+            );
+            return crate::sigwin::resimulate_streamed(
+                new,
+                exec,
+                patterns,
+                &self.copies,
+                &self.dirty_groups,
+                old_sigs,
+                cfg,
+            );
+        }
         assert_eq!(
             patterns.num_words(),
             old_sigs.num_words(),

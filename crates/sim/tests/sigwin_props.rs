@@ -1,0 +1,214 @@
+//! Property tests for the level-windowed streaming simulator and the
+//! ODC-aware refinement layer: a windowed run must be bit-identical to
+//! whole-table residency (signatures, canonical hashes, classes) at any
+//! window size and spill tier, streamed dirty-cone resimulation must
+//! round-trip spilled donors exactly, and ODC-masked refinement must
+//! split classes exactly like the plain refiner.
+//!
+//! The whole suite is also run under `PARSWEEP_SANITIZE=all` in CI (see
+//! the sanitize job): every spill/fill/eval kernel must stay
+//! racecheck-clean.
+
+use proptest::prelude::*;
+
+use parsweep_aig::random::SplitMix64;
+use parsweep_aig::{Aig, Lit, Var};
+use parsweep_par::Executor;
+use parsweep_sim::{
+    refine_classes, refine_classes_odc, signature_classes, signature_classes_among, simulate,
+    simulate_pruned, simulate_pruned_counted_with, simulate_with, Fanouts, OdcMasks, Patterns,
+    ResimPlan, SigWindowConfig,
+};
+
+fn exec() -> Executor {
+    Executor::with_threads(2)
+}
+
+/// The window ladder every equivalence property sweeps: degenerate
+/// single-level, small, unbounded (never retires — still must match),
+/// and a disk-backed tier.
+fn window_ladder() -> Vec<SigWindowConfig> {
+    vec![
+        SigWindowConfig::with_levels(1),
+        SigWindowConfig::with_levels(2),
+        SigWindowConfig::with_levels(usize::MAX),
+        SigWindowConfig::with_levels(1).on_disk(),
+    ]
+}
+
+/// A random live set: each var kept with probability ~1/4, at least one.
+fn random_live(aig: &Aig, seed: u64) -> Vec<Var> {
+    let mut rng = SplitMix64::new(seed);
+    let mut live: Vec<Var> = (0..aig.num_nodes())
+        .map(|i| Var::new(i as u32))
+        .filter(|_| rng.below(4) == 0)
+        .collect();
+    if live.is_empty() {
+        live.push(Var::new((aig.num_nodes() - 1) as u32));
+    }
+    live
+}
+
+/// A random (generally unsound) substitution in engine shape: some AND
+/// nodes replaced by a smaller-id literal. PIs are never substituted.
+fn random_merges(aig: &Aig, seed: u64) -> Vec<Lit> {
+    let mut rng = SplitMix64::new(seed);
+    let mut subst: Vec<Lit> = (0..aig.num_nodes())
+        .map(|i| Var::new(i as u32).lit())
+        .collect();
+    for v in aig.and_vars() {
+        if rng.below(5) != 0 {
+            continue;
+        }
+        let target = rng.below(v.index());
+        subst[v.index()] = Var::new(target as u32).lit_with(rng.bool());
+    }
+    subst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn windowed_simulation_is_bit_identical_to_whole_table(
+        pis in 2usize..7,
+        ands in 5usize..60,
+        words in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let patterns = Patterns::random(pis, words, seed ^ 0x5157);
+        let full = simulate(&aig, &exec(), &patterns);
+        for cfg in window_ladder() {
+            let windowed = simulate_with(&aig, &exec(), &patterns, Some(&cfg));
+            prop_assert!(windowed.is_windowed());
+            for i in 0..aig.num_nodes() {
+                let v = Var::new(i as u32);
+                prop_assert_eq!(windowed.sig(v), full.sig(v), "{:?} under {:?}", v, cfg);
+                prop_assert_eq!(
+                    windowed.canonical_hash(v),
+                    full.canonical_hash(v),
+                    "hash of {:?} under {:?}", v, cfg
+                );
+            }
+            prop_assert_eq!(
+                signature_classes(&aig, &windowed),
+                signature_classes(&aig, &full)
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_pruned_simulation_matches_whole_table_on_the_cone(
+        pis in 2usize..7,
+        ands in 5usize..60,
+        words in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let patterns = Patterns::random(pis, words, seed ^ 0xc0de);
+        let live = random_live(&aig, seed ^ 0x31);
+        let pruned = simulate_pruned(&aig, &exec(), &patterns, &live);
+        for cfg in window_ladder() {
+            let (windowed, covered) =
+                simulate_pruned_counted_with(&aig, &exec(), &patterns, &live, Some(&cfg));
+            prop_assert_eq!(covered, aig.tfi_cone(&live).len());
+            for &v in &aig.tfi_cone(&live) {
+                prop_assert_eq!(windowed.sig(v), pruned.sig(v), "{:?} under {:?}", v, cfg);
+                prop_assert_eq!(
+                    windowed.canonical_hash(v),
+                    pruned.canonical_hash(v),
+                    "hash of {:?} under {:?}", v, cfg
+                );
+            }
+            prop_assert_eq!(
+                signature_classes_among(&windowed, &live),
+                signature_classes_among(&pruned, &live)
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_resim_round_trips_spilled_donors_after_unsound_merges(
+        pis in 2usize..7,
+        ands in 5usize..60,
+        words in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let patterns = Patterns::random(pis, words, seed ^ 0x99);
+        let subst = random_merges(&aig, seed ^ 0x1234);
+        let (new, map) = aig.rebuild_with_substitution(&subst);
+        let plan = ResimPlan::new(&aig, &new, &map, &subst);
+        let full = simulate(&new, &exec(), &patterns);
+        for cfg in window_ladder() {
+            // The donor table itself lives in the spill tier: copies
+            // must fill retired donor levels back in bit-exactly.
+            let old = simulate_with(&aig, &exec(), &patterns, Some(&cfg));
+            let resimmed =
+                plan.resimulate_with(&new, &exec(), &patterns, &old, Some(&cfg));
+            for i in 0..new.num_nodes() {
+                let v = Var::new(i as u32);
+                prop_assert_eq!(resimmed.sig(v), full.sig(v), "{:?} under {:?}", v, cfg);
+                prop_assert_eq!(
+                    resimmed.canonical_hash(v),
+                    full.canonical_hash(v),
+                    "hash of {:?} under {:?}", v, cfg
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odc_masked_refinement_splits_exactly_like_the_plain_refiner(
+        pis in 2usize..7,
+        ands in 5usize..60,
+        seed in any::<u64>(),
+    ) {
+        let aig = parsweep_aig::random::random_aig(pis, ands, 2, seed);
+        let base_patterns = Patterns::random(pis, 2, seed ^ 0xaaaa);
+        let fresh_patterns = Patterns::random(pis, 2, seed ^ 0xbbbb);
+        let e = exec();
+        let base = simulate(&aig, &e, &base_patterns);
+        let fresh = simulate(&aig, &e, &fresh_patterns);
+        let fanouts = Fanouts::build(&aig);
+        let masks = OdcMasks::compute(&aig, &e, &fresh, &fanouts);
+        let mut plain = signature_classes(&aig, &base);
+        let mut odc = plain.clone();
+        let n_plain = refine_classes(&mut plain, &base, &fresh);
+        let (n_odc, candidates) = refine_classes_odc(&mut odc, &base, &fresh, &masks, 8);
+        // The masks are a filter, never a proof: the ODC variant must
+        // split identically — a distinguishable pair is never left
+        // merged, it is at most *reported* for the exact check.
+        prop_assert_eq!(n_plain, n_odc);
+        prop_assert_eq!(plain.clone(), odc);
+        // Every candidate really is distinguishable (it was split) yet
+        // unobservably so: its normalized divergence lies entirely in
+        // masked-out bits of the member's care set.
+        for c in &candidates {
+            let phase_fix = if base.phase(c.repr) != base.phase(c.member) {
+                u64::MAX
+            } else {
+                0
+            };
+            let mut differs = false;
+            let mut observable = false;
+            for ((&a, &b), &m) in fresh
+                .sig(c.repr)
+                .iter()
+                .zip(fresh.sig(c.member))
+                .zip(masks.care(c.member))
+            {
+                let diff = a ^ b ^ phase_fix;
+                differs |= diff != 0;
+                observable |= diff & m != 0;
+            }
+            prop_assert!(differs, "candidate {:?} is not distinguishable", c);
+            prop_assert!(!observable, "candidate {:?} has observable divergence", c);
+            prop_assert!(
+                !plain.iter().any(|cl| cl.contains(&c.repr) && cl.contains(&c.member)),
+                "candidate {:?} was left merged", c
+            );
+        }
+    }
+}

@@ -1236,6 +1236,36 @@ impl CecService {
             "Equivalence classes split in place by fresh-pattern refinement.",
             trace::metrics::SimCounters::get(&sim.classes_refined),
         );
+        render_counter(
+            &mut out,
+            "parsweep_sim_window_spills_total",
+            "Signature levels retired from the device window to a spill tier.",
+            trace::metrics::SimCounters::get(&sim.window_spills),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_window_spilled_words_total",
+            "Signature words moved out of the device window by spill launches.",
+            trace::metrics::SimCounters::get(&sim.window_spilled_words),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_window_fills_total",
+            "Spilled signature levels re-materialized from the disk tier.",
+            trace::metrics::SimCounters::get(&sim.window_fills),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_window_filled_words_total",
+            "Signature words re-read from the disk tier on demand.",
+            trace::metrics::SimCounters::get(&sim.window_filled_words),
+        );
+        render_counter(
+            &mut out,
+            "parsweep_sim_odc_masked_merges_total",
+            "Pairs merged via the observability don't-care layer's exact check.",
+            trace::metrics::SimCounters::get(&sim.odc_masked_merges),
+        );
         render_histogram(
             &mut out,
             "parsweep_queue_wait_seconds",

@@ -10,11 +10,15 @@
 # baseline, worker utilization); both steps are non-blocking — a service
 # or network bench failure must not fail the engine smoke run.
 #
-# Usage: scripts/bench.sh [tiny|small|medium] [output.json] [svc-output.json] [net-output.json]
+# Usage: scripts/bench.sh [tiny|small|medium|large] [output.json] [svc-output.json] [net-output.json]
+#
+# The scale can also come from the PARSWEEP_SCALE environment variable
+# (positional argument wins), so CI matrix jobs can select a rung of the
+# ladder without editing the invocation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCALE="${1:-tiny}"
+SCALE="${1:-${PARSWEEP_SCALE:-tiny}}"
 OUT="${2:-BENCH_runtime.json}"
 SVC_OUT="${3:-BENCH_svc.json}"
 NET_OUT="${4:-BENCH_net.json}"

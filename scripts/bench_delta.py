@@ -16,7 +16,11 @@ With ``--max-regress PCT`` it also gates:
   fast path grows it by design);
 * prover-dispatch wall times (leaves named ``sequential_seconds`` or
   ``adaptive_seconds``), with a 10 ms absolute noise floor so timer
-  jitter on millisecond-sized rows cannot fail a run.
+  jitter on millisecond-sized rows cannot fail a run;
+* per-case peak arena memory (leaves named ``arena_peak_bytes_per_node``
+  — normalized per miter node, so suite-composition changes do not mask
+  a residency regression). Byte counts are deterministic, so no noise
+  floor applies.
 
 Any gated leaf that regresses by more than PCT percent (and, for wall
 times, by more than the noise floor) fails the run with exit 1.
@@ -96,6 +100,31 @@ def summarize_prover_dispatch(curr_raw):
         print(
             f"  {name}: sequential {seq:.3f}s ({seq_eng}) vs "
             f"adaptive {ada:.3f}s ({ada_eng}, {mode}) — {speedup:.2f}x"
+        )
+
+
+def summarize_window_streaming(curr_raw):
+    """Report the runtime bench's residency comparison
+    (``window_streaming`` entries): peak live arena bytes for the same
+    sweep under whole-table residency vs the level-windowed streaming
+    path, and how many signature levels were retired to the spill
+    tier."""
+    rows = curr_raw.get("window_streaming") if isinstance(curr_raw, dict) else None
+    if not rows:
+        return
+    print("window streaming (whole-table vs level-windowed residency):")
+    for row in rows:
+        try:
+            name = row["name"]
+            res, win = row["resident_peak_live_bytes"], row["windowed_peak_live_bytes"]
+            spill, spills = row["spill_peak_bytes"], row["window_spills"]
+            reduction = row["peak_reduction"]
+        except (KeyError, TypeError):
+            continue
+        print(
+            f"  {name}: resident {res}B vs windowed {win}B "
+            f"(+{spill}B spill tier, {spills} level spills) — "
+            f"{reduction:.2f}x peak reduction"
         )
 
 
@@ -185,6 +214,7 @@ def main():
             print(f"  {key}: {prev[key]} -> {curr[key]} ({delta:+g}){pct}")
     if prev == curr:
         print("  no numeric changes")
+    summarize_window_streaming(curr_raw)
     summarize_sanitizer_overhead(curr_raw)
     summarize_prover_dispatch(curr_raw)
     summarize_repeat_traffic(curr_raw)
@@ -202,6 +232,9 @@ def main():
                 regressions.append((key, prev[key], curr[key]))
         elif leaf in ("sequential_seconds", "adaptive_seconds"):
             if curr[key] > allowed and curr[key] - prev[key] > WALL_NOISE_FLOOR_SECONDS:
+                regressions.append((key, prev[key], curr[key]))
+        elif leaf == "arena_peak_bytes_per_node":
+            if curr[key] > allowed:
                 regressions.append((key, prev[key], curr[key]))
     if regressions:
         print(f"gated-leaf regressions beyond {max_regress:g}%:", file=sys.stderr)
